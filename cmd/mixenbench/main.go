@@ -1,0 +1,111 @@
+// Command mixenbench regenerates the paper's evaluation tables and figures
+// on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	mixenbench -experiment table3 [-shrink 8] [-iters 10] [-graphs wiki,road]
+//	mixenbench -experiment all
+//
+// Experiments: table1 table2 table3 table4 fig4 fig5 fig6 fig7 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mixen/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (table1..table4, fig4..fig7, all)")
+	shrink := flag.Int("shrink", 8, "divide preset graph sizes by this factor")
+	iters := flag.Int("iters", 10, "iterations per timed run (the paper uses 100)")
+	threads := flag.Int("threads", 0, "worker threads (0 = all cores)")
+	graphs := flag.String("graphs", "", "comma-separated preset subset (default: all eight)")
+	flag.Parse()
+
+	opts := bench.Options{Shrink: *shrink, Iters: *iters, Threads: *threads}
+	if *graphs != "" {
+		opts.Graphs = strings.Split(*graphs, ",")
+	}
+
+	runners := map[string]func(bench.Options) (string, error){
+		"table1": func(o bench.Options) (string, error) {
+			rows, err := bench.Table1(o)
+			return bench.FormatTable1(rows), err
+		},
+		"table2": func(o bench.Options) (string, error) {
+			rows, err := bench.Table2(o)
+			return bench.FormatTable2(rows), err
+		},
+		"table3": func(o bench.Options) (string, error) {
+			cells, err := bench.Table3(o)
+			return bench.FormatTable3(cells), err
+		},
+		"table4": func(o bench.Options) (string, error) {
+			rows, err := bench.Table4(o)
+			return bench.FormatTable4(rows), err
+		},
+		"fig4": func(o bench.Options) (string, error) {
+			rows, err := bench.Fig4(o)
+			return bench.FormatFig4(rows), err
+		},
+		"fig5": func(o bench.Options) (string, error) {
+			rows, err := bench.Fig5(o)
+			return bench.FormatFig5(rows), err
+		},
+		"fig6": func(o bench.Options) (string, error) {
+			rows, err := bench.Fig6(o)
+			return bench.FormatFig6(rows), err
+		},
+		"fig7": func(o bench.Options) (string, error) {
+			rows, err := bench.Fig7(o)
+			return bench.FormatFig7(rows), err
+		},
+		"ablation": func(o bench.Options) (string, error) {
+			rows, err := bench.Ablation(o)
+			return bench.FormatAblation(rows), err
+		},
+		"threads": func(o bench.Options) (string, error) {
+			rows, err := bench.ThreadSweep(o)
+			return bench.FormatThreadSweep(rows), err
+		},
+		"reorder": func(o bench.Options) (string, error) {
+			rows, err := bench.ReorderStudy(o)
+			return bench.FormatReorderStudy(rows), err
+		},
+		"model": func(o bench.Options) (string, error) {
+			rows, err := bench.ModelStudy(o)
+			return bench.FormatModelStudy(rows), err
+		},
+		"phases": func(o bench.Options) (string, error) {
+			rows, err := bench.PhaseStudy(o)
+			return bench.FormatPhaseStudy(rows), err
+		},
+	}
+
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases"}
+	var selected []string
+	if *experiment == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "mixenbench: unknown experiment %q (want one of %s, all)\n",
+				*experiment, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		selected = []string{*experiment}
+	}
+
+	for _, name := range selected {
+		fmt.Printf("### %s (shrink=%d iters=%d)\n", name, *shrink, *iters)
+		out, err := runners[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mixenbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

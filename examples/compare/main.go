@@ -1,0 +1,67 @@
+// Compare: a miniature of the paper's Table 3 — run PageRank on all five
+// engines over a skewed and a non-skewed graph and report per-iteration
+// times, preprocessing costs, and result agreement. Demonstrates that one
+// vertex program runs unchanged on every framework.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"mixen"
+)
+
+const iters = 10
+
+func main() {
+	for _, name := range []string{"wiki", "urand"} {
+		g, err := mixen.Dataset(name, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := mixen.Analyze(g)
+		fmt.Printf("== %s-like: n=%d m=%d alpha=%.2f skew(E_hub)=%.0f%% ==\n",
+			name, g.NumNodes(), g.NumEdges(), s.Alpha, 100*s.EHub)
+
+		var reference []float64
+		for _, engName := range []string{"mixen", "blockgas", "push", "polymer", "pull"} {
+			t0 := time.Now()
+			e, err := mixen.NewEngine(engName, g, 0, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prep := time.Since(t0)
+
+			prog := mixen.NewPageRankProgram(g, 0.85, 0, iters)
+			t1 := time.Now()
+			res, err := e.Run(prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perIter := time.Since(t1) / iters
+
+			agreement := "reference"
+			if reference == nil {
+				reference = res.Values
+			} else {
+				maxDiff := 0.0
+				for v := range reference {
+					if d := math.Abs(res.Values[v] - reference[v]); d > maxDiff {
+						maxDiff = d
+					}
+				}
+				agreement = fmt.Sprintf("max |Δ| vs mixen = %.2g", maxDiff)
+			}
+			fmt.Printf("  %-9s prep %8v  %8v/iter   %s\n",
+				engName, prep.Round(time.Microsecond), perIter.Round(time.Microsecond), agreement)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(Mixen defers sink nodes to a final Post-Phase, so at a fixed iteration")
+	fmt.Println(" count sink values differ from the per-iteration engines by one update;")
+	fmt.Println(" at convergence all engines coincide — see internal/algo's equivalence tests.)")
+}

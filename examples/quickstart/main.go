@@ -1,0 +1,49 @@
+// Quickstart: build a small skewed graph, inspect its connectivity
+// structure, and rank its nodes with PageRank on the Mixen engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mixen"
+)
+
+func main() {
+	// 1. Generate a power-law graph (or load one with mixen.ReadEdgeList).
+	g, err := mixen.GenerateRMAT(14, 16, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// 2. Look at the connectivity structure Mixen exploits.
+	s := mixen.Analyze(g)
+	fmt.Printf("hubs: %.1f%% of nodes receive %.1f%% of edges\n", 100*s.VHub, 100*s.EHub)
+	fmt.Printf("classes: %.0f%% regular, %.0f%% seed, %.0f%% sink, %.0f%% isolated\n",
+		100*s.RegularFrac, 100*s.SeedFrac, 100*s.SinkFrac, 100*s.IsolatedFrac)
+	fmt.Printf("alpha=%.2f beta=%.2f (Mixen's main phase touches only the alpha-fraction)\n",
+		s.Alpha, s.Beta)
+
+	// 3. Rank nodes. The one-shot helper preprocesses (filter + block) and
+	// runs to convergence.
+	ranks, err := mixen.PageRank(g, 0.85, 1e-10, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report the top 5.
+	order := make([]int, len(ranks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] > ranks[order[b]] })
+	fmt.Println("top 5 nodes by PageRank:")
+	for _, v := range order[:5] {
+		fmt.Printf("  node %6d  rank %.6f  in-degree %d\n",
+			v, ranks[v], g.InDegree(mixen.Node(v)))
+	}
+}

@@ -1,0 +1,92 @@
+// Reachability: BFS across engines on contrasting topologies — a road-like
+// grid (large diameter, no hubs) versus an R-MAT power-law graph (small
+// diameter, hub-dominated). Reproduces the paper's observation that the
+// frontier-based push engine (Ligra-like) wins BFS while the blocked
+// engines win link analysis, and that no single strategy dominates.
+//
+//	go run ./examples/reachability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"mixen"
+)
+
+func main() {
+	road, err := mixen.Dataset("road", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmat, err := mixen.Dataset("rmat", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		g    *mixen.Graph
+	}{{"road", road}, {"rmat", rmat}} {
+		fmt.Printf("== %s: %d nodes, %d edges ==\n", tc.name, tc.g.NumNodes(), tc.g.NumEdges())
+		source := maxOutNode(tc.g)
+		for _, engName := range []string{"mixen", "push", "pull"} {
+			e, err := mixen.NewEngine(engName, tc.g, 0, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			var levels []float64
+			var rounds int
+			// The push engine carries Ligra's native sparse-frontier BFS;
+			// the others run level-synchronous tropical propagation.
+			if fr, ok := e.(interface {
+				RunFrontierBFS(uint32, int) (*mixen.Result, error)
+			}); ok {
+				res, err := fr.RunFrontierBFS(source, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				levels, rounds = res.Values, res.Iterations
+			} else {
+				res, err := e.Run(mixen.NewBFSProgram(tc.g, source))
+				if err != nil {
+					log.Fatal(err)
+				}
+				levels, rounds = res.Values, res.Iterations
+			}
+			elapsed := time.Since(t0)
+			reached, ecc := summarize(levels)
+			fmt.Printf("  %-8s reached %7d nodes, eccentricity %3.0f, %4d rounds, %v\n",
+				engName, reached, ecc, rounds, elapsed.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: frontier BFS (push) shines on high-diameter road graphs where")
+	fmt.Println("level-synchronous engines pay a full-graph sweep per level.")
+}
+
+func maxOutNode(g *mixen.Graph) uint32 {
+	var best mixen.Node
+	var deg int64 = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(mixen.Node(v)); d > deg {
+			deg, best = d, mixen.Node(v)
+		}
+	}
+	return uint32(best)
+}
+
+func summarize(levels []float64) (reached int, ecc float64) {
+	for _, l := range levels {
+		if !math.IsInf(l, 1) {
+			reached++
+			if l > ecc {
+				ecc = l
+			}
+		}
+	}
+	return reached, ecc
+}

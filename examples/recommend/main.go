@@ -1,0 +1,101 @@
+// Recommend: collaborative filtering on an interaction graph (the
+// track-like preset: a skewed crawl where half the accounts only act as
+// followers). Runs the vector-valued CF propagation kernel on the Mixen
+// engine and recommends accounts by latent-vector similarity.
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"mixen"
+)
+
+const k = 8 // latent dimensions
+
+func main() {
+	g, err := mixen.Dataset("track", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("follower graph: %d accounts, %d follow edges\n", g.NumNodes(), g.NumEdges())
+
+	s := mixen.Analyze(g)
+	fmt.Printf("structure: %.0f%% of accounts only follow (seed), %.0f%% are regular\n",
+		100*s.SeedFrac, 100*s.RegularFrac)
+
+	// Propagate latent vectors: each account's embedding becomes a blend of
+	// its anchor and the degree-normalised average of its followers'.
+	latents, err := mixen.CollaborativeFilter(g, k, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Propagation pulls every embedding toward the global mean; centre the
+	// vectors per dimension so similarity reflects the structural signal,
+	// not the shared drift.
+	center(latents, g.NumNodes())
+
+	// Recommend for a mid-popularity account. (Mega-hubs average over so
+	// many followers that their embeddings all collapse to the population
+	// mean — a real phenomenon; niche accounts carry the usable signal.)
+	var hub mixen.Node
+	var deg int64 = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.InDegree(mixen.Node(v)); d >= 5 && d <= 20 && d > deg {
+			deg, hub = d, mixen.Node(v)
+		}
+	}
+	if deg < 0 {
+		log.Fatal("no mid-popularity account found")
+	}
+	fmt.Printf("\nquery account %d (%d followers); similar accounts by centred cosine:\n", hub, deg)
+
+	type scored struct {
+		v   int
+		sim float64
+	}
+	var cands []scored
+	hv := latents[int(hub)*k : int(hub)*k+k]
+	for v := 0; v < g.NumNodes(); v++ {
+		if mixen.Node(v) == hub || g.InDegree(mixen.Node(v)) == 0 {
+			continue
+		}
+		cands = append(cands, scored{v, cosine(hv, latents[v*k:v*k+k])})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].sim > cands[j].sim })
+	for i := 0; i < 5 && i < len(cands); i++ {
+		fmt.Printf("  account %6d  similarity %.4f  (%d followers)\n",
+			cands[i].v, cands[i].sim, g.InDegree(mixen.Node(cands[i].v)))
+	}
+}
+
+func center(latents []float64, n int) {
+	for l := 0; l < k; l++ {
+		var mean float64
+		for v := 0; v < n; v++ {
+			mean += latents[v*k+l]
+		}
+		mean /= float64(n)
+		for v := 0; v < n; v++ {
+			latents[v*k+l] -= mean
+		}
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

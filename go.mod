@@ -1,0 +1,3 @@
+module mixen
+
+go 1.22

@@ -1,0 +1,144 @@
+package algo_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/algo"
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+func mixenMaker(g *graph.Graph) (vprog.Engine, error) {
+	return core.New(g, core.Config{})
+}
+
+func pullMaker(g *graph.Graph) (vprog.Engine, error) {
+	return baseline.NewPull(g, 0), nil
+}
+
+func TestConnectedComponentsTwoIslands(t *testing.T) {
+	// Component A: 0-1-2 (directed chain); component B: 3-4; isolated: 5.
+	g, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 4, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := algo.ConnectedComponents(g, mixenMaker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 0, 3, 3, 5}
+	for v, w := range want {
+		if labels[v] != w {
+			t.Errorf("label[%d] = %v, want %v", v, labels[v], w)
+		}
+	}
+}
+
+func TestConnectedComponentsAcrossEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 300
+	edges := make([]graph.Edge, 600)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := algo.ConnectedComponents(g, pullMaker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := algo.ConnectedComponents(g, mixenMaker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref {
+		if ref[v] != got[v] {
+			t.Fatalf("label[%d]: pull %v, mixen %v", v, ref[v], got[v])
+		}
+	}
+}
+
+// Property: CC labels form a valid partition — every node's label is the
+// minimum node id of its undirected component, and endpoints of every edge
+// share a label.
+func TestPropertyCCValidPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		edges := make([]graph.Edge, rng.Intn(150))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		labels, err := algo.ConnectedComponents(g, mixenMaker)
+		if err != nil {
+			return false
+		}
+		// Union-find ground truth.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(a, b int) {
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+		for _, e := range edges {
+			union(int(e.Src), int(e.Dst))
+		}
+		minOf := make(map[int]int)
+		for v := 0; v < n; v++ {
+			r := find(v)
+			if m, ok := minOf[r]; !ok || v < m {
+				minOf[r] = v
+			}
+		}
+		for v := 0; v < n; v++ {
+			if labels[v] != float64(minOf[find(v)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCProgramContract(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := algo.NewCC(g)
+	if p.Ring() != vprog.Min || p.Width() != 1 {
+		t.Fatal("CC must be a scalar Min-ring program")
+	}
+	var out [1]float64
+	p.Init(7, out[:])
+	if out[0] != 7 {
+		t.Fatal("init must be the node id")
+	}
+	if p.Scale(3) != 0 {
+		t.Fatal("labels must travel with zero offset")
+	}
+}

@@ -1,0 +1,315 @@
+package algo_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/algo"
+	"mixen/internal/analyze"
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+// Cross-engine equivalence: the same program must produce the same values
+// on Mixen and on every baseline. Mixen defers sink nodes to the Post-Phase
+// (computed from the FINAL source values), so after T fixed iterations its
+// sink values coincide with a per-iteration engine's values at T+1; regular
+// and seed nodes must agree at T directly.
+
+func engines(t *testing.T, g *graph.Graph, width int) map[string]vprog.Engine {
+	t.Helper()
+	mix, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := baseline.NewBlockGAS(g, baseline.BlockGASConfig{Width: width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]vprog.Engine{
+		"mixen":    mix,
+		"pull":     baseline.NewPull(g, 0),
+		"push":     baseline.NewPush(g, 0),
+		"polymer":  baseline.NewPolymer(g, 0, 4),
+		"blockgas": bg,
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+	skew, err := gen.Skewed(gen.SkewedConfig{
+		N: 1200, M: 9000,
+		RegularFrac: 0.35, SeedFrac: 0.25, SinkFrac: 0.3,
+		ZipfS: 1.3, ZipfV: 1, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["skewed"] = skew
+	rmat, err := gen.RMAT(gen.GAPRMATConfig(9, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rmat"] = rmat
+	road, err := gen.Road(gen.RoadConfig{Rows: 24, Cols: 24, Drop: 0.1, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["road"] = road
+	return out
+}
+
+// compareNonSinks checks regular/seed/isolated nodes lane-by-lane.
+func compareNonSinks(t *testing.T, g *graph.Graph, name string, got, want []float64, width int, tol float64) {
+	t.Helper()
+	cls := analyze.Classify(g)
+	bad := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if cls.Class[v] == analyze.Sink {
+			continue
+		}
+		for l := 0; l < width; l++ {
+			a, b := got[v*width+l], want[v*width+l]
+			if !relClose(a, b, tol) {
+				if bad < 5 {
+					t.Errorf("%s: node %d (%v) lane %d: %v vs %v", name, v, cls.Class[v], l, a, b)
+				}
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d mismatching non-sink lanes", name, bad)
+	}
+}
+
+func compareSinks(t *testing.T, g *graph.Graph, name string, got, want []float64, width int, tol float64) {
+	t.Helper()
+	cls := analyze.Classify(g)
+	for v := 0; v < g.NumNodes(); v++ {
+		if cls.Class[v] != analyze.Sink {
+			continue
+		}
+		for l := 0; l < width; l++ {
+			a, b := got[v*width+l], want[v*width+l]
+			if !relClose(a, b, tol) {
+				t.Fatalf("%s: sink %d lane %d: %v vs %v", name, v, l, a, b)
+			}
+		}
+	}
+}
+
+func TestInDegreeEquivalence(t *testing.T) {
+	const T = 4
+	for gname, g := range testGraphs(t) {
+		engs := engines(t, g, 1)
+		ref, err := engs["pull"].Run(algo.NewInDegree(T))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refNext, err := engs["pull"].Run(algo.NewInDegree(T + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ename, e := range engs {
+			res, err := e.Run(algo.NewInDegree(T))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, ename, err)
+			}
+			label := gname + "/" + ename
+			compareNonSinks(t, g, label, res.Values, ref.Values, 1, 1e-9)
+			if ename == "mixen" {
+				compareSinks(t, g, label, res.Values, refNext.Values, 1, 1e-9)
+			} else {
+				compareSinks(t, g, label, res.Values, ref.Values, 1, 1e-9)
+			}
+		}
+	}
+}
+
+func TestPageRankEquivalenceAtConvergence(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		engs := engines(t, g, 1)
+		prog := func() vprog.Program { return algo.NewPageRank(g, 0.85, 1e-12, 1000) }
+		ref, err := engs["pull"].Run(prog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ename, e := range engs {
+			res, err := e.Run(prog())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, ename, err)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if !relClose(res.Values[v], ref.Values[v], 1e-6) {
+					t.Fatalf("%s/%s: node %d: %v vs %v", gname, ename, v, res.Values[v], ref.Values[v])
+				}
+			}
+		}
+	}
+}
+
+func TestCFEquivalence(t *testing.T) {
+	const T = 3
+	const K = 4
+	for gname, g := range testGraphs(t) {
+		mix, err := core.New(g, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bg, err := baseline.NewBlockGAS(g, baseline.BlockGASConfig{Width: K})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engs := map[string]vprog.Engine{
+			"mixen":    mix,
+			"pull":     baseline.NewPull(g, 0),
+			"push":     baseline.NewPush(g, 0),
+			"polymer":  baseline.NewPolymer(g, 0, 4),
+			"blockgas": bg,
+		}
+		ref, err := engs["pull"].Run(algo.NewCF(g, K, T))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refNext, err := engs["pull"].Run(algo.NewCF(g, K, T+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ename, e := range engs {
+			res, err := e.Run(algo.NewCF(g, K, T))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, ename, err)
+			}
+			label := gname + "/" + ename
+			compareNonSinks(t, g, label, res.Values, ref.Values, K, 1e-9)
+			if ename == "mixen" {
+				compareSinks(t, g, label, res.Values, refNext.Values, K, 1e-9)
+			} else {
+				compareSinks(t, g, label, res.Values, ref.Values, K, 1e-9)
+			}
+		}
+	}
+}
+
+func TestBFSEquivalence(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		// Pick a source with outgoing edges so the traversal is non-trivial.
+		var source uint32
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.OutDegree(graph.Node(v)) > 0 {
+				source = uint32(v)
+				break
+			}
+		}
+		engs := engines(t, g, 1)
+		ref, err := algo.RunBFS(engs["pull"], g, source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ename, e := range engs {
+			res, err := algo.RunBFS(e, g, source)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, ename, err)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				a, b := res.Values[v], ref.Values[v]
+				if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+					t.Fatalf("%s/%s: level[%d] = %v, want %v", gname, ename, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The push engine's native frontier BFS must agree with its own tropical
+// vertex-program BFS.
+func TestFrontierMatchesTropical(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	push := baseline.NewPush(g, 0)
+	frontier, err := push.RunFrontierBFS(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tropical, err := push.Run(algo.NewBFS(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		a, b := frontier.Values[v], tropical.Values[v]
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("level[%d]: frontier %v vs tropical %v", v, a, b)
+		}
+	}
+}
+
+// Property: Mixen and Pull agree on InDegree over arbitrary random graphs
+// (non-sink nodes at T, sinks at T vs T+1) — a randomized complement to
+// the fixed-graph equivalence suites above.
+func TestPropertyMixenMatchesPull(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		edges := make([]graph.Edge, rng.Intn(500))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		const T = 3
+		mix, err := core.New(g, core.Config{Side: 1 + rng.Intn(n)})
+		if err != nil {
+			return false
+		}
+		pull := baseline.NewPull(g, 0)
+		mres, err := mix.Run(algo.NewInDegree(T))
+		if err != nil {
+			return false
+		}
+		pres, err := pull.Run(algo.NewInDegree(T))
+		if err != nil {
+			return false
+		}
+		pnext, err := pull.Run(algo.NewInDegree(T + 1))
+		if err != nil {
+			return false
+		}
+		cls := analyze.Classify(g)
+		for v := 0; v < n; v++ {
+			want := pres.Values[v]
+			if cls.Class[v] == analyze.Sink {
+				want = pnext.Values[v]
+			}
+			if !relClose(mres.Values[v], want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= tol*scale
+}

@@ -1,0 +1,100 @@
+package algo
+
+import (
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// LabelPropagation runs synchronous community detection over the
+// undirected view of g: every node starts in its own community and each
+// round adopts the most frequent label among its neighbours (ties broken
+// toward the smallest label, which makes the algorithm deterministic).
+// Iteration stops when no label changes or after maxIters rounds.
+//
+// Each node also casts one vote for its own current label, which breaks
+// the two-node oscillation synchronous LPA is prone to; together with the
+// deterministic tie-break and the iteration cap this bounds the run, and
+// the returned round count lets callers detect non-convergence.
+func LabelPropagation(g *graph.Graph, maxIters int) (labels []uint32, rounds int) {
+	n := g.NumNodes()
+	labels = make([]uint32, n)
+	for v := range labels {
+		labels[v] = uint32(v)
+	}
+	if n == 0 || maxIters <= 0 {
+		return labels, 0
+	}
+	next := make([]uint32, n)
+	changedPartial := make([]bool, sched.DefaultThreads())
+	for rounds = 0; rounds < maxIters; rounds++ {
+		for i := range changedPartial {
+			changedPartial[i] = false
+		}
+		sched.ForStatic(n, 0, func(worker, lo, hi int) {
+			counts := map[uint32]int{}
+			changed := false
+			for v := lo; v < hi; v++ {
+				for k := range counts {
+					delete(counts, k)
+				}
+				counts[labels[v]]++ // self-vote
+				// One vote per distinct undirected neighbour: merge the two
+				// sorted adjacency lists, skipping duplicates and self-loops.
+				out := g.OutNeighbors(graph.Node(v))
+				in := g.InNeighbors(graph.Node(v))
+				i, j := 0, 0
+				var prev int64 = -1
+				for i < len(out) || j < len(in) {
+					var u graph.Node
+					switch {
+					case i >= len(out):
+						u = in[j]
+						j++
+					case j >= len(in) || out[i] <= in[j]:
+						u = out[i]
+						i++
+					default:
+						u = in[j]
+						j++
+					}
+					if int64(u) == prev || int(u) == v {
+						continue
+					}
+					prev = int64(u)
+					counts[labels[u]]++
+				}
+				best := labels[v]
+				bestCount := counts[best]
+				for label, c := range counts {
+					if c > bestCount || (c == bestCount && label < best) {
+						best = label
+						bestCount = c
+					}
+				}
+				next[v] = best
+				if best != labels[v] {
+					changed = true
+				}
+			}
+			changedPartial[worker] = changed
+		})
+		labels, next = next, labels
+		any := false
+		for _, c := range changedPartial {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	return labels, rounds
+}
+
+// CommunitySizes tallies label frequencies.
+func CommunitySizes(labels []uint32) map[uint32]int {
+	sizes := make(map[uint32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}

@@ -1,0 +1,109 @@
+package algo
+
+import (
+	"testing"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+// twoCliques builds two K4 cliques joined by a single bridge edge.
+func twoCliques(t *testing.T) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	addClique := func(base int) {
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				if a != b {
+					edges = append(edges, graph.Edge{Src: graph.Node(base + a), Dst: graph.Node(base + b)})
+				}
+			}
+		}
+	}
+	addClique(0)
+	addClique(4)
+	edges = append(edges, graph.Edge{Src: 3, Dst: 4}, graph.Edge{Src: 4, Dst: 3})
+	g, err := graph.FromEdges(8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLPASeparatesCliques(t *testing.T) {
+	g := twoCliques(t)
+	labels, rounds := LabelPropagation(g, 50)
+	if rounds == 0 {
+		t.Fatal("LPA did not iterate")
+	}
+	// Nodes 0-3 share one label, 4-7 another, and the two differ.
+	for v := 1; v < 4; v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique A split: labels %v", labels)
+		}
+	}
+	for v := 5; v < 8; v++ {
+		if labels[v] != labels[4] {
+			t.Fatalf("clique B split: labels %v", labels)
+		}
+	}
+	if labels[0] == labels[4] {
+		t.Fatalf("cliques merged: labels %v", labels)
+	}
+	sizes := CommunitySizes(labels)
+	if len(sizes) != 2 {
+		t.Fatalf("communities = %d, want 2", len(sizes))
+	}
+}
+
+func TestLPAIsolatedKeepsOwnLabel(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _ := LabelPropagation(g, 10)
+	if labels[2] != 2 {
+		t.Fatalf("isolated node label = %d, want 2", labels[2])
+	}
+	if labels[0] != labels[1] {
+		t.Fatal("connected pair must share a label")
+	}
+}
+
+func TestLPADeterministic(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := LabelPropagation(g, 20)
+	b, _ := LabelPropagation(g, 20)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic label at %d", v)
+		}
+	}
+}
+
+func TestLPAZeroIters(t *testing.T) {
+	g := twoCliques(t)
+	labels, rounds := LabelPropagation(g, 0)
+	if rounds != 0 {
+		t.Fatal("zero max iters must not iterate")
+	}
+	for v, l := range labels {
+		if l != uint32(v) {
+			t.Fatal("labels must stay initial")
+		}
+	}
+}
+
+func TestLPAEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, rounds := LabelPropagation(g, 5)
+	if len(labels) != 0 || rounds != 0 {
+		t.Fatal("empty graph must yield empty labels")
+	}
+}

@@ -1,0 +1,273 @@
+package algo
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// Single-source shortest paths over the weighted substrate — the natural
+// tropical-ring extension of the BFS program (the per-node Scale offset
+// becomes a per-edge weight). Three implementations with one contract:
+// dist[v] is the minimum weighted distance from source, +Inf when
+// unreachable.
+
+// SSSPBellmanFord computes shortest paths by parallel label-correcting
+// rounds: each round every node pulls min(dist[u] + w(u,v)) over its
+// in-edges; iteration stops when no label improves. O(n·m) worst case but
+// embarrassingly parallel per round, the same execution pattern as the
+// link-analysis engines' pulling flow.
+func SSSPBellmanFord(w *graph.Weighted, source uint32, threads int) ([]float64, error) {
+	n := w.NumNodes()
+	if int(source) >= n {
+		return nil, fmt.Errorf("algo: sssp source %d out of range n=%d", source, n)
+	}
+	if err := checkNonNegative(w); err != nil {
+		return nil, err
+	}
+	dist := make([]float64, n)
+	next := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	copy(next, dist)
+	changedPartial := make([]bool, maxInt(threads, sched.DefaultThreads()))
+	for round := 0; round < n; round++ {
+		for i := range changedPartial {
+			changedPartial[i] = false
+		}
+		sched.ForStatic(n, threads, func(worker, lo, hi int) {
+			changed := false
+			for v := lo; v < hi; v++ {
+				best := dist[v]
+				row := w.InIdx[w.InPtr[v]:w.InPtr[v+1]]
+				rowW := w.InW[w.InPtr[v]:w.InPtr[v+1]]
+				for i, u := range row {
+					if d := dist[u] + rowW[i]; d < best {
+						best = d
+					}
+				}
+				if best < dist[v] {
+					changed = true
+				}
+				next[v] = best
+			}
+			changedPartial[worker] = changed
+		})
+		dist, next = next, dist
+		any := false
+		for _, c := range changedPartial {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+	return dist, nil
+}
+
+// SSSPDijkstra is the serial reference implementation (binary heap),
+// used to cross-check the parallel algorithms.
+func SSSPDijkstra(w *graph.Weighted, source uint32) ([]float64, error) {
+	n := w.NumNodes()
+	if int(source) >= n {
+		return nil, fmt.Errorf("algo: sssp source %d out of range n=%d", source, n)
+	}
+	if err := checkNonNegative(w); err != nil {
+		return nil, err
+	}
+	dist := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	pq := &distHeap{{graph.Node(source), 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		row := w.OutNeighbors(it.v)
+		rowW := w.OutWeights(it.v)
+		for i, u := range row {
+			if d := it.d + rowW[i]; d < dist[u] {
+				dist[u] = d
+				heap.Push(pq, distItem{u, d})
+			}
+		}
+	}
+	return dist, nil
+}
+
+type distItem struct {
+	v graph.Node
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SSSPDeltaStepping implements Meyer & Sanders' Δ-stepping: distances are
+// settled bucket by bucket of width delta, with light edges (< delta)
+// relaxed iteratively inside the bucket and heavy edges once on bucket
+// completion. delta <= 0 picks Δ = max weight / average degree, the usual
+// heuristic. Parallelism: each bucket's relaxation sweep runs across
+// workers with per-worker request buffers.
+func SSSPDeltaStepping(w *graph.Weighted, source uint32, delta float64, threads int) ([]float64, error) {
+	n := w.NumNodes()
+	if int(source) >= n {
+		return nil, fmt.Errorf("algo: sssp source %d out of range n=%d", source, n)
+	}
+	if err := checkNonNegative(w); err != nil {
+		return nil, err
+	}
+	if delta <= 0 {
+		var maxW float64
+		for _, x := range w.OutW {
+			if x > maxW {
+				maxW = x
+			}
+		}
+		avg := w.AvgDegree()
+		if avg < 1 {
+			avg = 1
+		}
+		delta = maxW / avg
+		if delta <= 0 {
+			delta = 1
+		}
+	}
+	dist := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	buckets := map[int][]graph.Node{0: {graph.Node(source)}}
+	bucketOf := func(d float64) int { return int(d / delta) }
+	cur := 0
+	maxBucket := 0
+	for cur <= maxBucket {
+		pending, ok := buckets[cur]
+		if !ok || len(pending) == 0 {
+			cur++
+			continue
+		}
+		delete(buckets, cur)
+		var settled []graph.Node
+		// Light-edge phase: re-relax inside the bucket until it drains.
+		for len(pending) > 0 {
+			settled = append(settled, pending...)
+			requests := relaxBatch(w, pending, dist, delta, true, threads)
+			pending = pending[:0]
+			for _, rq := range requests {
+				if rq.d < dist[rq.v] {
+					dist[rq.v] = rq.d
+					b := bucketOf(rq.d)
+					if b > maxBucket {
+						maxBucket = b
+					}
+					if b == cur {
+						pending = append(pending, rq.v)
+					} else {
+						buckets[b] = append(buckets[b], rq.v)
+					}
+				}
+			}
+		}
+		// Heavy-edge phase: one pass over everything settled in the bucket.
+		for _, rq := range relaxBatch(w, settled, dist, delta, false, threads) {
+			if rq.d < dist[rq.v] {
+				dist[rq.v] = rq.d
+				b := bucketOf(rq.d)
+				if b > maxBucket {
+					maxBucket = b
+				}
+				buckets[b] = append(buckets[b], rq.v)
+			}
+		}
+		cur++
+	}
+	return dist, nil
+}
+
+type relaxRequest struct {
+	v graph.Node
+	d float64
+}
+
+// relaxBatch generates relaxation requests for the out-edges of the given
+// nodes, filtered to light (< delta) or heavy edges. Requests are produced
+// in per-worker buffers and concatenated; the (serial) applier resolves
+// duplicates by taking minima, so no atomics are needed.
+func relaxBatch(w *graph.Weighted, nodes []graph.Node, dist []float64, delta float64, light bool, threads int) []relaxRequest {
+	if len(nodes) == 0 {
+		return nil
+	}
+	workers := threads
+	if workers <= 0 {
+		workers = sched.DefaultThreads()
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	buckets := make([][]relaxRequest, workers)
+	sched.ForStatic(len(nodes), workers, func(worker, lo, hi int) {
+		var out []relaxRequest
+		for i := lo; i < hi; i++ {
+			u := nodes[i]
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			row := w.OutNeighbors(u)
+			rowW := w.OutWeights(u)
+			for k, v := range row {
+				isLight := rowW[k] < delta
+				if isLight != light {
+					continue
+				}
+				out = append(out, relaxRequest{v, du + rowW[k]})
+			}
+		}
+		buckets[worker] = out
+	})
+	var all []relaxRequest
+	for _, b := range buckets {
+		all = append(all, b...)
+	}
+	return all
+}
+
+func checkNonNegative(w *graph.Weighted) error {
+	for _, x := range w.OutW {
+		if x < 0 || math.IsNaN(x) {
+			return fmt.Errorf("algo: sssp requires non-negative weights, found %v", x)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

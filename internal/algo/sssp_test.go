@@ -1,0 +1,252 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+// diamond: 0->1 (1), 0->2 (4), 1->2 (2), 2->3 (1), 1->3 (10)
+func diamond(t *testing.T) *graph.Weighted {
+	t.Helper()
+	w, err := graph.WeightedFromEdges(4, []graph.WEdge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 0, Dst: 2, W: 4},
+		{Src: 1, Dst: 2, W: 2},
+		{Src: 2, Dst: 3, W: 1},
+		{Src: 1, Dst: 3, W: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	w := diamond(t)
+	dist, err := SSSPDijkstra(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 4}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %v, want %v", v, dist[v], d)
+		}
+	}
+}
+
+func TestBellmanFordDiamond(t *testing.T) {
+	w := diamond(t)
+	dist, err := SSSPBellmanFord(w, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 4}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %v, want %v", v, dist[v], d)
+		}
+	}
+}
+
+func TestDeltaSteppingDiamond(t *testing.T) {
+	w := diamond(t)
+	for _, delta := range []float64{0, 0.5, 1, 3, 100} {
+		dist, err := SSSPDeltaStepping(w, 0, delta, 2)
+		if err != nil {
+			t.Fatalf("delta=%v: %v", delta, err)
+		}
+		want := []float64{0, 1, 3, 4}
+		for v, d := range want {
+			if dist[v] != d {
+				t.Errorf("delta=%v: dist[%d] = %v, want %v", delta, v, dist[v], d)
+			}
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	w, err := graph.WeightedFromEdges(3, []graph.WEdge{{Src: 0, Dst: 1, W: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SSSPDijkstra(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("dist[2] = %v, want +Inf", dist[2])
+	}
+}
+
+func TestSSSPErrors(t *testing.T) {
+	w := diamond(t)
+	if _, err := SSSPDijkstra(w, 99); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := SSSPBellmanFord(w, 99, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := SSSPDeltaStepping(w, 99, 1, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	neg, err := graph.WeightedFromEdges(2, []graph.WEdge{{Src: 0, Dst: 1, W: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SSSPDijkstra(neg, 0); err == nil {
+		t.Error("expected negative-weight error")
+	}
+	if _, err := SSSPBellmanFord(neg, 0, 1); err == nil {
+		t.Error("expected negative-weight error")
+	}
+	if _, err := SSSPDeltaStepping(neg, 0, 1, 1); err == nil {
+		t.Error("expected negative-weight error")
+	}
+}
+
+// Property: all three algorithms agree on random weighted graphs.
+func TestPropertySSSPAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := rng.Intn(200)
+		edges := make([]graph.WEdge, m)
+		for i := range edges {
+			edges[i] = graph.WEdge{
+				Src: graph.Node(rng.Intn(n)),
+				Dst: graph.Node(rng.Intn(n)),
+				W:   rng.Float64() * 10,
+			}
+		}
+		w, err := graph.WeightedFromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		src := uint32(rng.Intn(n))
+		dj, err := SSSPDijkstra(w, src)
+		if err != nil {
+			return false
+		}
+		bf, err := SSSPBellmanFord(w, src, 2)
+		if err != nil {
+			return false
+		}
+		ds, err := SSSPDeltaStepping(w, src, 0, 2)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if !distEq(dj[v], bf[v]) || !distEq(dj[v], ds[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with unit weights SSSP equals BFS levels.
+func TestPropertySSSPUnitWeightsEqualBFS(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		edges := make([]graph.Edge, rng.Intn(150))
+		wedges := make([]graph.WEdge, len(edges))
+		for i := range edges {
+			e := graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+			edges[i] = e
+			wedges[i] = graph.WEdge{Src: e.Src, Dst: e.Dst, W: 1}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		w, err := graph.WeightedFromEdges(n, wedges)
+		if err != nil {
+			return false
+		}
+		src := uint32(rng.Intn(n))
+		dist, err := SSSPDijkstra(w, src)
+		if err != nil {
+			return false
+		}
+		// BFS via the tiny serial reference: levels from the unweighted graph.
+		levels := serialBFS(g, src)
+		for v := 0; v < n; v++ {
+			if !distEq(dist[v], levels[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func serialBFS(g *graph.Graph, src uint32) []float64 {
+	n := g.NumNodes()
+	levels := make([]float64, n)
+	for i := range levels {
+		levels[i] = math.Inf(1)
+	}
+	levels[src] = 0
+	queue := []graph.Node{graph.Node(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if math.IsInf(levels[v], 1) {
+				levels[v] = levels[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return levels
+}
+
+func TestSSSPOnGeneratedGraph(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(9, 8, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := graph.RandomWeights(g, 1, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ValidateWeighted(); err != nil {
+		t.Fatal(err)
+	}
+	dj, err := SSSPDijkstra(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := SSSPDeltaStepping(w, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range dj {
+		if !distEq(dj[v], ds[v]) {
+			t.Fatalf("dist[%d]: dijkstra %v, delta-stepping %v", v, dj[v], ds[v])
+		}
+	}
+}
+
+func distEq(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+math.Abs(a))
+}

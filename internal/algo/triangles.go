@@ -1,0 +1,204 @@
+package algo
+
+import (
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// CountTriangles counts the triangles of the undirected view of g (each
+// unordered node triple with all three connections counted once), using
+// the standard rank-ordered adjacency intersection: orient every edge from
+// the lower-degree endpoint to the higher (ties by id), then for each
+// oriented edge (u,v) intersect the oriented neighbour lists of u and v.
+// Parallel over nodes; sorted lists make each intersection a linear merge.
+func CountTriangles(g *graph.Graph, threads int) int64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	// Undirected degree = in + out (parallel edges collapse below).
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.Node(v)) + g.InDegree(graph.Node(v))
+	}
+	rankLess := func(a, b graph.Node) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	}
+	// Build deduplicated, rank-oriented adjacency lists (u -> w with u
+	// lower-ranked), sorted by id.
+	oriented := make([][]graph.Node, n)
+	sched.For(n, threads, 64, func(u int) {
+		var row []graph.Node
+		appendIf := func(w graph.Node) {
+			if w != graph.Node(u) && rankLess(graph.Node(u), w) {
+				row = append(row, w)
+			}
+		}
+		for _, w := range g.OutNeighbors(graph.Node(u)) {
+			appendIf(w)
+		}
+		for _, w := range g.InNeighbors(graph.Node(u)) {
+			appendIf(w)
+		}
+		row = sortDedup(row)
+		oriented[u] = row
+	})
+	// Count: for each u, for each pair (v, w) with v,w in oriented[u] and
+	// w in oriented[v].
+	total := sched.SumFloat64(n, threads, func(u int) float64 {
+		var c int64
+		row := oriented[u]
+		for _, v := range row {
+			c += intersectCount(row, oriented[v])
+		}
+		return float64(c)
+	})
+	return int64(total)
+}
+
+func sortDedup(row []graph.Node) []graph.Node {
+	if len(row) < 2 {
+		return row
+	}
+	quickSortNodes(row)
+	out := row[:1]
+	for _, v := range row[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func quickSortNodes(a []graph.Node) {
+	for len(a) > 16 {
+		p := a[len(a)/2]
+		i, j := 0, len(a)-1
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j < len(a)-i {
+			quickSortNodes(a[:j+1])
+			a = a[i:]
+		} else {
+			quickSortNodes(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// intersectCount counts common elements of two sorted slices.
+func intersectCount(a, b []graph.Node) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// KCore computes the core number of every node in the undirected view of
+// g: the largest k such that the node belongs to a subgraph where every
+// node has degree ≥ k. Implemented as the classic O(m) peeling
+// (Batagelj–Zaveršnik bucket queue); peeling is inherently sequential in
+// rounds, so this is the serial reference used by the library.
+func KCore(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	// Deduplicated undirected adjacency.
+	adj := make([][]graph.Node, n)
+	sched.For(n, 0, 64, func(u int) {
+		var row []graph.Node
+		for _, w := range g.OutNeighbors(graph.Node(u)) {
+			if w != graph.Node(u) {
+				row = append(row, w)
+			}
+		}
+		for _, w := range g.InNeighbors(graph.Node(u)) {
+			if w != graph.Node(u) {
+				row = append(row, w)
+			}
+		}
+		adj[u] = sortDedup(row)
+	})
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(len(adj[v]))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort nodes by degree.
+	binStart := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		binStart[deg[v]+1]++
+	}
+	for d := int32(0); d <= maxDeg; d++ {
+		binStart[d+1] += binStart[d]
+	}
+	pos := make([]int32, n)  // node -> position in vert
+	vert := make([]int32, n) // sorted node order
+	cursor := append([]int32(nil), binStart...)
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		vert[pos[v]] = int32(v)
+		cursor[deg[v]]++
+	}
+	// Peel in degree order.
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u := range adj[v] {
+			if deg[u] > deg[v] {
+				// Move u one bucket down: swap with the first node of its
+				// current bucket.
+				du := deg[u]
+				pu := pos[u]
+				pw := binStart[du]
+				w := vert[pw]
+				if u != graph.Node(w) {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, int32(u)
+				}
+				binStart[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}

@@ -1,0 +1,263 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func undirected(t testing.TB, n int, pairs [][2]graph.Node) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for _, p := range pairs {
+		edges = append(edges,
+			graph.Edge{Src: p[0], Dst: p[1]},
+			graph.Edge{Src: p[1], Dst: p[0]})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrianglesTriangle(t *testing.T) {
+	g := undirected(t, 3, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}})
+	if got := CountTriangles(g, 2); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+func TestTrianglesK4(t *testing.T) {
+	// Complete graph on 4 nodes: C(4,3) = 4 triangles.
+	g := undirected(t, 4, [][2]graph.Node{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := CountTriangles(g, 2); got != 4 {
+		t.Fatalf("triangles = %d, want 4", got)
+	}
+}
+
+func TestTrianglesNone(t *testing.T) {
+	// A path and a star have no triangles.
+	path := undirected(t, 4, [][2]graph.Node{{0, 1}, {1, 2}, {2, 3}})
+	if got := CountTriangles(path, 2); got != 0 {
+		t.Fatalf("path triangles = %d, want 0", got)
+	}
+	star := undirected(t, 5, [][2]graph.Node{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if got := CountTriangles(star, 2); got != 0 {
+		t.Fatalf("star triangles = %d, want 0", got)
+	}
+}
+
+func TestTrianglesDirectedEdgeCounts(t *testing.T) {
+	// A one-directional triangle still forms one undirected triangle.
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountTriangles(g, 2); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+func TestTrianglesSelfLoopsIgnored(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 0}, {Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountTriangles(g, 2); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+// bruteTriangles counts triangles in O(n^3) as the test oracle.
+func bruteTriangles(g *graph.Graph) int64 {
+	n := g.NumNodes()
+	connected := func(a, b int) bool {
+		return a != b && (g.HasEdge(graph.Node(a), graph.Node(b)) || g.HasEdge(graph.Node(b), graph.Node(a)))
+	}
+	var c int64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !connected(a, b) {
+				continue
+			}
+			for d := b + 1; d < n; d++ {
+				if connected(a, d) && connected(b, d) {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestPropertyTrianglesMatchBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		edges := make([]graph.Edge, rng.Intn(80))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		return CountTriangles(g, 2) == bruteTriangles(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 0: cores 2,2,2,1; isolated 4.
+	g := undirected(t, 5, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	core := KCore(g)
+	want := []int32{2, 2, 2, 1, 0}
+	for v, w := range want {
+		if core[v] != w {
+			t.Errorf("core[%d] = %d, want %d", v, core[v], w)
+		}
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	// K5: every node has core 4.
+	var pairs [][2]graph.Node
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			pairs = append(pairs, [2]graph.Node{graph.Node(a), graph.Node(b)})
+		}
+	}
+	g := undirected(t, 5, pairs)
+	for v, c := range KCore(g) {
+		if c != 4 {
+			t.Fatalf("core[%d] = %d, want 4", v, c)
+		}
+	}
+}
+
+// bruteKCore repeatedly strips nodes of degree < k.
+func bruteKCore(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	adjSet := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		adjSet[u] = map[int]bool{}
+		for _, w := range g.OutNeighbors(graph.Node(u)) {
+			if int(w) != u {
+				adjSet[u][int(w)] = true
+			}
+		}
+		for _, w := range g.InNeighbors(graph.Node(u)) {
+			if int(w) != u {
+				adjSet[u][int(w)] = true
+			}
+		}
+	}
+	core := make([]int32, n)
+	alive := make([]bool, n)
+	for k := int32(1); ; k++ {
+		for v := range alive {
+			alive[v] = true
+		}
+		// strip nodes with < k live neighbours until stable
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if !alive[v] {
+					continue
+				}
+				d := 0
+				for w := range adjSet[v] {
+					if alive[w] {
+						d++
+					}
+				}
+				if d < int(k) {
+					alive[v] = false
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		any := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestPropertyKCoreMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		edges := make([]graph.Edge, rng.Intn(60))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		got := KCore(g)
+		want := bruteKCore(g)
+		for v := range got {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrianglesAndKCoreOnGenerated(t *testing.T) {
+	g, err := gen.Kronecker(9, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := CountTriangles(g, 0)
+	if tri <= 0 {
+		t.Fatal("power-law graphs have triangles")
+	}
+	core := KCore(g)
+	maxCore := int32(0)
+	for _, c := range core {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	if maxCore < 2 {
+		t.Fatalf("max core = %d, expected a dense core", maxCore)
+	}
+}
+
+func TestKCoreEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(KCore(g)) != 0 {
+		t.Fatal("empty graph yields empty cores")
+	}
+	if CountTriangles(g, 1) != 0 {
+		t.Fatal("empty graph has no triangles")
+	}
+}

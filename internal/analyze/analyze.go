@@ -1,0 +1,169 @@
+// Package analyze implements the paper's connectivity analysis (Section
+// 2.1): classification of nodes into regular / seed / sink / isolated by
+// the direction of their links, hub identification (in-degree above the
+// graph average), and the structural statistics reported in Tables 1 and 2.
+package analyze
+
+import (
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// NodeClass is one of the four connectivity classes of Section 2.1.
+type NodeClass uint8
+
+const (
+	// Regular nodes have both incoming and outgoing links.
+	Regular NodeClass = iota
+	// Seed nodes have only outgoing links (called "source" elsewhere; the
+	// paper renames them to avoid clashing with message-direction jargon).
+	Seed
+	// Sink nodes have only incoming links.
+	Sink
+	// Isolated nodes have no links at all.
+	Isolated
+)
+
+// String returns the class name.
+func (c NodeClass) String() string {
+	switch c {
+	case Regular:
+		return "regular"
+	case Seed:
+		return "seed"
+	case Sink:
+		return "sink"
+	case Isolated:
+		return "isolated"
+	default:
+		return "invalid"
+	}
+}
+
+// ClassOf classifies a single node from its degrees.
+func ClassOf(in, out int64) NodeClass {
+	switch {
+	case in > 0 && out > 0:
+		return Regular
+	case out > 0:
+		return Seed
+	case in > 0:
+		return Sink
+	default:
+		return Isolated
+	}
+}
+
+// Classification is the per-node class assignment plus aggregate counts.
+type Classification struct {
+	Class  []NodeClass // len == n
+	Counts [4]int      // indexed by NodeClass
+}
+
+// Classify computes the class of every node in parallel.
+func Classify(g *graph.Graph) *Classification {
+	n := g.NumNodes()
+	c := &Classification{Class: make([]NodeClass, n)}
+	partial := make([][4]int, sched.DefaultThreads())
+	sched.ForStatic(n, 0, func(worker, lo, hi int) {
+		var counts [4]int
+		for v := lo; v < hi; v++ {
+			cl := ClassOf(g.InDegree(graph.Node(v)), g.OutDegree(graph.Node(v)))
+			c.Class[v] = cl
+			counts[cl]++
+		}
+		partial[worker] = counts
+	})
+	for _, p := range partial {
+		for i := range c.Counts {
+			c.Counts[i] += p[i]
+		}
+	}
+	return c
+}
+
+// Fraction returns the share of nodes in the given class, in [0, 1].
+func (c *Classification) Fraction(cl NodeClass) float64 {
+	if len(c.Class) == 0 {
+		return 0
+	}
+	return float64(c.Counts[cl]) / float64(len(c.Class))
+}
+
+// HubThreshold returns the paper's hub cut-off: the average degree m/n.
+// A node is a hub when its in-degree strictly exceeds this value.
+func HubThreshold(g *graph.Graph) float64 { return g.AvgDegree() }
+
+// IsHub reports whether v is a hub of g.
+func IsHub(g *graph.Graph, v graph.Node) bool {
+	return float64(g.InDegree(v)) > HubThreshold(g)
+}
+
+// Stats aggregates the structural characteristics reported in Tables 1 and
+// 2 of the paper.
+type Stats struct {
+	N int   // node count
+	M int64 // edge count
+
+	VHub float64 // fraction of nodes that are hubs (in-degree > avg)
+	EHub float64 // fraction of edges whose destination is a hub
+
+	RegularFrac  float64
+	SeedFrac     float64
+	SinkFrac     float64
+	IsolatedFrac float64
+
+	Alpha float64 // r/n: regular nodes over all nodes (paper's α)
+	Beta  float64 // m̃/m: edges inside the regular submatrix over all edges (β)
+}
+
+// Compute derives the full statistics block for g.
+func Compute(g *graph.Graph) Stats {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	cls := Classify(g)
+	s := Stats{
+		N:            n,
+		M:            m,
+		RegularFrac:  cls.Fraction(Regular),
+		SeedFrac:     cls.Fraction(Seed),
+		SinkFrac:     cls.Fraction(Sink),
+		IsolatedFrac: cls.Fraction(Isolated),
+	}
+	s.Alpha = s.RegularFrac
+	if n == 0 {
+		return s
+	}
+	threshold := HubThreshold(g)
+
+	hubNodes := sched.CountIf(n, 0, func(v int) bool {
+		return float64(g.InDegree(graph.Node(v))) > threshold
+	})
+	s.VHub = float64(hubNodes) / float64(n)
+
+	if m > 0 {
+		hubEdges := sched.SumFloat64(n, 0, func(v int) float64 {
+			if float64(g.InDegree(graph.Node(v))) > threshold {
+				return float64(g.InDegree(graph.Node(v)))
+			}
+			return 0
+		})
+		s.EHub = hubEdges / float64(m)
+
+		// β: edges whose source and destination are both regular.
+		regEdges := sched.SumFloat64(n, 0, func(u int) float64 {
+			if cls.Class[u] != Regular {
+				return 0
+			}
+			var c float64
+			for _, v := range g.OutNeighbors(graph.Node(u)) {
+				if cls.Class[v] == Regular {
+					c++
+				}
+			}
+			return c
+		})
+		s.Beta = regEdges / float64(m)
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package analyze
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/graph"
+)
+
+// tiny graph: 0->1, 0->2, 1->2, 2->0, 3->2, 5->4
+// classes: 0 regular, 1 regular, 2 regular, 3 seed, 4 sink, 5 seed
+func tiny(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 2}, {Src: 5, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		in, out int64
+		want    NodeClass
+	}{
+		{1, 1, Regular}, {5, 3, Regular},
+		{0, 1, Seed}, {0, 9, Seed},
+		{1, 0, Sink}, {7, 0, Sink},
+		{0, 0, Isolated},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.in, c.out); got != c.want {
+			t.Errorf("ClassOf(%d,%d) = %v, want %v", c.in, c.out, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[NodeClass]string{Regular: "regular", Seed: "seed", Sink: "sink", Isolated: "isolated", NodeClass(9): "invalid"}
+	for cl, want := range names {
+		if cl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cl, cl.String(), want)
+		}
+	}
+}
+
+func TestClassifyTiny(t *testing.T) {
+	g := tiny(t)
+	c := Classify(g)
+	want := []NodeClass{Regular, Regular, Regular, Seed, Sink, Seed}
+	for v, w := range want {
+		if c.Class[v] != w {
+			t.Errorf("node %d classified %v, want %v", v, c.Class[v], w)
+		}
+	}
+	if c.Counts[Regular] != 3 || c.Counts[Seed] != 2 || c.Counts[Sink] != 1 || c.Counts[Isolated] != 0 {
+		t.Fatalf("counts = %v", c.Counts)
+	}
+}
+
+func TestClassifyIsolated(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(g)
+	if c.Class[2] != Isolated || c.Class[3] != Isolated {
+		t.Fatal("expected nodes 2,3 isolated")
+	}
+	if c.Counts[Isolated] != 2 {
+		t.Fatalf("isolated count = %d, want 2", c.Counts[Isolated])
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		edges := make([]graph.Edge, rng.Intn(300))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		c := Classify(g)
+		total := c.Counts[0] + c.Counts[1] + c.Counts[2] + c.Counts[3]
+		sum := c.Fraction(Regular) + c.Fraction(Seed) + c.Fraction(Sink) + c.Fraction(Isolated)
+		return total == n && sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubDetection(t *testing.T) {
+	g := tiny(t)
+	// avg degree = 6/6 = 1; node 2 has in-degree 3 -> hub; node 0,1,4 have
+	// in-degree 1 -> not hubs (strict inequality).
+	if !IsHub(g, 2) {
+		t.Fatal("node 2 must be a hub")
+	}
+	for _, v := range []graph.Node{0, 1, 3, 4, 5} {
+		if IsHub(g, v) {
+			t.Errorf("node %d must not be a hub", v)
+		}
+	}
+}
+
+func TestComputeTiny(t *testing.T) {
+	g := tiny(t)
+	s := Compute(g)
+	if s.N != 6 || s.M != 6 {
+		t.Fatalf("sizes n=%d m=%d", s.N, s.M)
+	}
+	if !close(s.Alpha, 0.5) {
+		t.Errorf("alpha = %v, want 0.5", s.Alpha)
+	}
+	// Regular submatrix edges: 0->1, 0->2, 1->2, 2->0 = 4 of 6.
+	if !close(s.Beta, 4.0/6.0) {
+		t.Errorf("beta = %v, want 2/3", s.Beta)
+	}
+	if !close(s.VHub, 1.0/6.0) {
+		t.Errorf("vhub = %v, want 1/6", s.VHub)
+	}
+	// Hub node 2 receives 3 of 6 edges.
+	if !close(s.EHub, 0.5) {
+		t.Errorf("ehub = %v, want 0.5", s.EHub)
+	}
+	if !close(s.RegularFrac+s.SeedFrac+s.SinkFrac+s.IsolatedFrac, 1) {
+		t.Error("class fractions must sum to 1")
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Compute(g)
+	if s.N != 0 || s.M != 0 || s.Alpha != 0 || s.Beta != 0 {
+		t.Fatalf("empty graph stats = %+v", s)
+	}
+}
+
+func TestComputeNoEdges(t *testing.T) {
+	g, err := graph.FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Compute(g)
+	if s.IsolatedFrac != 1 {
+		t.Fatalf("isolated frac = %v, want 1", s.IsolatedFrac)
+	}
+	if s.VHub != 0 || s.EHub != 0 {
+		t.Fatal("edgeless graph cannot have hubs")
+	}
+}
+
+func TestBetaBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		edges := make([]graph.Edge, rng.Intn(200))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		s := Compute(g)
+		return s.Beta >= 0 && s.Beta <= 1 && s.Alpha >= 0 && s.Alpha <= 1 &&
+			s.VHub >= 0 && s.VHub <= 1 && s.EHub >= 0 && s.EHub <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Undirected graphs (every edge mirrored) must classify all touched nodes
+// as regular — the paper's Table 1 shows road/urand as 100% regular.
+func TestUndirectedAllRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 50
+	var edges []graph.Edge
+	for i := 0; i < 200; i++ {
+		u, v := graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n))
+		edges = append(edges, graph.Edge{Src: u, Dst: v}, graph.Edge{Src: v, Dst: u})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(g)
+	if c.Counts[Seed] != 0 || c.Counts[Sink] != 0 {
+		t.Fatalf("undirected graph has seeds=%d sinks=%d", c.Counts[Seed], c.Counts[Sink])
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,193 @@
+package analyze
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func TestInDegreeHistogramTiny(t *testing.T) {
+	g := tiny(t) // in-degrees: 1,1,3,0,1,0
+	h := InDegreeHistogram(g)
+	if h.MaxDegree != 3 {
+		t.Fatalf("max = %d, want 3", h.MaxDegree)
+	}
+	want := []int64{2, 3, 0, 1}
+	for d, c := range want {
+		if h.Counts[d] != c {
+			t.Errorf("count[%d] = %d, want %d", d, h.Counts[d], c)
+		}
+	}
+	if h.Mean != 1 {
+		t.Errorf("mean = %v, want 1", h.Mean)
+	}
+	if h.Median != 1 {
+		t.Errorf("median = %d, want 1", h.Median)
+	}
+}
+
+func TestOutDegreeHistogramTiny(t *testing.T) {
+	g := tiny(t) // out-degrees: 2,1,1,1,0,1
+	h := OutDegreeHistogram(g)
+	if h.MaxDegree != 2 || h.Counts[2] != 1 || h.Counts[0] != 1 || h.Counts[1] != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := InDegreeHistogram(g)
+	if h.MaxDegree != 0 || h.Mean != 0 {
+		t.Fatal("empty histogram must be zeroed")
+	}
+	if h.GiniCoefficient() != 0 {
+		t.Fatal("empty gini must be 0")
+	}
+}
+
+func TestGiniUniformVsSkewed(t *testing.T) {
+	// Uniform: all nodes degree 2 -> Gini near 0.
+	uniform := &DegreeHistogram{Counts: []int64{0, 0, 100}, MaxDegree: 2}
+	if g := uniform.GiniCoefficient(); g > 0.02 {
+		t.Fatalf("uniform gini = %v, want ~0", g)
+	}
+	// Extreme: one node holds all edges.
+	extreme := &DegreeHistogram{Counts: []int64{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, MaxDegree: 10}
+	if g := extreme.GiniCoefficient(); g < 0.9 {
+		t.Fatalf("extreme gini = %v, want ~1", g)
+	}
+}
+
+func TestGiniSkewedAboveNonSkewed(t *testing.T) {
+	skew, err := gen.RMAT(gen.GAPRMATConfig(11, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := gen.URand(2048, 16384, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := InDegreeHistogram(skew).GiniCoefficient()
+	gf := InDegreeHistogram(flat).GiniCoefficient()
+	if gs <= gf {
+		t.Fatalf("skewed gini %v must exceed uniform %v", gs, gf)
+	}
+}
+
+func TestPowerLawExponentOnSyntheticLaw(t *testing.T) {
+	// Construct an exact power law: count(d) = round(1e6 * d^-2.5).
+	counts := make([]int64, 200)
+	for d := 1; d < 200; d++ {
+		counts[d] = int64(1e6 * math.Pow(float64(d), -2.5))
+	}
+	h := &DegreeHistogram{Counts: counts, MaxDegree: 199}
+	gamma := h.PowerLawExponent(2)
+	if math.Abs(gamma-2.5) > 0.1 {
+		t.Fatalf("gamma = %v, want ~2.5", gamma)
+	}
+}
+
+func TestPowerLawExponentDegenerate(t *testing.T) {
+	h := &DegreeHistogram{Counts: []int64{5, 3}, MaxDegree: 1}
+	if !math.IsNaN(h.PowerLawExponent(2)) {
+		t.Fatal("expected NaN for too few points")
+	}
+}
+
+func TestApproxDiameterPath(t *testing.T) {
+	// Directed path 0 -> 1 -> 2 -> 3 -> 4, bidirected.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		edges = append(edges,
+			graph.Edge{Src: graph.Node(i), Dst: graph.Node(i + 1)},
+			graph.Edge{Src: graph.Node(i + 1), Dst: graph.Node(i)})
+	}
+	g, err := graph.FromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start in the middle: first sweep ecc=2, second from an endpoint: 4.
+	if d := ApproxDiameter(g, 2); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+}
+
+func TestApproxDiameterGrid(t *testing.T) {
+	g, err := gen.Road(gen.RoadConfig{Rows: 10, Cols: 10, Drop: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True diameter of a 10x10 grid is 18; double sweep must find >= 17.
+	if d := ApproxDiameter(g, 0); d < 17 || d > 18 {
+		t.Fatalf("diameter = %d, want 17..18", d)
+	}
+}
+
+func TestApproxDiameterOutOfRange(t *testing.T) {
+	g := tiny(t)
+	if d := ApproxDiameter(g, 99); d != 0 {
+		t.Fatalf("diameter from invalid start = %d, want 0", d)
+	}
+}
+
+func TestHistogramStringContainsStats(t *testing.T) {
+	g := tiny(t)
+	s := InDegreeHistogram(g).String()
+	if len(s) == 0 || s[0] != 'd' {
+		t.Fatalf("unexpected string %q", s)
+	}
+}
+
+// Property: histogram counts always sum to n and mean equals m/n.
+func TestPropertyHistogramTotals(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		edges := make([]graph.Edge, rng.Intn(200))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		h := InDegreeHistogram(g)
+		var total int64
+		for _, c := range h.Counts {
+			total += c
+		}
+		wantMean := float64(g.NumEdges()) / float64(n)
+		return total == int64(n) && math.Abs(h.Mean-wantMean) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gini is always within [0, 1].
+func TestPropertyGiniBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		edges := make([]graph.Edge, rng.Intn(150))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		gi := InDegreeHistogram(g).GiniCoefficient()
+		return gi >= -1e-9 && gi <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func tiny(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 2}, {Src: 5, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPullInDegreeOneIteration(t *testing.T) {
+	g := tiny(t)
+	e := NewPull(g, 2)
+	res, err := e.Run(algo.NewInDegree(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 3, 1, 1, 1}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Errorf("pull node %d = %v, want %v", v, res.Values[v], w)
+		}
+	}
+}
+
+func TestPushInDegreeOneIteration(t *testing.T) {
+	g := tiny(t)
+	e := NewPush(g, 4)
+	res, err := e.Run(algo.NewInDegree(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 3, 1, 1, 1}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Errorf("push node %d = %v, want %v", v, res.Values[v], w)
+		}
+	}
+}
+
+func TestPolymerInDegreeOneIteration(t *testing.T) {
+	g := tiny(t)
+	e := NewPolymer(g, 2, 3)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(algo.NewInDegree(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 3, 1, 1, 1}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Errorf("polymer node %d = %v, want %v", v, res.Values[v], w)
+		}
+	}
+}
+
+func TestBlockGASInDegreeOneIteration(t *testing.T) {
+	g := tiny(t)
+	e, err := NewBlockGAS(g, BlockGASConfig{Side: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(algo.NewInDegree(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 3, 1, 1, 1}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Errorf("blockgas node %d = %v, want %v", v, res.Values[v], w)
+		}
+	}
+}
+
+func TestBlockGASWidthMismatch(t *testing.T) {
+	g := tiny(t)
+	e, err := NewBlockGAS(g, BlockGASConfig{Side: 2, Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(algo.NewCF(g, 4, 1)); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	g := tiny(t)
+	bg, err := NewBlockGAS(g, BlockGASConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]string{
+		NewPull(g, 0).Name():       "pull",
+		NewPush(g, 0).Name():       "push",
+		NewPolymer(g, 0, 0).Name(): "polymer",
+		bg.Name():                  "blockgas",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("name %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAtomicAddConcurrent(t *testing.T) {
+	var x float64
+	done := make(chan struct{})
+	const workers, reps = 8, 1000
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < reps; i++ {
+				atomicAdd(&x, 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if x != workers*reps {
+		t.Fatalf("atomicAdd lost updates: %v", x)
+	}
+}
+
+func TestAtomicMinConcurrent(t *testing.T) {
+	x := math.Inf(1)
+	done := make(chan struct{})
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 1000; i > w; i-- {
+				atomicMin(&x, float64(i))
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if x != 1 {
+		t.Fatalf("atomicMin final = %v, want 1", x)
+	}
+}
+
+func TestFrontierBFSUnreachableAndOutOfRange(t *testing.T) {
+	g := tiny(t)
+	e := NewPush(g, 2)
+	res, err := e.RunFrontierBFS(4, 0) // node 4 is a sink: nothing reachable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[4] != 0 {
+		t.Fatal("source must have level 0")
+	}
+	for v := 0; v < 6; v++ {
+		if v != 4 && !math.IsInf(res.Values[v], 1) {
+			t.Fatalf("node %d should be unreachable, got %v", v, res.Values[v])
+		}
+	}
+	res, err = e.RunFrontierBFS(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if !math.IsInf(v, 1) {
+			t.Fatal("out-of-range source must leave all nodes unreached")
+		}
+	}
+}
+
+func TestFrontierBFSLevels(t *testing.T) {
+	// Path 0->1->2->3 plus shortcut 0->2.
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPush(g, 2)
+	res, err := e.RunFrontierBFS(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1, 2}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Errorf("level[%d] = %v, want %v", v, res.Values[v], w)
+		}
+	}
+}
+
+func TestFrontierBFSDensePath(t *testing.T) {
+	// A star from the hub reaches everything in one hop; the frontier's
+	// out-edge volume (m) exceeds m/20, forcing the bottom-up dense step.
+	n := 200
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: graph.Node(v)},
+			graph.Edge{Src: graph.Node(v), Dst: 0})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPush(g, 2)
+	res, err := e.RunFrontierBFS(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 0 {
+		t.Fatal("source level must be 0")
+	}
+	for v := 1; v < n; v++ {
+		if res.Values[v] != 1 {
+			t.Fatalf("level[%d] = %v, want 1", v, res.Values[v])
+		}
+	}
+	// Cross-check against the tropical program.
+	trop, err := e.Run(algo.NewBFS(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if res.Values[v] != trop.Values[v] {
+			t.Fatalf("dense path diverges at %d", v)
+		}
+	}
+}
+
+func TestPolymerPartitionCounts(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 7, 16} {
+		e := NewPolymer(g, 2, parts)
+		if e.Partitions() != parts {
+			t.Fatalf("partitions = %d, want %d", e.Partitions(), parts)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+	}
+	// More partitions than nodes must clamp.
+	small, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPolymer(small, 2, 10)
+	if e.Partitions() > 3 {
+		t.Fatalf("partitions = %d not clamped to n", e.Partitions())
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepTimesPopulated(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(10, 8, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := NewBlockGAS(g, BlockGASConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]int64{
+		"pull":     NewPull(g, 0).PrepTime.Nanoseconds(),
+		"push":     NewPush(g, 0).PrepTime.Nanoseconds(),
+		"polymer":  NewPolymer(g, 0, 0).PrepTime.Nanoseconds(),
+		"blockgas": bg.PrepTime.Nanoseconds(),
+	} {
+		if d <= 0 {
+			t.Errorf("%s preprocessing time not recorded", name)
+		}
+	}
+}
+
+func TestTrafficModelsOrdering(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(10, 8, 57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull := NewPull(g, 0)
+	push := NewPush(g, 0)
+	// Push pays atomic read-modify-write per edge: more traffic than pull.
+	if push.TrafficPerIteration(1) <= pull.TrafficPerIteration(1) {
+		t.Fatal("push model must exceed pull model")
+	}
+	bg, err := NewBlockGAS(g, BlockGASConfig{Side: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocking trades traffic for locality: far fewer random accesses.
+	if bg.RandomAccessesPerIteration() >= pull.RandomAccessesPerIteration() {
+		t.Fatal("blocking must reduce random accesses versus pull")
+	}
+}

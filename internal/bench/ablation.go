@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/core"
+	"mixen/internal/graph"
+)
+
+// AblationRow is one (graph, design-choice) measurement: per-iteration
+// InDegree time with the feature on and off (BFS time for the activity
+// mask, which only pays off on sparse iterations).
+type AblationRow struct {
+	Graph    string
+	Feature  string
+	OnSec    float64
+	OffSec   float64
+	Speedup  float64 // off/on
+	Workload string
+}
+
+// ablationSpec maps a feature name to its off-configuration.
+type ablationSpec struct {
+	name     string
+	off      core.Config
+	workload string // "IN" or "BFS"
+}
+
+func ablationSpecs() []ablationSpec {
+	return []ablationSpec{
+		{name: "cache-step", off: core.Config{DisableCache: true}, workload: "IN"},
+		{name: "hub-order", off: core.Config{DisableHubOrder: true}, workload: "IN"},
+		{name: "edge-compression", off: core.Config{DisableCompression: true}, workload: "IN"},
+		{name: "load-balance", off: core.Config{MaxLoadFactor: -1}, workload: "IN"},
+		{name: "active-mask", off: core.Config{DisableActiveTracking: true}, workload: "BFS"},
+	}
+}
+
+// Ablation measures every DESIGN.md §5 design choice on the selected
+// graphs.
+func Ablation(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, gname := range order {
+		g := graphs[gname]
+		for _, spec := range ablationSpecs() {
+			onSec, err := ablationCell(g, core.Config{Threads: o.Threads}, spec.workload, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s/%s on: %w", gname, spec.name, err)
+			}
+			offCfg := spec.off
+			offCfg.Threads = o.Threads
+			offSec, err := ablationCell(g, offCfg, spec.workload, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s/%s off: %w", gname, spec.name, err)
+			}
+			row := AblationRow{
+				Graph:    gname,
+				Feature:  spec.name,
+				OnSec:    onSec,
+				OffSec:   offSec,
+				Workload: spec.workload,
+			}
+			if onSec > 0 {
+				row.Speedup = offSec / onSec
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func ablationCell(g *graph.Graph, cfg core.Config, workload string, o Options) (float64, error) {
+	e, err := core.New(g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return timeRun(e, g, workload, o)
+}
+
+// FormatAblation renders the table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-18s %-4s %12s %12s %8s\n", "Graph", "Feature", "Load", "on(s)", "off(s)", "off/on")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-18s %-4s %12.6f %12.6f %8.2f\n",
+			r.Graph, r.Feature, r.Workload, r.OnSec, r.OffSec, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/filter"
+	"mixen/internal/model"
+)
+
+// ModelRow compares the paper's analytic model (§3 and §5, in unit
+// elements) against this implementation's modelled per-iteration counters
+// (in bytes, with edge compression applied) for one graph.
+type ModelRow struct {
+	Graph string
+	Alpha float64
+	Beta  float64
+
+	// Theory (unit elements): Equations from §3/§5.
+	TheoryPull, TheoryGAS, TheoryMixen    int64 // traffic
+	TheoryPullRnd, TheoryGASRnd, MixenRnd int64 // random accesses
+
+	// Implementation (bytes / counts) on the real structures.
+	ImplPull, ImplGAS, ImplMixen int64
+	ImplGASRnd, ImplMixenRnd     int64
+}
+
+// ModelStudy evaluates the analytic model for every selected graph and
+// pairs it with the implementation counters, demonstrating that the
+// orderings (who moves less data, who jumps less) transfer.
+func ModelStudy(o Options) ([]ModelRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ModelRow
+	for _, gname := range order {
+		g := graphs[gname]
+		f := filter.Filter(g)
+		side := int64(32768)
+		p := model.Params{
+			N: int64(g.NumNodes()), M: g.NumEdges(), C: side,
+			Alpha: f.Alpha(), Beta: f.Beta(),
+		}
+		mix, err := core.New(g, core.Config{Threads: o.Threads, Side: int(side)})
+		if err != nil {
+			return nil, err
+		}
+		bg, err := baseline.NewBlockGAS(g, baseline.BlockGASConfig{Threads: o.Threads, Side: int(side)})
+		if err != nil {
+			return nil, err
+		}
+		pull := baseline.NewPull(g, o.Threads)
+		rows = append(rows, ModelRow{
+			Graph:         gname,
+			Alpha:         p.Alpha,
+			Beta:          p.Beta,
+			TheoryPull:    model.PullTraffic(p),
+			TheoryGAS:     model.GASTraffic(p),
+			TheoryMixen:   model.MixenTraffic(p),
+			TheoryPullRnd: model.PullRandomAccesses(p),
+			TheoryGASRnd:  model.GASRandomAccesses(p),
+			MixenRnd:      model.MixenRandomAccesses(p),
+			ImplPull:      pull.TrafficPerIteration(1),
+			ImplGAS:       bg.TrafficPerIteration(),
+			ImplMixen:     mix.TrafficPerIteration(),
+			ImplGASRnd:    bg.RandomAccessesPerIteration(),
+			ImplMixenRnd:  mix.RandomAccessesPerIteration(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatModelStudy renders the comparison.
+func FormatModelStudy(rows []ModelRow) string {
+	var b strings.Builder
+	b.WriteString("Theory (unit elements, Eq.1/Eq.2 and §3) vs implementation (bytes, compressed):\n")
+	fmt.Fprintf(&b, "%-8s %5s %5s | %12s %12s %12s | %12s %12s %12s\n",
+		"Graph", "alpha", "beta", "thPull", "thGAS", "thMixen", "implPull", "implGAS", "implMixen")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5.2f %5.2f | %12d %12d %12d | %12d %12d %12d\n",
+			r.Graph, r.Alpha, r.Beta, r.TheoryPull, r.TheoryGAS, r.TheoryMixen,
+			r.ImplPull, r.ImplGAS, r.ImplMixen)
+	}
+	b.WriteString("\nRandom accesses per iteration:\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s | %12s %12s\n",
+		"Graph", "thPull", "thGAS", "thMixen", "implGAS", "implMixen")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12d %12d %12d | %12d %12d\n",
+			r.Graph, r.TheoryPullRnd, r.TheoryGASRnd, r.MixenRnd, r.ImplGASRnd, r.ImplMixenRnd)
+	}
+	return b.String()
+}

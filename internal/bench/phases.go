@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+)
+
+// PhaseRow breaks one graph's Mixen execution into the three SCGA phases.
+// The paper's §6.3 observation — on weibo "the majority of traffic is
+// scheduled out of the main phase" — shows up here as Pre-Phase time
+// rivalling the entire iterative Main-Phase.
+type PhaseRow struct {
+	Graph      string
+	PreSec     float64
+	MainSec    float64
+	PostSec    float64
+	Iterations int
+	MainPerIt  float64
+	PreShare   float64 // Pre / (Pre+Main+Post)
+}
+
+// PhaseStudy runs InDegree on Mixen and reports the phase split.
+func PhaseStudy(o Options) ([]PhaseRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PhaseRow
+	for _, gname := range order {
+		g := graphs[gname]
+		e, err := core.New(g, core.Config{Threads: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		_, stats, err := e.RunWithStats(algo.NewInDegree(o.Iters))
+		if err != nil {
+			return nil, err
+		}
+		total := stats.PreTime.Seconds() + stats.MainTime.Seconds() + stats.PostTime.Seconds()
+		row := PhaseRow{
+			Graph:      gname,
+			PreSec:     stats.PreTime.Seconds(),
+			MainSec:    stats.MainTime.Seconds(),
+			PostSec:    stats.PostTime.Seconds(),
+			Iterations: stats.MainIterations,
+		}
+		if stats.MainIterations > 0 {
+			row.MainPerIt = stats.MainTime.Seconds() / float64(stats.MainIterations)
+		}
+		if total > 0 {
+			row.PreShare = row.PreSec / total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPhaseStudy renders the split.
+func FormatPhaseStudy(rows []PhaseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %6s %12s %9s\n",
+		"Graph", "pre(s)", "main(s)", "post(s)", "iters", "main/iter", "preShare")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10.5f %10.5f %10.5f %6d %12.6f %9.3f\n",
+			r.Graph, r.PreSec, r.MainSec, r.PostSec, r.Iterations, r.MainPerIt, r.PreShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/reorder"
+)
+
+// ReorderRow compares one (graph, strategy) cell: pull-engine InDegree
+// time on the reordered graph, plus the locality metrics, against Mixen's
+// filtering on the original graph.
+type ReorderRow struct {
+	Graph    string
+	Strategy string // reorder strategy, or "mixen" for the filtered engine
+	Seconds  float64
+	AvgSpan  float64
+	PrepSec  float64
+}
+
+// ReorderStudy runs the comparison the reordering literature implies:
+// globally relabel the graph for locality, then run a conventional pull
+// engine — versus Mixen's connectivity filtering (which relabels AND
+// reschedules). Strategies: original, degree, rcm, random.
+func ReorderStudy(o Options) ([]ReorderRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReorderRow
+	for _, gname := range order {
+		g := graphs[gname]
+		for _, s := range reorder.Strategies() {
+			rg, _, err := reorder.Reorder(g, s, 1)
+			if err != nil {
+				return nil, err
+			}
+			e := baseline.NewPull(rg, o.Threads)
+			sec, err := timeRun(e, rg, "IN", o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ReorderRow{
+				Graph:    gname,
+				Strategy: string(s),
+				Seconds:  sec,
+				AvgSpan:  reorder.AvgSpan(rg),
+				PrepSec:  e.PrepTime.Seconds(),
+			})
+		}
+		mix, err := core.New(g, core.Config{Threads: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		sec, err := timeRun(mix, g, "IN", o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReorderRow{
+			Graph:    gname,
+			Strategy: "mixen",
+			Seconds:  sec,
+			AvgSpan:  reorder.AvgSpan(g),
+			PrepSec:  mix.Prep.Total().Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatReorderStudy renders the comparison.
+func FormatReorderStudy(rows []ReorderRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-9s %12s %12s %10s\n", "Graph", "Strategy", "sec/iter", "avgSpan", "prep(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-9s %12.6f %12.1f %10.4f\n",
+			r.Graph, r.Strategy, r.Seconds, r.AvgSpan, r.PrepSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mixen/internal/analyze"
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/filter"
+)
+
+// Table1Row reproduces one row of Table 1: hub share and node-class mix.
+type Table1Row struct {
+	Graph string
+	VHub  float64 // % of nodes that are hubs
+	EHub  float64 // % of edges into hubs
+	Reg   float64 // % regular
+	Seed  float64 // % seed
+	Sink  float64 // % sink
+	Iso   float64 // % isolated
+}
+
+// Table1 computes the structural characteristics of every selected preset.
+func Table1(o Options) ([]Table1Row, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, name := range order {
+		s := analyze.Compute(graphs[name])
+		rows = append(rows, Table1Row{
+			Graph: name,
+			VHub:  100 * s.VHub,
+			EHub:  100 * s.EHub,
+			Reg:   100 * s.RegularFrac,
+			Seed:  100 * s.SeedFrac,
+			Sink:  100 * s.SinkFrac,
+			Iso:   100 * s.IsolatedFrac,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %6s %6s %6s %6s %6s\n", "Graph", "Vhub%", "Ehub%", "Reg%", "Seed%", "Sink%", "Iso%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+			r.Graph, r.VHub, r.EHub, r.Reg, r.Seed, r.Sink, r.Iso)
+	}
+	return b.String()
+}
+
+// Table2Row reproduces one row of Table 2: dataset attributes.
+type Table2Row struct {
+	Graph    string
+	N        int
+	M        int64
+	Skewed   bool
+	Real     bool
+	Directed bool
+	Alpha    float64
+	Beta     float64
+}
+
+// Table2 computes the dataset attribute table for the selected presets.
+func Table2(o Options) ([]Table2Row, error) {
+	o = o.withDefaults()
+	presets, err := o.presets()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, p := range presets {
+		g, err := p.Build(o.Shrink)
+		if err != nil {
+			return nil, err
+		}
+		f := filter.Filter(g)
+		rows = append(rows, Table2Row{
+			Graph:    p.Name,
+			N:        g.NumNodes(),
+			M:        g.NumEdges(),
+			Skewed:   p.Skewed,
+			Real:     p.Real,
+			Directed: p.Directed,
+			Alpha:    f.Alpha(),
+			Beta:     f.Beta(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %12s %7s %5s %9s %6s %6s\n", "Graph", "n", "m", "Skewed", "Real", "Directed", "alpha", "beta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %12d %7v %5v %9v %6.2f %6.2f\n",
+			r.Graph, r.N, r.M, r.Skewed, r.Real, r.Directed, r.Alpha, r.Beta)
+	}
+	return b.String()
+}
+
+// Table3Cell is one framework × algorithm × graph measurement.
+type Table3Cell struct {
+	Framework string
+	Algorithm string
+	Graph     string
+	Seconds   float64 // per iteration, except BFS (total)
+}
+
+// Table3 measures processing time for every framework, algorithm and graph
+// (the paper's headline table). Construction (preprocessing) is excluded,
+// matching the paper's methodology.
+func Table3(o Options) ([]Table3Cell, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var cells []Table3Cell
+	for _, alg := range Algorithms() {
+		for _, fw := range Frameworks() {
+			for _, gname := range order {
+				g := graphs[gname]
+				e, err := newEngine(fw, g, o.Threads, widthOf(alg, o))
+				if err != nil {
+					return nil, err
+				}
+				sec, err := timeRun(e, g, alg, o)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s/%s/%s: %w", fw, alg, gname, err)
+				}
+				cells = append(cells, Table3Cell{Framework: fw, Algorithm: alg, Graph: gname, Seconds: sec})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatTable3 renders one block per algorithm, frameworks × graphs.
+func FormatTable3(cells []Table3Cell) string {
+	graphs := uniqueInOrder(cells, func(c Table3Cell) string { return c.Graph })
+	algos := uniqueInOrder(cells, func(c Table3Cell) string { return c.Algorithm })
+	fws := uniqueInOrder(cells, func(c Table3Cell) string { return c.Framework })
+	lookup := make(map[[3]string]float64, len(cells))
+	for _, c := range cells {
+		lookup[[3]string{c.Framework, c.Algorithm, c.Graph}] = c.Seconds
+	}
+	var b strings.Builder
+	for _, alg := range algos {
+		fmt.Fprintf(&b, "== %s (seconds%s) ==\n", alg, map[bool]string{true: "", false: "/iteration"}[alg == "BFS"])
+		fmt.Fprintf(&b, "%-14s", "Framework")
+		for _, g := range graphs {
+			fmt.Fprintf(&b, " %9s", g)
+		}
+		b.WriteByte('\n')
+		for _, fw := range fws {
+			fmt.Fprintf(&b, "%-14s", PaperName(fw))
+			for _, g := range graphs {
+				fmt.Fprintf(&b, " %9.5f", lookup[[3]string{fw, alg, g}])
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(SpeedupSummary(cells))
+	return b.String()
+}
+
+// SpeedupSummary reports Mixen's geometric-mean speedup over each baseline
+// across all cells (the paper's headline "3.42× over the best alternative").
+func SpeedupSummary(cells []Table3Cell) string {
+	type key struct{ alg, g string }
+	mixen := make(map[key]float64)
+	others := make(map[string]map[key]float64)
+	for _, c := range cells {
+		k := key{c.Algorithm, c.Graph}
+		if c.Framework == "mixen" {
+			mixen[k] = c.Seconds
+			continue
+		}
+		if others[c.Framework] == nil {
+			others[c.Framework] = make(map[key]float64)
+		}
+		others[c.Framework][k] = c.Seconds
+	}
+	var b strings.Builder
+	b.WriteString("Geomean speedup of Mixen over:\n")
+	var fws []string
+	for fw := range others {
+		fws = append(fws, fw)
+	}
+	sort.Strings(fws)
+	for _, fw := range fws {
+		logSum, count := 0.0, 0
+		for k, sec := range others[fw] {
+			if m, ok := mixen[k]; ok && m > 0 && sec > 0 {
+				logSum += ln(sec / m)
+				count++
+			}
+		}
+		if count > 0 {
+			fmt.Fprintf(&b, "  %-14s %.2fx\n", PaperName(fw), exp(logSum/float64(count)))
+		}
+	}
+	return b.String()
+}
+
+// Table4Row reproduces one row of Table 4: preprocessing overheads.
+type Table4Row struct {
+	Graph       string
+	GPOP        float64 // seconds
+	Ligra       float64
+	Polymer     float64
+	GraphMat    float64
+	MixenFilter float64
+	MixenPart   float64
+	MixenTotal  float64
+}
+
+// Table4 measures preprocessing time: the structure construction each
+// framework genuinely performs in this codebase (blocking, CSC rebuilds,
+// per-partition copies, filtering).
+func Table4(o Options) ([]Table4Row, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for _, gname := range order {
+		g := graphs[gname]
+		row := Table4Row{Graph: gname}
+		bg, err := baseline.NewBlockGAS(g, baseline.BlockGASConfig{Threads: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		row.GPOP = bg.PrepTime.Seconds()
+		row.Ligra = baseline.NewPush(g, o.Threads).PrepTime.Seconds()
+		row.Polymer = baseline.NewPolymer(g, o.Threads, 0).PrepTime.Seconds()
+		row.GraphMat = baseline.NewPull(g, o.Threads).PrepTime.Seconds()
+		mix, err := core.New(g, core.Config{Threads: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		row.MixenFilter = mix.Prep.FilterTime.Seconds()
+		row.MixenPart = mix.Prep.PartitionTime.Seconds()
+		row.MixenTotal = mix.Prep.Total().Seconds()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders rows like the paper's Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s | %9s %9s %9s\n",
+		"Graph", "GPOP", "Ligra", "Polymer", "GraphMat", "Mx.Filt", "Mx.Part", "Mx.Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9.4f %9.4f %9.4f %9.4f | %9.4f %9.4f %9.4f\n",
+			r.Graph, r.GPOP, r.Ligra, r.Polymer, r.GraphMat, r.MixenFilter, r.MixenPart, r.MixenTotal)
+	}
+	return b.String()
+}
+
+func uniqueInOrder[T any](items []T, key func(T) string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, it := range items {
+		k := key(it)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/core"
+	"mixen/internal/sched"
+)
+
+// ThreadsRow is one point of the worker-count sweep: per-iteration
+// InDegree time on Mixen with the given pool width.
+type ThreadsRow struct {
+	Graph   string
+	Threads int
+	Seconds float64
+	Speedup float64 // single-thread time / this time
+}
+
+// ThreadSweep measures Mixen's parallel scaling on the selected graphs
+// (the paper pins 20 threads; this driver exposes the scaling curve on
+// whatever the host offers). Worker counts: 1, 2, 4, ... up to the host's
+// core count (always including it).
+func ThreadSweep(o Options) ([]ThreadsRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	maxThreads := sched.DefaultThreads()
+	var counts []int
+	for t := 1; t < maxThreads; t *= 2 {
+		counts = append(counts, t)
+	}
+	counts = append(counts, maxThreads)
+	var rows []ThreadsRow
+	for _, gname := range order {
+		g := graphs[gname]
+		var base float64
+		for _, threads := range counts {
+			e, err := core.New(g, core.Config{Threads: threads})
+			if err != nil {
+				return nil, err
+			}
+			sec, err := timeRun(e, g, "IN", o)
+			if err != nil {
+				return nil, err
+			}
+			if threads == 1 {
+				base = sec
+			}
+			row := ThreadsRow{Graph: gname, Threads: threads, Seconds: sec}
+			if base > 0 && sec > 0 {
+				row.Speedup = base / sec
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatThreadSweep renders the sweep.
+func FormatThreadSweep(rows []ThreadsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %12s %9s\n", "Graph", "threads", "sec/iter", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %12.6f %9.2f\n", r.Graph, r.Threads, r.Seconds, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,352 @@
+// Package block implements Mixen's graph partitioning and binning stage
+// (Section 4.2): 2-D cache-sized blocking of a square CSR submatrix,
+// per-block local CSRs with edge compression, load-balanced splitting of
+// overloaded blocks, and the dynamic/static bins consumed by the SCGA
+// scheduler.
+//
+// The same partitioner serves both Mixen (blocking the filtered
+// regular×regular submatrix) and the GPOP-like baseline (blocking the whole
+// graph), so it takes raw CSR arrays rather than a filtered graph.
+package block
+
+import (
+	"fmt"
+
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// SubBlock is one work unit of the 2-D partition: the intersection of a
+// source range and a destination block, stored as a compressed local CSR.
+//
+// Edge compression (the paper's "messages from a single source node to
+// multiple destination nodes ... compressed into a single transmission"):
+// the dynamic bin holds one buffered value per contributing source, not one
+// per edge; destinations are replayed from DstIdx during Gather.
+type SubBlock struct {
+	BlockRow int // block-row index i
+	BlockCol int // block-column index j
+
+	SrcLo, SrcHi int // source id range covered (after splitting)
+
+	Srcs     []graph.Node // sources with >=1 edge into this block, ascending
+	DstStart []int32      // len(Srcs)+1 offsets into DstIdx
+	DstIdx   []graph.Node // destination ids (global), grouped by source
+
+	// Vals is the dynamic bin: Width lanes per contributing source,
+	// rewritten by every Scatter and drained by every Gather.
+	Vals []float64
+}
+
+// NumEdges returns the edge count in this sub-block.
+func (sb *SubBlock) NumEdges() int64 { return int64(len(sb.DstIdx)) }
+
+// NumEntries returns the compressed message count (one per source).
+func (sb *SubBlock) NumEntries() int { return len(sb.Srcs) }
+
+// Config controls partitioning.
+type Config struct {
+	// Side is the number of nodes per block side (the paper's cache
+	// indicator c; 256 KB blocks over 32-bit properties hold 64K nodes).
+	Side int
+	// Width is the number of float64 lanes per node property.
+	Width int
+	// MaxLoadFactor caps a sub-block's edges at MaxLoadFactor × the mean
+	// edges per block; heavier blocks are split by source range. The paper
+	// uses 2. Zero disables splitting.
+	MaxLoadFactor float64
+	// DisableCompression stores one bin entry per edge instead of one per
+	// (source, block) pair. Only used by the ablation study.
+	DisableCompression bool
+	Threads            int
+}
+
+// DefaultSide picks a block side for an r-node submatrix: cache-sized
+// (32K nodes ≈ 256KB of float64) but small enough to give every thread at
+// least four block-rows, per the paper's parallelization guidance (§6.4).
+func DefaultSide(r, threads int) int {
+	if threads <= 0 {
+		threads = sched.DefaultThreads()
+	}
+	side := 32 * 1024
+	for side > 256 && (r+side-1)/side < 4*threads {
+		side /= 2
+	}
+	return side
+}
+
+// Partition is the 2-D blocked form of an r×r CSR submatrix.
+type Partition struct {
+	R     int // submatrix dimension
+	Side  int // block side actually used
+	B     int // number of block rows/columns = ceil(R/Side)
+	Width int
+	Nnz   int64 // total edges in the submatrix
+
+	Blocks []*SubBlock   // all sub-blocks
+	Rows   [][]*SubBlock // grouped by block-row, ordered by column
+	Cols   [][]*SubBlock // grouped by block-column, ordered by row
+
+	// Sta is the static bin: the per-destination cached contribution from
+	// seed nodes (len R*Width). Written once in the Pre-Phase, read-only
+	// afterwards. Nil until the engine fills it.
+	Sta []float64
+
+	// CompressedEntries counts bin slots (Σ per-block sources), the
+	// quantity edge compression optimizes.
+	CompressedEntries int64
+}
+
+// NewPartition blocks the square submatrix given by ptr/idx (r+1 pointers,
+// ptr[r] edges; every index must be < r).
+func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition, error) {
+	if r < 0 || len(ptr) != r+1 {
+		return nil, fmt.Errorf("block: bad csr, r=%d len(ptr)=%d", r, len(ptr))
+	}
+	if cfg.Side <= 0 {
+		cfg.Side = DefaultSide(r, cfg.Threads)
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	if cfg.MaxLoadFactor < 0 {
+		return nil, fmt.Errorf("block: negative load factor %v", cfg.MaxLoadFactor)
+	}
+	p := &Partition{
+		R:     r,
+		Side:  cfg.Side,
+		Width: cfg.Width,
+		Nnz:   ptr[r],
+	}
+	if r == 0 {
+		p.B = 0
+		p.Rows = nil
+		p.Cols = nil
+		return p, nil
+	}
+	p.B = (r + cfg.Side - 1) / cfg.Side
+	p.Rows = make([][]*SubBlock, p.B)
+	p.Cols = make([][]*SubBlock, p.B)
+
+	meanPerBlock := float64(p.Nnz) / float64(p.B*p.B)
+	maxEdges := int64(0)
+	if cfg.MaxLoadFactor > 0 {
+		maxEdges = int64(cfg.MaxLoadFactor * meanPerBlock)
+		if maxEdges < 1 {
+			maxEdges = 1
+		}
+	}
+
+	// Build each block-row independently in parallel: scan its source rows
+	// once, splitting each sorted adjacency row into per-column-block runs.
+	sched.For(p.B, cfg.Threads, 1, func(i int) {
+		p.Rows[i] = buildBlockRow(ptr, idx, r, i, cfg, maxEdges)
+	})
+
+	for _, row := range p.Rows {
+		for _, sb := range row {
+			p.Blocks = append(p.Blocks, sb)
+			p.CompressedEntries += int64(len(sb.Srcs))
+		}
+	}
+	for _, sb := range p.Blocks {
+		p.Cols[sb.BlockCol] = append(p.Cols[sb.BlockCol], sb)
+	}
+	return p, nil
+}
+
+// builder accumulates one (block-row, block-col) cell before splitting.
+type builder struct {
+	srcs     []graph.Node
+	dstStart []int32
+	dstIdx   []graph.Node
+}
+
+func buildBlockRow(ptr []int64, idx []graph.Node, r, i int, cfg Config, maxEdges int64) []*SubBlock {
+	side := cfg.Side
+	lo := i * side
+	hi := lo + side
+	if hi > r {
+		hi = r
+	}
+	b := (r + side - 1) / side
+	cells := make([]builder, b)
+	for u := lo; u < hi; u++ {
+		row := idx[ptr[u]:ptr[u+1]]
+		// The row is sorted, so each destination block is one contiguous run.
+		for k := 0; k < len(row); {
+			j := int(row[k]) / side
+			end := k + 1
+			for end < len(row) && int(row[end])/side == j {
+				end++
+			}
+			c := &cells[j]
+			if cfg.DisableCompression {
+				// One bin entry per edge: repeat the source per destination.
+				for e := k; e < end; e++ {
+					c.srcs = append(c.srcs, graph.Node(u))
+					c.dstStart = append(c.dstStart, int32(len(c.dstIdx)))
+					c.dstIdx = append(c.dstIdx, row[e])
+				}
+			} else {
+				c.srcs = append(c.srcs, graph.Node(u))
+				c.dstStart = append(c.dstStart, int32(len(c.dstIdx)))
+				c.dstIdx = append(c.dstIdx, row[k:end]...)
+			}
+			k = end
+		}
+	}
+	var out []*SubBlock
+	for j := range cells {
+		c := &cells[j]
+		if len(c.srcs) == 0 {
+			continue
+		}
+		c.dstStart = append(c.dstStart, int32(len(c.dstIdx)))
+		out = append(out, splitCell(c, i, j, lo, hi, maxEdges, cfg.Width)...)
+	}
+	return out
+}
+
+// splitCell turns one cell into one or more SubBlocks, each holding at most
+// maxEdges edges (source-aligned split; a single source's run is never
+// divided, so a pathological hub row can still exceed the cap by itself).
+func splitCell(c *builder, i, j, lo, hi int, maxEdges int64, width int) []*SubBlock {
+	total := int64(len(c.dstIdx))
+	if maxEdges == 0 || total <= maxEdges {
+		sb := &SubBlock{
+			BlockRow: i, BlockCol: j,
+			SrcLo: lo, SrcHi: hi,
+			Srcs: c.srcs, DstStart: c.dstStart, DstIdx: c.dstIdx,
+			Vals: make([]float64, len(c.srcs)*width),
+		}
+		return []*SubBlock{sb}
+	}
+	var out []*SubBlock
+	start := 0
+	for start < len(c.srcs) {
+		end := start
+		var edges int64
+		for end < len(c.srcs) {
+			rowLen := int64(c.dstStart[end+1] - c.dstStart[end])
+			if end > start && edges+rowLen > maxEdges {
+				break
+			}
+			edges += rowLen
+			end++
+		}
+		srcs := c.srcs[start:end]
+		base := c.dstStart[start]
+		dstStart := make([]int32, end-start+1)
+		for k := start; k <= end; k++ {
+			dstStart[k-start] = c.dstStart[k] - base
+		}
+		sb := &SubBlock{
+			BlockRow: i, BlockCol: j,
+			SrcLo: int(srcs[0]), SrcHi: int(srcs[len(srcs)-1]) + 1,
+			Srcs:     srcs,
+			DstStart: dstStart,
+			DstIdx:   c.dstIdx[c.dstStart[start]:c.dstStart[end]],
+			Vals:     make([]float64, len(srcs)*width),
+		}
+		out = append(out, sb)
+		start = end
+	}
+	return out
+}
+
+// SetWidth re-sizes every dynamic bin for a new lane count, letting one
+// partition serve programs of different property widths (the bins are
+// scratch space rewritten by every Scatter, so no data is preserved).
+func (p *Partition) SetWidth(w int) {
+	if w <= 0 || w == p.Width {
+		return
+	}
+	p.Width = w
+	for _, sb := range p.Blocks {
+		sb.Vals = make([]float64, len(sb.Srcs)*w)
+	}
+}
+
+// Validate checks partition invariants (tests only).
+func (p *Partition) Validate() error {
+	var edges, entries int64
+	for _, sb := range p.Blocks {
+		if sb.BlockRow < 0 || sb.BlockRow >= p.B || sb.BlockCol < 0 || sb.BlockCol >= p.B {
+			return fmt.Errorf("block: sub-block (%d,%d) outside %d×%d grid", sb.BlockRow, sb.BlockCol, p.B, p.B)
+		}
+		if len(sb.DstStart) != len(sb.Srcs)+1 {
+			return fmt.Errorf("block: (%d,%d) DstStart len %d, want %d", sb.BlockRow, sb.BlockCol, len(sb.DstStart), len(sb.Srcs)+1)
+		}
+		if int(sb.DstStart[len(sb.Srcs)]) != len(sb.DstIdx) {
+			return fmt.Errorf("block: (%d,%d) DstStart tail mismatch", sb.BlockRow, sb.BlockCol)
+		}
+		if len(sb.Vals) != len(sb.Srcs)*p.Width {
+			return fmt.Errorf("block: (%d,%d) Vals len %d, want %d", sb.BlockRow, sb.BlockCol, len(sb.Vals), len(sb.Srcs)*p.Width)
+		}
+		for k, s := range sb.Srcs {
+			if int(s)/p.Side != sb.BlockRow {
+				return fmt.Errorf("block: (%d,%d) source %d outside block-row", sb.BlockRow, sb.BlockCol, s)
+			}
+			if k > 0 && sb.Srcs[k-1] > s {
+				return fmt.Errorf("block: (%d,%d) sources not sorted", sb.BlockRow, sb.BlockCol)
+			}
+			for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+				if int(d)/p.Side != sb.BlockCol {
+					return fmt.Errorf("block: (%d,%d) destination %d outside block-col", sb.BlockRow, sb.BlockCol, d)
+				}
+			}
+		}
+		edges += sb.NumEdges()
+		entries += int64(len(sb.Srcs))
+	}
+	if edges != p.Nnz {
+		return fmt.Errorf("block: partition holds %d edges, submatrix has %d", edges, p.Nnz)
+	}
+	if entries != p.CompressedEntries {
+		return fmt.Errorf("block: entry count mismatch %d vs %d", entries, p.CompressedEntries)
+	}
+	var rowCount, colCount int
+	for _, r := range p.Rows {
+		rowCount += len(r)
+	}
+	for _, c := range p.Cols {
+		colCount += len(c)
+	}
+	if rowCount != len(p.Blocks) || colCount != len(p.Blocks) {
+		return fmt.Errorf("block: row/col grouping mismatch (%d, %d, %d)", rowCount, colCount, len(p.Blocks))
+	}
+	return nil
+}
+
+// TrafficPerIteration returns the modelled main-phase memory traffic in
+// bytes per iteration following the paper's Section 5 accounting, but
+// evaluated on the actual structures (so edge compression is visible):
+// Scatter reads the source properties and block metadata and writes the
+// bins; Cache rewrites the property segments from the static bins; Gather
+// reads the bins plus destinations and writes the sums.
+func (p *Partition) TrafficPerIteration(withCache bool) int64 {
+	const f = 8 // float64 lanes
+	const u = 4 // uint32 ids
+	lanes := int64(p.Width)
+	var traffic int64
+	// Scatter: read x for each compressed entry, read source ids, write vals.
+	traffic += p.CompressedEntries * (f*lanes + u + f*lanes)
+	// Cache: read static bin + write property segment.
+	if withCache {
+		traffic += 2 * int64(p.R) * f * lanes
+	}
+	// Gather: read vals + destination ids, accumulate into y (read+write).
+	traffic += p.CompressedEntries * f * lanes
+	traffic += p.Nnz * u
+	traffic += 2 * int64(p.R) * f * lanes
+	return traffic
+}
+
+// RandomAccessesPerIteration returns the modelled count of random memory
+// jumps per iteration: O(b²) block switches (Equation 2 of the paper),
+// counted exactly as the number of sub-blocks touched by Scatter plus
+// Gather.
+func (p *Partition) RandomAccessesPerIteration() int64 {
+	return 2 * int64(len(p.Blocks))
+}

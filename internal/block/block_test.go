@@ -1,0 +1,296 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/filter"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+// makeCSR builds a small square CSR from an edge list over r nodes.
+func makeCSR(t testing.TB, r int, edges []graph.Edge) ([]int64, []graph.Node) {
+	t.Helper()
+	g, err := graph.FromEdges(r, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.OutPtr, g.OutIdx
+}
+
+func TestPartitionTiny(t *testing.T) {
+	// 6 nodes, side 2 -> 3x3 grid.
+	ptr, idx := makeCSR(t, 6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 4}, {Src: 1, Dst: 2}, {Src: 3, Dst: 3}, {Src: 5, Dst: 0}, {Src: 5, Dst: 1},
+	})
+	p, err := NewPartition(ptr, idx, 6, Config{Side: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 3 {
+		t.Fatalf("B = %d, want 3", p.B)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Nnz != 6 {
+		t.Fatalf("nnz = %d, want 6", p.Nnz)
+	}
+	// Block (0,0) holds 0->1; block (0,2) holds 0->4; block (0,1) holds 1->2;
+	// block (1,1) holds 3->3; block (2,0) holds 5->0 and 5->1 compressed to
+	// one entry.
+	if len(p.Blocks) != 5 {
+		t.Fatalf("blocks = %d, want 5", len(p.Blocks))
+	}
+	var b20 *SubBlock
+	for _, sb := range p.Blocks {
+		if sb.BlockRow == 2 && sb.BlockCol == 0 {
+			b20 = sb
+		}
+	}
+	if b20 == nil {
+		t.Fatal("missing block (2,0)")
+	}
+	if b20.NumEntries() != 1 || b20.NumEdges() != 2 {
+		t.Fatalf("block (2,0): entries=%d edges=%d, want 1 compressed entry with 2 edges",
+			b20.NumEntries(), b20.NumEdges())
+	}
+}
+
+func TestPartitionNoCompression(t *testing.T) {
+	ptr, idx := makeCSR(t, 4, []graph.Edge{
+		{Src: 0, Dst: 0}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+	})
+	p, err := NewPartition(ptr, idx, 4, Config{Side: 4, DisableCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CompressedEntries != 4 {
+		t.Fatalf("entries = %d, want 4 (one per edge)", p.CompressedEntries)
+	}
+	pc, err := NewPartition(ptr, idx, 4, Config{Side: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.CompressedEntries != 1 {
+		t.Fatalf("compressed entries = %d, want 1", pc.CompressedEntries)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	p, err := NewPartition([]int64{0}, nil, 0, Config{Side: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 0 || len(p.Blocks) != 0 {
+		t.Fatal("empty partition should have no blocks")
+	}
+}
+
+func TestPartitionBadInput(t *testing.T) {
+	if _, err := NewPartition([]int64{0, 1}, []graph.Node{0}, 3, Config{}); err == nil {
+		t.Fatal("expected error for r / ptr mismatch")
+	}
+	if _, err := NewPartition([]int64{0}, nil, -1, Config{}); err == nil {
+		t.Fatal("expected error for negative r")
+	}
+	if _, err := NewPartition([]int64{0, 0}, nil, 1, Config{MaxLoadFactor: -1}); err == nil {
+		t.Fatal("expected error for negative load factor")
+	}
+}
+
+func TestOverloadSplitting(t *testing.T) {
+	// One hub row with 64 edges into one column block, plus sparse rows.
+	var edges []graph.Edge
+	for d := 0; d < 32; d++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: graph.Node(d)},
+			graph.Edge{Src: 1, Dst: graph.Node(d)})
+	}
+	for u := 2; u < 32; u++ {
+		edges = append(edges, graph.Edge{Src: graph.Node(u), Dst: graph.Node(u)})
+	}
+	ptr, idx := makeCSR(t, 32, edges)
+
+	unsplit, err := NewPartition(ptr, idx, 32, Config{Side: 8, MaxLoadFactor: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := NewPartition(ptr, idx, 32, Config{Side: 8, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Blocks) <= len(unsplit.Blocks) {
+		t.Fatalf("splitting did not create extra sub-blocks: %d vs %d",
+			len(split.Blocks), len(unsplit.Blocks))
+	}
+	// Edge conservation under splitting.
+	if split.Nnz != unsplit.Nnz {
+		t.Fatal("splitting changed edge count")
+	}
+}
+
+func TestSplitRespectsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var edges []graph.Edge
+	for i := 0; i < 2000; i++ {
+		edges = append(edges, graph.Edge{Src: graph.Node(rng.Intn(64)), Dst: graph.Node(rng.Intn(64))})
+	}
+	ptr, idx := makeCSR(t, 64, edges)
+	p, err := NewPartition(ptr, idx, 64, Config{Side: 16, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(p.Nnz) / float64(p.B*p.B)
+	cap64 := int64(2 * mean)
+	for _, sb := range p.Blocks {
+		// A single source's run may exceed the cap; otherwise enforce it.
+		if sb.NumEdges() > cap64 && len(sb.Srcs) > 1 {
+			t.Fatalf("sub-block (%d,%d) has %d edges, cap %d, %d sources",
+				sb.BlockRow, sb.BlockCol, sb.NumEdges(), cap64, len(sb.Srcs))
+		}
+	}
+}
+
+func TestDefaultSide(t *testing.T) {
+	if s := DefaultSide(1_000_000, 1); s != 32*1024 {
+		t.Fatalf("side = %d, want 32768 for large r", s)
+	}
+	s := DefaultSide(2048, 4)
+	if (2048+s-1)/s < 4 {
+		t.Fatalf("side %d yields fewer than 4 blocks for r=2048", s)
+	}
+	if s := DefaultSide(10, 8); s < 256 {
+		t.Fatalf("side %d below floor", s)
+	}
+}
+
+func TestPartitionOnFilteredGraph(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 3000, M: 24000,
+		RegularFrac: 0.4, SeedFrac: 0.3, SinkFrac: 0.2,
+		ZipfS: 1.25, ZipfV: 1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.Filter(g)
+	p, err := NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, Config{Side: 128, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Nnz != f.RegularEdges() {
+		t.Fatalf("partition nnz %d != regular edges %d", p.Nnz, f.RegularEdges())
+	}
+	if p.CompressedEntries > p.Nnz {
+		t.Fatal("compression must not increase entry count")
+	}
+}
+
+func TestTrafficModelMonotonic(t *testing.T) {
+	ptr, idx := makeCSR(t, 16, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}})
+	p, err := NewPartition(ptr, idx, 16, Config{Side: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := p.TrafficPerIteration(true)
+	without := p.TrafficPerIteration(false)
+	if with <= without {
+		t.Fatal("cache step must add traffic to the per-iteration model")
+	}
+	if p.RandomAccessesPerIteration() != 2*int64(len(p.Blocks)) {
+		t.Fatal("random access model must count 2 visits per sub-block")
+	}
+}
+
+func TestPropertyPartitionConservesEdges(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(80)
+		m := rng.Intn(400)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(r)), Dst: graph.Node(rng.Intn(r))}
+		}
+		g, err := graph.FromEdges(r, edges)
+		if err != nil {
+			return false
+		}
+		side := 1 + rng.Intn(r)
+		lf := float64(rng.Intn(3)) // 0 (off), 1, 2
+		p, err := NewPartition(g.OutPtr, g.OutIdx, r, Config{Side: side, MaxLoadFactor: lf})
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every original edge must be recoverable from the partition exactly once.
+func TestPropertyEdgeRecovery(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(60)
+		edges := make([]graph.Edge, rng.Intn(300))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(r)), Dst: graph.Node(rng.Intn(r))}
+		}
+		g, err := graph.FromEdges(r, edges)
+		if err != nil {
+			return false
+		}
+		p, err := NewPartition(g.OutPtr, g.OutIdx, r, Config{Side: 1 + rng.Intn(r), MaxLoadFactor: 2})
+		if err != nil {
+			return false
+		}
+		var recovered []graph.Edge
+		for _, sb := range p.Blocks {
+			for k, s := range sb.Srcs {
+				for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+					recovered = append(recovered, graph.Edge{Src: s, Dst: d})
+				}
+			}
+		}
+		g2, err := graph.FromEdges(r, recovered)
+		if err != nil {
+			return false
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < r; u++ {
+			a, b := g.OutNeighbors(graph.Node(u)), g2.OutNeighbors(graph.Node(u))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

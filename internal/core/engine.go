@@ -1,0 +1,523 @@
+// Package core implements the Mixen engine — the paper's primary
+// contribution. It composes the filtering stage (internal/filter), the 2-D
+// blocked partition (internal/block), and the Scatter-Cache-Gather-Apply
+// (SCGA) execution model of Section 4.3:
+//
+//	Pre-Phase:  seed nodes push their (constant) contributions into the
+//	            static bins, once.
+//	Main-Phase: iterate over the regular×regular blocked submatrix:
+//	            Scatter buffers compressed source values into the dynamic
+//	            bins; Cache seeds each output segment with the static-bin
+//	            contributions (replacing both the zero-initialisation and
+//	            the repeated seed propagation); Gather drains the bins
+//	            column-by-column; Apply runs the user function per node.
+//	Post-Phase: sink nodes pull once from their (final) in-neighbour values.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"mixen/internal/block"
+	"mixen/internal/filter"
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+	"mixen/internal/vprog"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Side is the block side in nodes (the paper's cache indicator c);
+	// 0 picks block.DefaultSide.
+	Side int
+	// Threads is the worker count; 0 uses all available cores.
+	Threads int
+	// MaxLoadFactor caps sub-block size at this multiple of the mean
+	// (paper: 2). 0 applies the default; negative disables splitting.
+	MaxLoadFactor float64
+	// DisableCache recomputes the seed contributions every iteration
+	// instead of reusing the static bins (ablation of the Cache step).
+	DisableCache bool
+	// DisableCompression buffers one bin entry per edge instead of one per
+	// (source, block) pair (ablation of edge compression).
+	DisableCompression bool
+	// DisableHubOrder keeps regular nodes in original relative order
+	// without relocating hubs to the front (ablation of filtering step 2).
+	DisableHubOrder bool
+	// DegreeSortOrder fully sorts regular nodes by descending in-degree
+	// instead of the two-group hub-first policy (the "degree sort"
+	// reordering baseline). Overrides DisableHubOrder.
+	DegreeSortOrder bool
+	// DisableActiveTracking turns off the per-segment activity mask (the
+	// bit mask §5 sets aside): with tracking on, Scatter skips any
+	// block-row whose source segment produced no value change in the
+	// previous iteration — the dynamic bins still hold those sources'
+	// (unchanged) messages, so Gather stays exact. Sparse iterations such
+	// as BFS skip most of the matrix once the frontier has passed.
+	DisableActiveTracking bool
+}
+
+func (c Config) regularOrder() filter.RegularOrder {
+	switch {
+	case c.DegreeSortOrder:
+		return filter.OrderDegreeDesc
+	case c.DisableHubOrder:
+		return filter.OrderOriginal
+	default:
+		return filter.OrderHubFirst
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = sched.DefaultThreads()
+	}
+	if c.MaxLoadFactor == 0 {
+		c.MaxLoadFactor = 2
+	}
+	if c.MaxLoadFactor < 0 {
+		c.MaxLoadFactor = 0
+	}
+	return c
+}
+
+// PrepStats records preprocessing cost (Table 4).
+type PrepStats struct {
+	FilterTime    time.Duration
+	PartitionTime time.Duration
+}
+
+// Total returns the end-to-end preprocessing time.
+func (p PrepStats) Total() time.Duration { return p.FilterTime + p.PartitionTime }
+
+// Engine is a preprocessed Mixen instance, reusable across algorithm runs
+// on the same graph.
+type Engine struct {
+	cfg  Config
+	F    *filter.Filtered
+	P    *block.Partition
+	Prep PrepStats
+
+	// SkippedBlocks counts sub-blocks whose Scatter was skipped by the
+	// activity mask during the most recent Run (observability/testing).
+	SkippedBlocks int64
+}
+
+// New preprocesses g: filtering/relabeling plus 2-D blocking of the regular
+// submatrix.
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	t0 := time.Now()
+	f := filter.FilterWithOptions(g, filter.Options{Order: cfg.regularOrder()})
+	t1 := time.Now()
+	p, err := block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, block.Config{
+		Side:               cfg.Side,
+		MaxLoadFactor:      cfg.MaxLoadFactor,
+		DisableCompression: cfg.DisableCompression,
+		Threads:            cfg.Threads,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+	t2 := time.Now()
+	return &Engine{
+		cfg: cfg,
+		F:   f,
+		P:   p,
+		Prep: PrepStats{
+			FilterTime:    t1.Sub(t0),
+			PartitionTime: t2.Sub(t1),
+		},
+	}, nil
+}
+
+// Graph returns the original graph.
+func (e *Engine) Graph() *graph.Graph { return e.F.G }
+
+// Name implements vprog.Engine.
+func (e *Engine) Name() string { return "mixen" }
+
+// TrafficPerIteration models the main-phase memory traffic per iteration on
+// the actual partition (Equation 1, 4r+4m̃, refined by edge compression).
+func (e *Engine) TrafficPerIteration() int64 {
+	return e.P.TrafficPerIteration(!e.cfg.DisableCache)
+}
+
+// RandomAccessesPerIteration counts block switches per iteration
+// (Equation 2, O((αn/c)²)).
+func (e *Engine) RandomAccessesPerIteration() int64 {
+	return e.P.RandomAccessesPerIteration()
+}
+
+// RunStats breaks a run down by phase.
+type RunStats struct {
+	PreTime  time.Duration
+	MainTime time.Duration
+	PostTime time.Duration
+	// MainIterations equals Result.Iterations.
+	MainIterations int
+}
+
+// Run executes prog to convergence (or prog.MaxIter) and returns the final
+// values in original id order.
+func (e *Engine) Run(prog vprog.Program) (*vprog.Result, error) {
+	res, _, err := e.RunWithStats(prog)
+	return res, err
+}
+
+// RunWithStats is Run plus per-phase timing.
+func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, error) {
+	w := prog.Width()
+	if w <= 0 {
+		return nil, RunStats{}, fmt.Errorf("core: program width %d must be positive", w)
+	}
+	n := e.F.N()
+	r := e.F.NumRegular
+	ring := prog.Ring()
+	threads := e.cfg.Threads
+	e.P.SetWidth(w)
+	var stats RunStats
+
+	// x and y are full property arrays in NEW id space. Both carry the seed
+	// segment (constant) so pointer swapping stays valid.
+	x := make([]float64, n*w)
+	y := make([]float64, n*w)
+	scale := make([]float64, n)
+	sched.For(n, threads, 1024, func(newV int) {
+		old := uint32(e.F.OldID[newV])
+		prog.Init(old, x[newV*w:newV*w+w])
+		scale[newV] = prog.Scale(old)
+	})
+	copy(y, x)
+
+	// Pre-Phase: accumulate the seed contributions into the static bins.
+	t0 := time.Now()
+	sta := make([]float64, r*w)
+	fillIdentity(sta, ring)
+	e.pushSeeds(x, scale, sta, ring, w)
+	e.P.Sta = sta
+	stats.PreTime = time.Since(t0)
+
+	// Main-Phase.
+	t1 := time.Now()
+	iter := 0
+	delta := math.Inf(1)
+	colDelta := make([]float64, e.P.B)
+	// Activity mask: active[i] is true when block-row i's source segment
+	// changed last iteration and must be re-scattered.
+	active := make([]bool, e.P.B)
+	nextActive := make([]bool, e.P.B)
+	for i := range active {
+		active[i] = true
+	}
+	e.SkippedBlocks = 0
+	track := !e.cfg.DisableActiveTracking
+	for iter < prog.MaxIter() {
+		if e.cfg.DisableCache {
+			// Ablation: redo the seed propagation every iteration.
+			fillIdentity(sta, ring)
+			e.pushSeeds(x, scale, sta, ring, w)
+		}
+		e.scatter(x, scale, ring, w, threads, active)
+		e.cache(y, sta, w, threads)
+		d := e.gatherApply(prog, x, y, ring, w, threads, colDelta, active, nextActive, iter == 0)
+		x, y = y, x
+		iter++
+		delta = d
+		if prog.Converged(delta, iter) {
+			break
+		}
+		if track {
+			active, nextActive = nextActive, active
+		}
+	}
+	stats.MainTime = time.Since(t1)
+	stats.MainIterations = iter
+
+	// Post-Phase: sinks pull once from the final source values.
+	t2 := time.Now()
+	e.postSinks(prog, x, scale, ring, w, threads)
+	stats.PostTime = time.Since(t2)
+
+	// Translate back to original id order.
+	out := make([]float64, n*w)
+	sched.For(n, threads, 1024, func(old int) {
+		newV := int(e.F.NewID[old])
+		copy(out[old*w:old*w+w], x[newV*w:newV*w+w])
+	})
+	return &vprog.Result{Values: out, Iterations: iter, Delta: delta}, stats, nil
+}
+
+// fillIdentity resets a bin array to the ring's ⊕-identity.
+func fillIdentity(a []float64, ring vprog.Ring) {
+	if ring == vprog.Min {
+		inf := math.Inf(1)
+		for i := range a {
+			a[i] = inf
+		}
+		return
+	}
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// pushSeeds accumulates send(x_seed) into sta over the seed CSR. sta must
+// already hold the ring identity. Seeds are partitioned statically across
+// workers with per-worker partial bins to avoid write contention, then
+// reduced (identity-valued partials collapse under either ring).
+func (e *Engine) pushSeeds(x, scale, sta []float64, ring vprog.Ring, w int) {
+	f := e.F
+	s := f.NumSeed
+	if s == 0 || f.NumRegular == 0 {
+		return
+	}
+	threads := e.cfg.Threads
+	if threads > s {
+		threads = s
+	}
+	if threads <= 1 {
+		e.pushSeedRangeInto(x, scale, sta, ring, w, 0, s)
+		return
+	}
+	partials := make([][]float64, threads)
+	sched.ForStatic(s, threads, func(worker, lo, hi int) {
+		part := make([]float64, len(sta))
+		fillIdentity(part, ring)
+		e.pushSeedRangeInto(x, scale, part, ring, w, lo, hi)
+		partials[worker] = part
+	})
+	sched.For(len(sta), threads, 4096, func(i int) {
+		acc := sta[i]
+		for _, part := range partials {
+			acc = ring.Combine(acc, part[i])
+		}
+		sta[i] = acc
+	})
+}
+
+func (e *Engine) pushSeedRangeInto(x, scale, dst []float64, ring vprog.Ring, w, lo, hi int) {
+	f := e.F
+	base := f.NumRegular
+	for i := lo; i < hi; i++ {
+		u := base + i
+		row := f.SeedIdx[f.SeedPtr[i]:f.SeedPtr[i+1]]
+		if len(row) == 0 {
+			continue
+		}
+		sc := scale[u]
+		if ring == vprog.Sum {
+			for l := 0; l < w; l++ {
+				v := x[u*w+l] * sc
+				for _, d := range row {
+					dst[int(d)*w+l] += v
+				}
+			}
+		} else {
+			for l := 0; l < w; l++ {
+				v := x[u*w+l] + sc
+				for _, d := range row {
+					di := int(d)*w + l
+					if v < dst[di] {
+						dst[di] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// scatter fills every dynamic bin with the compressed source values
+// (SCGA Scatter). Parallel over the flat sub-block list: each sub-block's
+// bin is private, so no synchronisation is needed, and dynamic chunking
+// absorbs the hub-row imbalance the load-balance splitting creates tasks
+// for. Sub-blocks whose source segment is inactive keep their previous
+// (still valid) bin contents.
+func (e *Engine) scatter(x, scale []float64, ring vprog.Ring, w, threads int, active []bool) {
+	blocks := e.P.Blocks
+	var skipped atomic.Int64
+	sched.For(len(blocks), threads, 1, func(bi int) {
+		sb := blocks[bi]
+		if !active[sb.BlockRow] {
+			skipped.Add(1)
+			return
+		}
+		if ring == vprog.Sum {
+			if w == 1 {
+				for k, s := range sb.Srcs {
+					sb.Vals[k] = x[s] * scale[s]
+				}
+				return
+			}
+			for k, s := range sb.Srcs {
+				sc := scale[s]
+				base := int(s) * w
+				for l := 0; l < w; l++ {
+					sb.Vals[k*w+l] = x[base+l] * sc
+				}
+			}
+			return
+		}
+		for k, s := range sb.Srcs {
+			sc := scale[s]
+			base := int(s) * w
+			for l := 0; l < w; l++ {
+				sb.Vals[k*w+l] = x[base+l] + sc
+			}
+		}
+	})
+	e.SkippedBlocks += skipped.Load()
+}
+
+// cache writes the static-bin contributions over the regular segment of y
+// (SCGA Cache): a purely sequential streaming write per segment that also
+// stands in for zero-initialising the output.
+func (e *Engine) cache(y, sta []float64, w, threads int) {
+	r := e.F.NumRegular
+	sched.ForRange(r*w, threads, 8192, func(lo, hi int) {
+		copy(y[lo:hi], sta[lo:hi])
+	})
+}
+
+// gatherApply drains the dynamic bins column-by-column and applies the user
+// function to each regular node (SCGA Gather+Apply, fused per block-column
+// exactly as the paper groups them in one parallel region). Returns the
+// summed convergence delta.
+//
+// Activity fast path: when every block-row feeding column j was inactive
+// this iteration, all of j's inputs (bins and static cache) are unchanged,
+// so the column's result equals its previous values — copy them forward
+// and skip the gather. This relies on Apply being a pure function of the
+// gathered sum (or monotone-stable in prev, like BFS's min), the same
+// contract the deferred sink Post-Phase requires.
+func (e *Engine) gatherApply(prog vprog.Program, x, y []float64, ring vprog.Ring, w, threads int, colDelta []float64, active []bool, colChanged []bool, first bool) float64 {
+	p := e.P
+	f := e.F
+	r := f.NumRegular
+	if r == 0 {
+		return 0
+	}
+	b := p.B
+	sched.For(b, threads, 1, func(j int) {
+		// The first iteration must Apply everywhere (seed-only columns have
+		// no sub-blocks yet carry static contributions).
+		anyActive := first
+		for _, sb := range p.Cols[j] {
+			if anyActive {
+				break
+			}
+			if active[sb.BlockRow] {
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			lo := j * p.Side * w
+			hi := lo + p.Side*w
+			if hi > r*w {
+				hi = r * w
+			}
+			copy(y[lo:hi], x[lo:hi])
+			colDelta[j] = 0
+			colChanged[j] = false
+			return
+		}
+		for _, sb := range p.Cols[j] {
+			if ring == vprog.Sum {
+				if w == 1 {
+					for k := range sb.Srcs {
+						v := sb.Vals[k]
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							y[d] += v
+						}
+					}
+					continue
+				}
+				for k := range sb.Srcs {
+					vb := sb.Vals[k*w : k*w+w]
+					for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+						base := int(d) * w
+						for l := 0; l < w; l++ {
+							y[base+l] += vb[l]
+						}
+					}
+				}
+				continue
+			}
+			for k := range sb.Srcs {
+				vb := sb.Vals[k*w : k*w+w]
+				for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+					base := int(d) * w
+					for l := 0; l < w; l++ {
+						if vb[l] < y[base+l] {
+							y[base+l] = vb[l]
+						}
+					}
+				}
+			}
+		}
+		// Apply over this block-column's node range.
+		lo := j * p.Side
+		hi := lo + p.Side
+		if hi > r {
+			hi = r
+		}
+		var d float64
+		changed := false
+		for v := lo; v < hi; v++ {
+			old := uint32(f.OldID[v])
+			dv := prog.Apply(old, y[v*w:v*w+w], x[v*w:v*w+w], y[v*w:v*w+w])
+			d += dv
+			if dv != 0 {
+				changed = true
+			}
+		}
+		colDelta[j] = d
+		colChanged[j] = changed
+	})
+	var total float64
+	for _, d := range colDelta {
+		total += d
+	}
+	return total
+}
+
+// postSinks computes each sink's value once from the final source values
+// (SCGA Post-Phase) via the sink CSC.
+func (e *Engine) postSinks(prog vprog.Program, x, scale []float64, ring vprog.Ring, w, threads int) {
+	f := e.F
+	k := f.NumSink
+	if k == 0 {
+		return
+	}
+	base := f.SinkBound()
+	sched.ForRange(k, threads, 64, func(lo, hi int) {
+		acc := make([]float64, w)
+		for i := lo; i < hi; i++ {
+			v := base + i
+			id := ring.Identity()
+			for l := 0; l < w; l++ {
+				acc[l] = id
+			}
+			for _, u := range f.SinkIdx[f.SinkPtr[i]:f.SinkPtr[i+1]] {
+				sc := scale[u]
+				ub := int(u) * w
+				if ring == vprog.Sum {
+					for l := 0; l < w; l++ {
+						acc[l] += x[ub+l] * sc
+					}
+				} else {
+					for l := 0; l < w; l++ {
+						s := x[ub+l] + sc
+						if s < acc[l] {
+							acc[l] = s
+						}
+					}
+				}
+			}
+			old := uint32(f.OldID[v])
+			prog.Apply(old, acc, x[v*w:v*w+w], x[v*w:v*w+w])
+		}
+	})
+}

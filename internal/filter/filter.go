@@ -1,0 +1,490 @@
+// Package filter implements Mixen's graph filtering and relabeling stage
+// (Section 4.1 of the paper) and the mixed CSR/CSC representation it feeds.
+//
+// Filtering assigns new node ids so that the memory layout becomes
+//
+//	[ hubs | non-hub regular | seed | sink | isolated ]
+//
+// with the relative order inside each category preserved (a stable
+// permutation, as the paper requires to minimize disruption of the original
+// structure). The regular×regular submatrix is then extracted as CSR for
+// 2-D blocking, seed rows are extracted as CSR restricted to regular
+// destinations (they feed the static bins once), and sink columns are
+// extracted as CSC (they are pulled once in the Post-Phase). Every original
+// edge lands in exactly one of the three structures except edges into seed
+// or isolated nodes, which cannot exist by definition.
+package filter
+
+import (
+	"fmt"
+
+	"mixen/internal/analyze"
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// Filtered is the relabeled graph in mixed CSR/CSC representation plus the
+// metadata needed to schedule the three processing phases.
+type Filtered struct {
+	G *graph.Graph // the original graph (unchanged)
+
+	// NewID maps original id -> filtered id; OldID is the inverse.
+	NewID []graph.Node
+	OldID []graph.Node
+
+	// Category boundaries in the new id space:
+	// hubs occupy [0, NumHub), regular [0, NumRegular),
+	// seeds [NumRegular, NumRegular+NumSeed), sinks the next NumSink ids,
+	// isolated the rest.
+	NumHub      int
+	NumRegular  int
+	NumSeed     int
+	NumSink     int
+	NumIsolated int
+
+	// RegPtr/RegIdx: CSR of the regular×regular submatrix in new ids.
+	// Row u in [0, NumRegular) lists its regular out-neighbours (< NumRegular).
+	RegPtr []int64
+	RegIdx []graph.Node
+
+	// SeedPtr/SeedIdx: CSR rows of seed nodes restricted to regular
+	// destinations. Row i corresponds to new id NumRegular+i.
+	SeedPtr []int64
+	SeedIdx []graph.Node
+
+	// SinkPtr/SinkIdx: CSC columns of sink nodes. Column i corresponds to
+	// new id NumRegular+NumSeed+i and lists in-neighbours (new ids, which
+	// are regular or seed).
+	SinkPtr []int64
+	SinkIdx []graph.Node
+
+	// Class keeps the per-original-node classification used during the scan.
+	Class []analyze.NodeClass
+}
+
+// N returns the total node count.
+func (f *Filtered) N() int { return len(f.NewID) }
+
+// RegularEdges returns m̃, the edge count of the regular submatrix.
+func (f *Filtered) RegularEdges() int64 { return int64(len(f.RegIdx)) }
+
+// Alpha returns r/n (the paper's α).
+func (f *Filtered) Alpha() float64 {
+	if f.N() == 0 {
+		return 0
+	}
+	return float64(f.NumRegular) / float64(f.N())
+}
+
+// Beta returns m̃/m (the paper's β).
+func (f *Filtered) Beta() float64 {
+	m := f.G.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	return float64(f.RegularEdges()) / float64(m)
+}
+
+// SeedBound returns the first seed id (== NumRegular).
+func (f *Filtered) SeedBound() int { return f.NumRegular }
+
+// SinkBound returns the first sink id.
+func (f *Filtered) SinkBound() int { return f.NumRegular + f.NumSeed }
+
+// IsolatedBound returns the first isolated id.
+func (f *Filtered) IsolatedBound() int { return f.NumRegular + f.NumSeed + f.NumSink }
+
+// RegularOrder selects how nodes are arranged inside the regular range.
+type RegularOrder uint8
+
+const (
+	// OrderHubFirst is the paper's step-2 policy: hubs (in-degree above
+	// average) first, original relative order preserved inside the hub and
+	// non-hub groups.
+	OrderHubFirst RegularOrder = iota
+	// OrderOriginal keeps the original relative order (classification
+	// only) — the ablation of the locality reordering.
+	OrderOriginal
+	// OrderDegreeDesc fully sorts regular nodes by descending in-degree
+	// (ties by original id), the "degree sort" baseline from the graph
+	// reordering literature; a finer-grained, costlier variant of
+	// hub-first.
+	OrderDegreeDesc
+)
+
+// Options tunes the filtering pass.
+type Options struct {
+	// Order is the regular-range arrangement policy.
+	Order RegularOrder
+}
+
+// Filter runs the 2-step filtering of Section 4.1: classification plus hub
+// relocation, merged into one pass over the degree arrays, followed by the
+// extraction of the mixed CSR/CSC representation.
+func Filter(g *graph.Graph) *Filtered {
+	return FilterWithOptions(g, Options{Order: OrderHubFirst})
+}
+
+// FilterWithOptions is Filter with explicit options.
+func FilterWithOptions(g *graph.Graph, opts Options) *Filtered {
+	n := g.NumNodes()
+	f := &Filtered{
+		G:     g,
+		NewID: make([]graph.Node, n),
+		OldID: make([]graph.Node, n),
+		Class: make([]analyze.NodeClass, n),
+	}
+	threshold := analyze.HubThreshold(g)
+
+	// Pass 1 (parallel): classify and count the five categories.
+	// Category codes: 0 hub-regular, 1 non-hub regular, 2 seed, 3 sink, 4 iso.
+	cat := make([]uint8, n)
+	partial := make([][5]int, sched.DefaultThreads())
+	sched.ForStatic(n, 0, func(worker, lo, hi int) {
+		var counts [5]int
+		for v := lo; v < hi; v++ {
+			in := g.InDegree(graph.Node(v))
+			out := g.OutDegree(graph.Node(v))
+			cl := analyze.ClassOf(in, out)
+			f.Class[v] = cl
+			c := uint8(0)
+			switch cl {
+			case analyze.Regular:
+				if opts.Order == OrderHubFirst && float64(in) > threshold {
+					c = 0
+				} else {
+					c = 1
+				}
+			case analyze.Seed:
+				c = 2
+			case analyze.Sink:
+				c = 3
+			case analyze.Isolated:
+				c = 4
+			}
+			cat[v] = c
+			counts[c]++
+		}
+		partial[worker] = counts
+	})
+	var counts [5]int
+	for _, p := range partial {
+		for i := range counts {
+			counts[i] += p[i]
+		}
+	}
+	f.NumHub = counts[0]
+	f.NumRegular = counts[0] + counts[1]
+	f.NumSeed = counts[2]
+	f.NumSink = counts[3]
+	f.NumIsolated = counts[4]
+
+	// Pass 2 (sequential scan for stability): assign new ids in original
+	// order within each category.
+	var offsets [5]int
+	offsets[0] = 0
+	offsets[1] = counts[0]
+	offsets[2] = f.NumRegular
+	offsets[3] = f.NumRegular + f.NumSeed
+	offsets[4] = f.NumRegular + f.NumSeed + f.NumSink
+	for v := 0; v < n; v++ {
+		id := graph.Node(offsets[cat[v]])
+		offsets[cat[v]]++
+		f.NewID[v] = id
+		f.OldID[id] = graph.Node(v)
+	}
+
+	if opts.Order == OrderDegreeDesc {
+		f.sortRegularByInDegree()
+	}
+
+	f.extractRegularCSR()
+	f.extractSeedCSR()
+	f.extractSinkCSC()
+	return f
+}
+
+// sortRegularByInDegree rearranges the regular range [0, NumRegular) into
+// descending in-degree order (ties broken by original id, keeping the sort
+// stable), implementing the OrderDegreeDesc policy.
+func (f *Filtered) sortRegularByInDegree() {
+	r := f.NumRegular
+	olds := make([]graph.Node, r)
+	copy(olds, f.OldID[:r])
+	g := f.G
+	sortStableByDegree(olds, g)
+	for newID, old := range olds {
+		f.OldID[newID] = old
+		f.NewID[old] = graph.Node(newID)
+	}
+}
+
+func sortStableByDegree(olds []graph.Node, g *graph.Graph) {
+	// Simple merge sort keyed on (−in-degree, id); stdlib sort.SliceStable
+	// would allocate a closure per comparison anyway, so keep it direct.
+	less := func(a, b graph.Node) bool {
+		da, db := g.InDegree(a), g.InDegree(b)
+		if da != db {
+			return da > db
+		}
+		return a < b
+	}
+	var sortRange func(a []graph.Node, buf []graph.Node)
+	sortRange = func(a, buf []graph.Node) {
+		if len(a) < 2 {
+			return
+		}
+		mid := len(a) / 2
+		sortRange(a[:mid], buf[:mid])
+		sortRange(a[mid:], buf[mid:])
+		copy(buf, a)
+		i, j, k := 0, mid, 0
+		for i < mid && j < len(a) {
+			if less(buf[j], buf[i]) {
+				a[k] = buf[j]
+				j++
+			} else {
+				a[k] = buf[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			a[k] = buf[i]
+			i++
+			k++
+		}
+	}
+	sortRange(olds, make([]graph.Node, len(olds)))
+}
+
+// extractRegularCSR builds the regular×regular CSR in new-id space.
+func (f *Filtered) extractRegularCSR() {
+	r := f.NumRegular
+	g := f.G
+	f.RegPtr = make([]int64, r+1)
+	// Count regular out-neighbours per regular row.
+	sched.For(r, 0, 64, func(newU int) {
+		oldU := f.OldID[newU]
+		var c int64
+		for _, v := range g.OutNeighbors(oldU) {
+			if f.Class[v] == analyze.Regular {
+				c++
+			}
+		}
+		f.RegPtr[newU+1] = c
+	})
+	for i := 0; i < r; i++ {
+		f.RegPtr[i+1] += f.RegPtr[i]
+	}
+	f.RegIdx = make([]graph.Node, f.RegPtr[r])
+	sched.For(r, 0, 64, func(newU int) {
+		oldU := f.OldID[newU]
+		pos := f.RegPtr[newU]
+		for _, v := range g.OutNeighbors(oldU) {
+			if f.Class[v] == analyze.Regular {
+				f.RegIdx[pos] = f.NewID[v]
+				pos++
+			}
+		}
+		sortRow(f.RegIdx[f.RegPtr[newU]:pos])
+	})
+}
+
+// extractSeedCSR builds seed rows restricted to regular destinations.
+func (f *Filtered) extractSeedCSR() {
+	s := f.NumSeed
+	base := f.NumRegular
+	g := f.G
+	f.SeedPtr = make([]int64, s+1)
+	sched.For(s, 0, 64, func(i int) {
+		oldU := f.OldID[base+i]
+		var c int64
+		for _, v := range g.OutNeighbors(oldU) {
+			if f.Class[v] == analyze.Regular {
+				c++
+			}
+		}
+		f.SeedPtr[i+1] = c
+	})
+	for i := 0; i < s; i++ {
+		f.SeedPtr[i+1] += f.SeedPtr[i]
+	}
+	f.SeedIdx = make([]graph.Node, f.SeedPtr[s])
+	sched.For(s, 0, 64, func(i int) {
+		oldU := f.OldID[base+i]
+		pos := f.SeedPtr[i]
+		for _, v := range g.OutNeighbors(oldU) {
+			if f.Class[v] == analyze.Regular {
+				f.SeedIdx[pos] = f.NewID[v]
+				pos++
+			}
+		}
+		sortRow(f.SeedIdx[f.SeedPtr[i]:pos])
+	})
+}
+
+// extractSinkCSC builds sink columns over all in-neighbours.
+func (f *Filtered) extractSinkCSC() {
+	k := f.NumSink
+	base := f.NumRegular + f.NumSeed
+	g := f.G
+	f.SinkPtr = make([]int64, k+1)
+	sched.For(k, 0, 64, func(i int) {
+		oldV := f.OldID[base+i]
+		f.SinkPtr[i+1] = g.InDegree(oldV)
+	})
+	for i := 0; i < k; i++ {
+		f.SinkPtr[i+1] += f.SinkPtr[i]
+	}
+	f.SinkIdx = make([]graph.Node, f.SinkPtr[k])
+	sched.For(k, 0, 64, func(i int) {
+		oldV := f.OldID[base+i]
+		pos := f.SinkPtr[i]
+		for _, u := range g.InNeighbors(oldV) {
+			f.SinkIdx[pos] = f.NewID[u]
+			pos++
+		}
+		sortRow(f.SinkIdx[f.SinkPtr[i]:pos])
+	})
+}
+
+func sortRow(row []graph.Node) {
+	// insertion sort is fine for typical row lengths; fall back to a simple
+	// quicksort for long hub rows
+	if len(row) > 64 {
+		quickSortNodes(row)
+		return
+	}
+	for i := 1; i < len(row); i++ {
+		v := row[i]
+		j := i - 1
+		for j >= 0 && row[j] > v {
+			row[j+1] = row[j]
+			j--
+		}
+		row[j+1] = v
+	}
+}
+
+func quickSortNodes(a []graph.Node) {
+	for len(a) > 32 {
+		p := partition(a)
+		if p < len(a)-p {
+			quickSortNodes(a[:p])
+			a = a[p+1:]
+		} else {
+			quickSortNodes(a[p+1:])
+			a = a[:p]
+		}
+	}
+	sortRowSmall(a)
+}
+
+func sortRowSmall(row []graph.Node) {
+	for i := 1; i < len(row); i++ {
+		v := row[i]
+		j := i - 1
+		for j >= 0 && row[j] > v {
+			row[j+1] = row[j]
+			j--
+		}
+		row[j+1] = v
+	}
+}
+
+func partition(a []graph.Node) int {
+	mid := len(a) / 2
+	hi := len(a) - 1
+	// median-of-three pivot
+	if a[0] > a[mid] {
+		a[0], a[mid] = a[mid], a[0]
+	}
+	if a[0] > a[hi] {
+		a[0], a[hi] = a[hi], a[0]
+	}
+	if a[mid] > a[hi] {
+		a[mid], a[hi] = a[hi], a[mid]
+	}
+	pivot := a[mid]
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	i := 0
+	for j := 0; j < hi-1; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+// ToOriginal scatters a value vector indexed by new ids back to original
+// ids. len(newVals) and len(out) must equal N().
+func (f *Filtered) ToOriginal(newVals, out []float64) error {
+	if len(newVals) != f.N() || len(out) != f.N() {
+		return fmt.Errorf("filter: length mismatch new=%d out=%d n=%d", len(newVals), len(out), f.N())
+	}
+	sched.For(f.N(), 0, 1024, func(old int) {
+		out[old] = newVals[f.NewID[old]]
+	})
+	return nil
+}
+
+// ToFiltered gathers a value vector indexed by original ids into new-id
+// order. len(origVals) and len(out) must equal N().
+func (f *Filtered) ToFiltered(origVals, out []float64) error {
+	if len(origVals) != f.N() || len(out) != f.N() {
+		return fmt.Errorf("filter: length mismatch orig=%d out=%d n=%d", len(origVals), len(out), f.N())
+	}
+	sched.For(f.N(), 0, 1024, func(newV int) {
+		out[newV] = origVals[f.OldID[newV]]
+	})
+	return nil
+}
+
+// Validate checks the structural invariants of the filtered form. Intended
+// for tests and debugging, not hot paths.
+func (f *Filtered) Validate() error {
+	n := f.N()
+	if f.NumRegular+f.NumSeed+f.NumSink+f.NumIsolated != n {
+		return fmt.Errorf("filter: category counts do not sum to n")
+	}
+	if f.NumHub > f.NumRegular {
+		return fmt.Errorf("filter: more hubs (%d) than regular nodes (%d)", f.NumHub, f.NumRegular)
+	}
+	// Permutation must be a bijection.
+	seen := make([]bool, n)
+	for old, newID := range f.NewID {
+		if int(newID) >= n || seen[newID] {
+			return fmt.Errorf("filter: NewID not a permutation at %d", old)
+		}
+		seen[newID] = true
+		if f.OldID[newID] != graph.Node(old) {
+			return fmt.Errorf("filter: OldID inverse broken at %d", old)
+		}
+	}
+	// Edge conservation: every original edge appears exactly once across
+	// the three extracted structures.
+	stored := int64(len(f.RegIdx)) + int64(len(f.SeedIdx)) + int64(len(f.SinkIdx))
+	if stored != f.G.NumEdges() {
+		return fmt.Errorf("filter: stored %d edges, original has %d", stored, f.G.NumEdges())
+	}
+	// Regular CSR indices must stay inside the regular range.
+	for _, v := range f.RegIdx {
+		if int(v) >= f.NumRegular {
+			return fmt.Errorf("filter: regular CSR index %d outside regular range %d", v, f.NumRegular)
+		}
+	}
+	for _, v := range f.SeedIdx {
+		if int(v) >= f.NumRegular {
+			return fmt.Errorf("filter: seed CSR index %d outside regular range %d", v, f.NumRegular)
+		}
+	}
+	for _, u := range f.SinkIdx {
+		if int(u) >= f.SinkBound() {
+			return fmt.Errorf("filter: sink CSC index %d is not regular or seed", u)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/analyze"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+// tiny graph: 0->1, 0->2, 1->2, 2->0, 3->2, 5->4
+// classes: 0,1,2 regular; 3,5 seed; 4 sink. avg degree 1.
+// hub: node 2 (in-degree 3 > 1). Expected new order:
+// [2 | 0 1 | 3 5 | 4 | ] => NewID: 2->0, 0->1, 1->2, 3->3, 5->4, 4->5
+func tiny(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 2}, {Src: 5, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFilterBoundaries(t *testing.T) {
+	f := Filter(tiny(t))
+	if f.NumHub != 1 || f.NumRegular != 3 || f.NumSeed != 2 || f.NumSink != 1 || f.NumIsolated != 0 {
+		t.Fatalf("bounds hub=%d reg=%d seed=%d sink=%d iso=%d",
+			f.NumHub, f.NumRegular, f.NumSeed, f.NumSink, f.NumIsolated)
+	}
+	if f.SeedBound() != 3 || f.SinkBound() != 5 || f.IsolatedBound() != 6 {
+		t.Fatalf("derived bounds seed=%d sink=%d iso=%d", f.SeedBound(), f.SinkBound(), f.IsolatedBound())
+	}
+}
+
+func TestFilterStableOrder(t *testing.T) {
+	f := Filter(tiny(t))
+	// Hub 2 first, then regular 0, 1 in original order, seeds 3, 5, sink 4.
+	wantOld := []graph.Node{2, 0, 1, 3, 5, 4}
+	for newID, old := range wantOld {
+		if f.OldID[newID] != old {
+			t.Errorf("OldID[%d] = %d, want %d", newID, f.OldID[newID], old)
+		}
+		if f.NewID[old] != graph.Node(newID) {
+			t.Errorf("NewID[%d] = %d, want %d", old, f.NewID[old], newID)
+		}
+	}
+}
+
+func TestFilterRegularCSR(t *testing.T) {
+	f := Filter(tiny(t))
+	// Regular submatrix edges (old): 0->1, 0->2, 1->2, 2->0.
+	// In new ids: 1->2, 1->0, 2->0, 0->1.
+	if f.RegularEdges() != 4 {
+		t.Fatalf("m̃ = %d, want 4", f.RegularEdges())
+	}
+	row0 := f.RegIdx[f.RegPtr[0]:f.RegPtr[1]] // hub 2's regular out-edges: 2->0 => new 0->1
+	if len(row0) != 1 || row0[0] != 1 {
+		t.Fatalf("row 0 = %v, want [1]", row0)
+	}
+	row1 := f.RegIdx[f.RegPtr[1]:f.RegPtr[2]] // old 0: ->1(new2), ->2(new0), sorted [0 2]
+	if len(row1) != 2 || row1[0] != 0 || row1[1] != 2 {
+		t.Fatalf("row 1 = %v, want [0 2]", row1)
+	}
+}
+
+func TestFilterSeedCSR(t *testing.T) {
+	f := Filter(tiny(t))
+	// Seeds: old 3 (->2 regular) and old 5 (->4 sink, filtered out).
+	if got := f.SeedPtr[f.NumSeed]; got != 1 {
+		t.Fatalf("seed edges = %d, want 1", got)
+	}
+	row := f.SeedIdx[f.SeedPtr[0]:f.SeedPtr[1]]
+	if len(row) != 1 || row[0] != 0 { // old 2 = new 0
+		t.Fatalf("seed row 0 = %v, want [0]", row)
+	}
+}
+
+func TestFilterSinkCSC(t *testing.T) {
+	f := Filter(tiny(t))
+	// Sink: old 4, in-neighbour old 5 = new 4 (seed).
+	if got := f.SinkPtr[f.NumSink]; got != 1 {
+		t.Fatalf("sink edges = %d, want 1", got)
+	}
+	col := f.SinkIdx[f.SinkPtr[0]:f.SinkPtr[1]]
+	if len(col) != 1 || col[0] != 4 {
+		t.Fatalf("sink col 0 = %v, want [4]", col)
+	}
+}
+
+func TestFilterValidateTiny(t *testing.T) {
+	f := Filter(tiny(t))
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphaBetaMatchAnalyze(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 3000, M: 30000,
+		RegularFrac: 0.3, SeedFrac: 0.3, SinkFrac: 0.3,
+		ZipfS: 1.2, ZipfV: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	s := analyze.Compute(g)
+	if !close(f.Alpha(), s.Alpha) {
+		t.Errorf("alpha: filter=%v analyze=%v", f.Alpha(), s.Alpha)
+	}
+	if !close(f.Beta(), s.Beta) {
+		t.Errorf("beta: filter=%v analyze=%v", f.Beta(), s.Beta)
+	}
+}
+
+func TestHubsAreFirstAndAboveThreshold(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(10, 8, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	threshold := analyze.HubThreshold(g)
+	for newID := 0; newID < f.NumHub; newID++ {
+		old := f.OldID[newID]
+		if float64(g.InDegree(old)) <= threshold {
+			t.Fatalf("new id %d (old %d) in hub range but in-degree %d <= %v",
+				newID, old, g.InDegree(old), threshold)
+		}
+	}
+	for newID := f.NumHub; newID < f.NumRegular; newID++ {
+		old := f.OldID[newID]
+		if float64(g.InDegree(old)) > threshold {
+			t.Fatalf("new id %d (old %d) in non-hub range but in-degree %d > %v",
+				newID, old, g.InDegree(old), threshold)
+		}
+	}
+}
+
+func TestClassRangesConsistent(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 2000, M: 10000,
+		RegularFrac: 0.25, SeedFrac: 0.25, SinkFrac: 0.25,
+		ZipfS: 1.3, ZipfV: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	for newID := 0; newID < f.N(); newID++ {
+		old := f.OldID[newID]
+		var want analyze.NodeClass
+		switch {
+		case newID < f.NumRegular:
+			want = analyze.Regular
+		case newID < f.SinkBound():
+			want = analyze.Seed
+		case newID < f.IsolatedBound():
+			want = analyze.Sink
+		default:
+			want = analyze.Isolated
+		}
+		if f.Class[old] != want {
+			t.Fatalf("new id %d: class %v, range says %v", newID, f.Class[old], want)
+		}
+	}
+}
+
+func TestToOriginalToFilteredRoundTrip(t *testing.T) {
+	g := tiny(t)
+	f := Filter(g)
+	orig := []float64{10, 11, 12, 13, 14, 15}
+	filtered := make([]float64, 6)
+	back := make([]float64, 6)
+	if err := f.ToFiltered(orig, filtered); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ToOriginal(filtered, back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("round trip broke at %d: %v != %v", i, back[i], orig[i])
+		}
+	}
+	// Spot check: filtered[0] must be the value of the hub (old node 2).
+	if filtered[0] != 12 {
+		t.Fatalf("filtered[0] = %v, want 12 (old hub 2)", filtered[0])
+	}
+}
+
+func TestToOriginalLengthMismatch(t *testing.T) {
+	f := Filter(tiny(t))
+	if err := f.ToOriginal(make([]float64, 3), make([]float64, 6)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := f.ToFiltered(make([]float64, 6), make([]float64, 2)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestFilterEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 0 || f.RegularEdges() != 0 {
+		t.Fatal("empty graph should filter to empty structures")
+	}
+}
+
+func TestFilterAllIsolated(t *testing.T) {
+	g, err := graph.FromEdges(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumIsolated != 10 || f.NumRegular != 0 {
+		t.Fatalf("all-isolated graph: reg=%d iso=%d", f.NumRegular, f.NumIsolated)
+	}
+}
+
+func TestPropertyFilterInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		edges := make([]graph.Edge, rng.Intn(300))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		f := Filter(g)
+		return f.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every edge of the original graph must be recoverable from the mixed
+// representation with correct endpoints.
+func TestPropertyEdgeRecovery(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		edges := make([]graph.Edge, rng.Intn(200))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		f := Filter(g)
+		recovered := make([]graph.Edge, 0, g.NumEdges())
+		for u := 0; u < f.NumRegular; u++ {
+			for _, v := range f.RegIdx[f.RegPtr[u]:f.RegPtr[u+1]] {
+				recovered = append(recovered, graph.Edge{Src: f.OldID[u], Dst: f.OldID[v]})
+			}
+		}
+		for i := 0; i < f.NumSeed; i++ {
+			src := f.OldID[f.NumRegular+i]
+			for _, v := range f.SeedIdx[f.SeedPtr[i]:f.SeedPtr[i+1]] {
+				recovered = append(recovered, graph.Edge{Src: src, Dst: f.OldID[v]})
+			}
+		}
+		for i := 0; i < f.NumSink; i++ {
+			dst := f.OldID[f.SinkBound()+i]
+			for _, u := range f.SinkIdx[f.SinkPtr[i]:f.SinkPtr[i+1]] {
+				recovered = append(recovered, graph.Edge{Src: f.OldID[u], Dst: dst})
+			}
+		}
+		g2, err := graph.FromEdges(n, recovered)
+		if err != nil {
+			return false
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			a, b := g.OutNeighbors(graph.Node(u)), g2.OutNeighbors(graph.Node(u))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

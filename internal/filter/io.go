@@ -1,0 +1,170 @@
+package filter
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mixen/internal/analyze"
+	"mixen/internal/graph"
+)
+
+// Binary format for the preprocessed filtered form, so a production
+// deployment can persist the (filter-dominated, per Table 4) preprocessing
+// once and reload it instantly:
+//
+//	magic    uint32 = 0x4d495846 ("MIXF")
+//	version  uint32 = 1
+//	n        uint64
+//	numHub, numRegular, numSeed, numSink, numIsolated uint64
+//	newID    [n]uint32
+//	regPtr   [numRegular+1]int64,   regIdx  [...]uint32
+//	seedPtr  [numSeed+1]int64,      seedIdx [...]uint32
+//	sinkPtr  [numSink+1]int64,      sinkIdx [...]uint32
+//
+// The original graph is NOT serialized (it has its own format); ReadInto
+// re-attaches a graph and cross-validates the node count and edge
+// conservation.
+const (
+	filteredMagic   = 0x4d495846
+	filteredVersion = 1
+)
+
+// WriteBinary serializes the filtered form (without the original graph).
+func (f *Filtered) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	head := []uint64{
+		uint64(f.NumHub), uint64(f.NumRegular), uint64(f.NumSeed),
+		uint64(f.NumSink), uint64(f.NumIsolated),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(filteredMagic)); err != nil {
+		return fmt.Errorf("filter: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(filteredVersion)); err != nil {
+		return fmt.Errorf("filter: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(f.N())); err != nil {
+		return fmt.Errorf("filter: write n: %w", err)
+	}
+	for _, h := range head {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("filter: write header: %w", err)
+		}
+	}
+	for _, part := range []any{
+		f.NewID,
+		f.RegPtr, f.RegIdx,
+		f.SeedPtr, f.SeedIdx,
+		f.SinkPtr, f.SinkIdx,
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+			return fmt.Errorf("filter: write payload: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a filtered form and re-attaches it to g,
+// validating consistency.
+func ReadBinary(r io.Reader, g *graph.Graph) (*Filtered, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("filter: read magic: %w", err)
+	}
+	if magic != filteredMagic {
+		return nil, fmt.Errorf("filter: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("filter: read version: %w", err)
+	}
+	if version != filteredVersion {
+		return nil, fmt.Errorf("filter: unsupported version %d", version)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("filter: read n: %w", err)
+	}
+	if int(n) != g.NumNodes() {
+		return nil, fmt.Errorf("filter: file has %d nodes, graph has %d", n, g.NumNodes())
+	}
+	var head [5]uint64
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("filter: read header: %w", err)
+		}
+	}
+	f := &Filtered{
+		G:           g,
+		NumHub:      int(head[0]),
+		NumRegular:  int(head[1]),
+		NumSeed:     int(head[2]),
+		NumSink:     int(head[3]),
+		NumIsolated: int(head[4]),
+	}
+	if f.NumRegular+f.NumSeed+f.NumSink+f.NumIsolated != int(n) {
+		return nil, fmt.Errorf("filter: category counts do not sum to n")
+	}
+	f.NewID = make([]graph.Node, n)
+	if err := binary.Read(br, binary.LittleEndian, f.NewID); err != nil {
+		return nil, fmt.Errorf("filter: read newid: %w", err)
+	}
+	readHalf := func(rows int) ([]int64, []graph.Node, error) {
+		ptr := make([]int64, rows+1)
+		if err := binary.Read(br, binary.LittleEndian, ptr); err != nil {
+			return nil, nil, err
+		}
+		if ptr[0] != 0 || ptr[rows] < 0 || ptr[rows] > int64(1)<<40 {
+			return nil, nil, fmt.Errorf("implausible pointer array")
+		}
+		for i := 0; i < rows; i++ {
+			if ptr[i+1] < ptr[i] {
+				return nil, nil, fmt.Errorf("decreasing pointer array")
+			}
+		}
+		idx := make([]graph.Node, ptr[rows])
+		if err := binary.Read(br, binary.LittleEndian, idx); err != nil {
+			return nil, nil, err
+		}
+		return ptr, idx, nil
+	}
+	var err error
+	if f.RegPtr, f.RegIdx, err = readHalf(f.NumRegular); err != nil {
+		return nil, fmt.Errorf("filter: read regular csr: %w", err)
+	}
+	if f.SeedPtr, f.SeedIdx, err = readHalf(f.NumSeed); err != nil {
+		return nil, fmt.Errorf("filter: read seed csr: %w", err)
+	}
+	if f.SinkPtr, f.SinkIdx, err = readHalf(f.NumSink); err != nil {
+		return nil, fmt.Errorf("filter: read sink csc: %w", err)
+	}
+	// Rebuild derived state and validate against the attached graph.
+	f.OldID = make([]graph.Node, n)
+	seen := make([]bool, n)
+	for old, newID := range f.NewID {
+		if int(newID) >= int(n) || seen[newID] {
+			return nil, fmt.Errorf("filter: stored NewID is not a permutation")
+		}
+		seen[newID] = true
+		f.OldID[newID] = graph.Node(old)
+	}
+	f.Class = make([]analyze.NodeClass, n)
+	for old := 0; old < int(n); old++ {
+		newID := int(f.NewID[old])
+		switch {
+		case newID < f.NumRegular:
+			f.Class[old] = analyze.Regular
+		case newID < f.NumRegular+f.NumSeed:
+			f.Class[old] = analyze.Seed
+		case newID < f.NumRegular+f.NumSeed+f.NumSink:
+			f.Class[old] = analyze.Sink
+		default:
+			f.Class[old] = analyze.Isolated
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("filter: loaded form inconsistent with graph: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,122 @@
+package filter
+
+import (
+	"bytes"
+	"testing"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func TestFilteredBinaryRoundTrip(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 1500, M: 9000,
+		RegularFrac: 0.4, SeedFrac: 0.25, SinkFrac: 0.25,
+		ZipfS: 1.25, ZipfV: 1, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBinary(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumHub != f.NumHub || loaded.NumRegular != f.NumRegular ||
+		loaded.NumSeed != f.NumSeed || loaded.NumSink != f.NumSink ||
+		loaded.NumIsolated != f.NumIsolated {
+		t.Fatal("boundaries changed across serialization")
+	}
+	for v := range f.NewID {
+		if loaded.NewID[v] != f.NewID[v] || loaded.OldID[v] != f.OldID[v] {
+			t.Fatalf("permutation changed at %d", v)
+		}
+		if loaded.Class[v] != f.Class[v] {
+			t.Fatalf("class changed at %d", v)
+		}
+	}
+	for i := range f.RegIdx {
+		if loaded.RegIdx[i] != f.RegIdx[i] {
+			t.Fatalf("regular csr changed at %d", i)
+		}
+	}
+	for i := range f.SeedIdx {
+		if loaded.SeedIdx[i] != f.SeedIdx[i] {
+			t.Fatalf("seed csr changed at %d", i)
+		}
+	}
+	for i := range f.SinkIdx {
+		if loaded.SinkIdx[i] != f.SinkIdx[i] {
+			t.Fatalf("sink csc changed at %d", i)
+		}
+	}
+}
+
+func TestFilteredReadRejectsWrongGraph(t *testing.T) {
+	g := tiny(t)
+	f := Filter(g)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := graph.FromEdges(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("expected node-count mismatch error")
+	}
+	// Same node count, different edges: edge-conservation check must fire.
+	sameN, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()), sameN); err == nil {
+		t.Fatal("expected edge-conservation error")
+	}
+}
+
+func TestFilteredReadRejectsGarbage(t *testing.T) {
+	g := tiny(t)
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3}), g); err == nil {
+		t.Fatal("expected magic error")
+	}
+	f := Filter(g)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 9 // version
+	if _, err := ReadBinary(bytes.NewReader(raw), g); err == nil {
+		t.Fatal("expected version error")
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	if err := f.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	raw2 := buf2.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw2[:len(raw2)-8]), g); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestFilteredRoundTripEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter(g)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"mixen/internal/graph"
+)
+
+// Preset is a named stand-in for one of the paper's eight evaluation
+// datasets (Table 2), scaled to laptop size. Build(shrink) divides the node
+// and edge counts by shrink (shrink=1 is the full laptop-scale instance;
+// tests use larger shrinks).
+type Preset struct {
+	Name     string
+	Skewed   bool // per Table 2
+	Real     bool // modelled after a real crawl (vs synthetic model)
+	Directed bool
+	Build    func(shrink int) (*graph.Graph, error)
+}
+
+// Presets returns the eight dataset stand-ins in the paper's order:
+// weibo, track, wiki, pld, rmat, kron, road, urand.
+//
+// Structural targets (from Tables 1 and 2 of the paper):
+//
+//	weibo: 1% regular, 99% seed;           α=0.01 β=0.06, extreme hubs
+//	track: 46% regular, 54% seed;          α=0.46 β=0.60
+//	wiki:  22% regular, 33% seed, 45% sink; α=0.22 β=0.78
+//	pld:   56% regular, 8% seed, 28% sink, 8% isolated; α=0.56 β=0.84
+//	rmat:  R-MAT scale graph, many isolated nodes
+//	kron:  Graph500 Kronecker, undirected, ~half isolated
+//	road:  bidirected grid, no zero-degree nodes, low max degree
+//	urand: uniform random, bidirected, no zero-degree nodes
+func Presets() []Preset {
+	return []Preset{
+		{Name: "weibo", Skewed: true, Real: true, Directed: true, Build: buildWeibo},
+		{Name: "track", Skewed: true, Real: true, Directed: true, Build: buildTrack},
+		{Name: "wiki", Skewed: true, Real: true, Directed: true, Build: buildWiki},
+		{Name: "pld", Skewed: true, Real: true, Directed: true, Build: buildPld},
+		{Name: "rmat", Skewed: true, Real: false, Directed: true, Build: buildRmat},
+		{Name: "kron", Skewed: true, Real: false, Directed: false, Build: buildKron},
+		{Name: "road", Skewed: false, Real: true, Directed: false, Build: buildRoad},
+		{Name: "urand", Skewed: false, Real: false, Directed: false, Build: buildURand},
+	}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("gen: unknown preset %q", name)
+}
+
+func checkShrink(shrink int) (int, error) {
+	if shrink < 1 {
+		return 0, fmt.Errorf("gen: shrink %d must be >= 1", shrink)
+	}
+	return shrink, nil
+}
+
+func buildWeibo(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	return Skewed(SkewedConfig{
+		N:              maxInt(91_000/s, 400),
+		M:              int64(maxInt(4_100_000/s, 18_000)),
+		RegularFrac:    0.01,
+		SeedFrac:       0.99,
+		SinkFrac:       0,
+		ZipfS:          1.30,
+		ZipfV:          1,
+		SrcRegularBias: 0.06,
+		Seed:           101,
+	})
+}
+
+func buildTrack(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	return Skewed(SkewedConfig{
+		N:              maxInt(200_000/s, 500),
+		M:              int64(maxInt(2_200_000/s, 5_500)),
+		RegularFrac:    0.46,
+		SeedFrac:       0.54,
+		SinkFrac:       0,
+		ZipfS:          1.20,
+		ZipfV:          2,
+		SrcRegularBias: 0.60,
+		Seed:           102,
+	})
+}
+
+func buildWiki(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	return Skewed(SkewedConfig{
+		N:              maxInt(284_000/s, 600),
+		M:              int64(maxInt(2_700_000/s, 5_700)),
+		RegularFrac:    0.22,
+		SeedFrac:       0.33,
+		SinkFrac:       0.45,
+		ZipfS:          1.25,
+		ZipfV:          2,
+		SrcRegularBias: 0.88,
+		DstRegularBias: 0.89,
+		Seed:           103,
+	})
+}
+
+func buildPld(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	return Skewed(SkewedConfig{
+		N:              maxInt(335_000/s, 700),
+		M:              int64(maxInt(4_900_000/s, 10_200)),
+		RegularFrac:    0.56,
+		SeedFrac:       0.08,
+		SinkFrac:       0.28,
+		ZipfS:          1.20,
+		ZipfV:          2,
+		SrcRegularBias: 0.92,
+		DstRegularBias: 0.92,
+		Seed:           104,
+	})
+}
+
+func buildRmat(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	scale := 17 - int(math.Round(math.Log2(float64(s))))
+	if scale < 8 {
+		scale = 8
+	}
+	return RMAT(GAPRMATConfig(scale, 16, 105))
+}
+
+func buildKron(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	scale := 18 - int(math.Round(math.Log2(float64(s))))
+	if scale < 8 {
+		scale = 8
+	}
+	return Kronecker(scale, 16, 106)
+}
+
+func buildRoad(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	side := maxInt(612/int(math.Round(math.Sqrt(float64(s)))), 24)
+	return Road(RoadConfig{Rows: side, Cols: side, Drop: 0.15, Seed: 107})
+}
+
+func buildURand(shrink int) (*graph.Graph, error) {
+	s, err := checkShrink(shrink)
+	if err != nil {
+		return nil, err
+	}
+	n := maxInt(131_072/s, 512)
+	return URand(n, int64(32*n), 108)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixen/internal/graph"
+)
+
+// SkewedConfig controls the synthetic crawled-graph generator. It fixes the
+// node-class mix up front (the structural property Tables 1 and 2 report)
+// and fills in edges with Zipf-distributed popularity so that a small hub
+// set concentrates most links.
+//
+// Class fractions must satisfy Regular+Seed+Sink ≤ 1 (the remainder is
+// isolated). Edges are only generated from {regular ∪ seed} sources to
+// {regular ∪ sink} destinations, and every eligible endpoint is guaranteed
+// its defining edge, so the class assignment is exact by construction.
+//
+// SrcRegularBias / DstRegularBias steer what fraction of edges start/end at
+// regular nodes; their product approximates β (the share of edges inside
+// the regular×regular submatrix, Table 2). Zero means "proportional to pool
+// sizes".
+type SkewedConfig struct {
+	N              int     // node count
+	M              int64   // target edge count (≥ the guarantee edges)
+	RegularFrac    float64 // fraction of regular nodes (in>0 and out>0)
+	SeedFrac       float64 // fraction of seed nodes (out only)
+	SinkFrac       float64 // fraction of sink nodes (in only)
+	ZipfS          float64 // Zipf exponent for destination popularity (>1)
+	ZipfV          float64 // Zipf offset (≥1); larger spreads the head
+	OutZipfS       float64 // optional Zipf exponent for source activity; 0 = uniform
+	SrcRegularBias float64 // P(edge source is regular); 0 = proportional
+	DstRegularBias float64 // P(edge destination is regular); 0 = proportional
+	Seed           int64
+}
+
+// Validate reports configuration errors.
+func (c SkewedConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("gen: skewed N=%d must be positive", c.N)
+	}
+	if c.M < 0 {
+		return fmt.Errorf("gen: skewed M=%d negative", c.M)
+	}
+	sum := c.RegularFrac + c.SeedFrac + c.SinkFrac
+	if c.RegularFrac < 0 || c.SeedFrac < 0 || c.SinkFrac < 0 || sum > 1.0001 {
+		return fmt.Errorf("gen: skewed class fractions %.3f+%.3f+%.3f exceed 1",
+			c.RegularFrac, c.SeedFrac, c.SinkFrac)
+	}
+	if c.RegularFrac+c.SeedFrac == 0 && c.M > 0 {
+		return fmt.Errorf("gen: no eligible sources but M=%d", c.M)
+	}
+	if c.RegularFrac+c.SinkFrac == 0 && c.M > 0 {
+		return fmt.Errorf("gen: no eligible destinations but M=%d", c.M)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("gen: ZipfS=%v must be > 1", c.ZipfS)
+	}
+	if c.ZipfV < 1 {
+		return fmt.Errorf("gen: ZipfV=%v must be >= 1", c.ZipfV)
+	}
+	if c.OutZipfS != 0 && c.OutZipfS <= 1 {
+		return fmt.Errorf("gen: OutZipfS=%v must be 0 or > 1", c.OutZipfS)
+	}
+	if c.SrcRegularBias < 0 || c.SrcRegularBias > 1 || c.DstRegularBias < 0 || c.DstRegularBias > 1 {
+		return fmt.Errorf("gen: class biases must be in [0,1]")
+	}
+	return nil
+}
+
+// pool samples from a fixed node set, optionally Zipf-weighted over a
+// shuffled ordering (so popular nodes are random identities, but popularity
+// concentration follows the Zipf law).
+type pool struct {
+	nodes []graph.Node
+	zipf  *rand.Zipf
+	rng   *rand.Rand
+}
+
+func newPool(rng *rand.Rand, nodes []graph.Node, zipfS, zipfV float64) *pool {
+	p := &pool{nodes: nodes, rng: rng}
+	if len(nodes) > 0 && zipfS > 1 {
+		shuffled := append([]graph.Node{}, nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		p.nodes = shuffled
+		p.zipf = rand.NewZipf(rng, zipfS, zipfV, uint64(len(shuffled)-1))
+	}
+	return p
+}
+
+func (p *pool) sample() graph.Node {
+	if p.zipf != nil {
+		return p.nodes[p.zipf.Uint64()]
+	}
+	return p.nodes[p.rng.Intn(len(p.nodes))]
+}
+
+func (p *pool) empty() bool { return len(p.nodes) == 0 }
+
+// Skewed generates the graph described by cfg. Node ids are shuffled so that
+// class membership does not correlate with id order — downstream filtering
+// must discover the structure itself, as it would on a real crawl.
+func Skewed(cfg SkewedConfig) (*graph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	nReg := int(cfg.RegularFrac * float64(n))
+	nSeed := int(cfg.SeedFrac * float64(n))
+	nSink := int(cfg.SinkFrac * float64(n))
+	if nReg+nSeed+nSink > n {
+		nSink = n - nReg - nSeed
+	}
+
+	// A random permutation maps "class slots" to final node ids.
+	perm := rng.Perm(n)
+	regular := toNodes(perm[:nReg])
+	seeds := toNodes(perm[nReg : nReg+nSeed])
+	sinks := toNodes(perm[nReg+nSeed : nReg+nSeed+nSink])
+
+	regDst := newPool(rng, regular, cfg.ZipfS, cfg.ZipfV)
+	sinkDst := newPool(rng, sinks, cfg.ZipfS, cfg.ZipfV)
+	regSrc := newPool(rng, regular, cfg.OutZipfS, cfg.ZipfV)
+	seedSrc := newPool(rng, seeds, cfg.OutZipfS, cfg.ZipfV)
+
+	dstBias := cfg.DstRegularBias
+	if dstBias == 0 && nReg+nSink > 0 {
+		dstBias = float64(nReg) / float64(nReg+nSink)
+	}
+	srcBias := cfg.SrcRegularBias
+	if srcBias == 0 && nReg+nSeed > 0 {
+		srcBias = float64(nReg) / float64(nReg+nSeed)
+	}
+
+	sampleDst := func() graph.Node {
+		if sinkDst.empty() || (!regDst.empty() && rng.Float64() < dstBias) {
+			return regDst.sample()
+		}
+		return sinkDst.sample()
+	}
+	sampleSrc := func() graph.Node {
+		if seedSrc.empty() || (!regSrc.empty() && rng.Float64() < srcBias) {
+			return regSrc.sample()
+		}
+		return seedSrc.sample()
+	}
+
+	nSrcs := nReg + nSeed
+	nDsts := nReg + nSink
+	edges := make([]graph.Edge, 0, cfg.M+int64(nSrcs+nDsts))
+	// Guarantee edges: every eligible source gets one out-edge, every
+	// eligible destination one in-edge. This pins the class assignment.
+	for _, s := range regular {
+		edges = append(edges, graph.Edge{Src: s, Dst: sampleDst()})
+	}
+	for _, s := range seeds {
+		edges = append(edges, graph.Edge{Src: s, Dst: sampleDst()})
+	}
+	for _, d := range regular {
+		edges = append(edges, graph.Edge{Src: sampleSrc(), Dst: d})
+	}
+	for _, d := range sinks {
+		edges = append(edges, graph.Edge{Src: sampleSrc(), Dst: d})
+	}
+	for int64(len(edges)) < cfg.M {
+		edges = append(edges, graph.Edge{Src: sampleSrc(), Dst: sampleDst()})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func toNodes(ids []int) []graph.Node {
+	out := make([]graph.Node, len(ids))
+	for i, v := range ids {
+		out[i] = graph.Node(v)
+	}
+	return out
+}

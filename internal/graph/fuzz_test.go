@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets double as robustness unit tests: `go test` runs the seed
+// corpus; `go test -fuzz=FuzzReadBinary ./internal/graph` explores further.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n\n5 5\n")
+	f.Add("not numbers\n")
+	f.Add("1\n")
+	f.Add("4294967295 0\n")
+	f.Add("0 1 extra fields ok\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), 0)
+		if err != nil {
+			return // rejecting is fine; crashing is not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0x58, 0x49, 0x4d, 1, 0, 0, 0})
+	truncated := append([]byte(nil), valid...)
+	truncated[10] ^= 0xff
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted payload produced invalid graph: %v", err)
+		}
+	})
+}

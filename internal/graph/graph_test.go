@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tinyGraph is the 6-node example used across substrate tests:
+//
+//	0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 -> 2, 4 has no edges, 5 -> 4
+var tinyEdges = []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 2}, {5, 4}}
+
+func tinyGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(6, tinyEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := tinyGraph(t)
+	if g.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := tinyGraph(t)
+	wantOut := []int64{2, 1, 1, 1, 0, 1}
+	wantIn := []int64{1, 1, 3, 0, 1, 0}
+	for v := Node(0); v < 6; v++ {
+		if got := g.OutDegree(v); got != wantOut[v] {
+			t.Errorf("out-degree(%d) = %d, want %d", v, got, wantOut[v])
+		}
+		if got := g.InDegree(v); got != wantIn[v] {
+			t.Errorf("in-degree(%d) = %d, want %d", v, got, wantIn[v])
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := tinyGraph(t)
+	nb := g.OutNeighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("out-neighbours of 0 = %v, want [1 2]", nb)
+	}
+	in := g.InNeighbors(2)
+	if len(in) != 3 || in[0] != 0 || in[1] != 1 || in[2] != 3 {
+		t.Fatalf("in-neighbours of 2 = %v, want [0 1 3]", in)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := tinyGraph(t)
+	cases := []struct {
+		u, v Node
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {1, 2, true}, {2, 0, true},
+		{1, 0, false}, {4, 4, false}, {5, 4, true}, {3, 5, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(3, []Edge{{0, 3}}); err == nil {
+		t.Fatal("expected error for destination out of range")
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := tinyGraph(t)
+	tt := g.Transpose().Transpose()
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := Node(0); u < 6; u++ {
+		a, b := g.OutNeighbors(u), tt.OutNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbour %d changed", u, i)
+			}
+		}
+	}
+}
+
+func TestTransposeFlipsEdges(t *testing.T) {
+	g := tinyGraph(t)
+	r := g.Transpose()
+	for _, e := range tinyEdges {
+		if !r.HasEdge(e.Dst, e.Src) {
+			t.Errorf("transpose missing %d->%d", e.Dst, e.Src)
+		}
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatal("transpose changed edge count")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	g2, err := FromEdges(6, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := Node(0); u < 6; u++ {
+		a, b := g.OutNeighbors(u), g2.OutNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed after round trip", u)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := tinyGraph(t)
+	c := g.Clone()
+	c.OutIdx[0] = 5
+	if g.OutIdx[0] == 5 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestDuplicateEdgesKept(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 1}, {0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(0) != 3 || g.InDegree(1) != 3 {
+		t.Fatal("duplicate edges must be preserved as a multiset")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCSRRejectsBadInput(t *testing.T) {
+	if _, err := FromCSR([]int64{0, 2, 1}, []Node{0, 0}); err == nil {
+		t.Fatal("expected error for decreasing ptr")
+	}
+	if _, err := FromCSR([]int64{0, 1}, []Node{7}); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+	if _, err := FromCSR([]int64{1, 2}, []Node{0, 0}); err == nil {
+		t.Fatal("expected error for ptr[0] != 0")
+	}
+	if _, err := FromCSR([]int64{0, 1}, []Node{0, 0}); err == nil {
+		t.Fatal("expected error for ptr[n] != len(idx)")
+	}
+}
+
+// randomEdges produces a reproducible random edge set for property tests.
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Node(rng.Intn(n)), Node(rng.Intn(n))}
+	}
+	return edges
+}
+
+// Parallel and serial construction must produce identical structures
+// (rows are sorted, so placement order cannot leak through).
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 500
+	edges := randomEdges(rng, n, 1<<17) // above the parallel threshold
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, transposed := range []bool{false, true} {
+		sPtr, sIdx := buildCSRSerial(n, edges, transposed)
+		for _, workers := range []int{2, 4, 7} {
+			pPtr, pIdx := buildCSRParallel(n, edges, transposed, workers)
+			if len(pPtr) != len(sPtr) || len(pIdx) != len(sIdx) {
+				t.Fatalf("t=%v w=%d: sizes differ", transposed, workers)
+			}
+			for i := range sPtr {
+				if pPtr[i] != sPtr[i] {
+					t.Fatalf("t=%v w=%d: ptr[%d]: %d vs %d", transposed, workers, i, pPtr[i], sPtr[i])
+				}
+			}
+			for i := range sIdx {
+				if pIdx[i] != sIdx[i] {
+					t.Fatalf("t=%v w=%d: idx[%d]: %d vs %d", transposed, workers, i, pIdx[i], sIdx[i])
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCSRCSCConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		m := rng.Intn(256)
+		g, err := FromEdges(n, randomEdges(rng, n, m))
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegreeSumsEqualM(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		m := rng.Intn(256)
+		g, err := FromEdges(n, randomEdges(rng, n, m))
+		if err != nil {
+			return false
+		}
+		var sumOut, sumIn int64
+		for v := 0; v < n; v++ {
+			sumOut += g.OutDegree(Node(v))
+			sumIn += g.InDegree(Node(v))
+		}
+		return sumOut == int64(m) && sumIn == int64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransposeSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(48)
+		m := rng.Intn(128)
+		g, err := FromEdges(n, randomEdges(rng, n, m))
+		if err != nil {
+			return false
+		}
+		r := g.Transpose()
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(Node(u)) {
+				if !r.HasEdge(v, Node(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

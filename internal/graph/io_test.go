@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %v vs %v", g2, g)
+	}
+	for u := Node(0); u < Node(g.NumNodes()); u++ {
+		a, b := g.OutNeighbors(u), g2.OutNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbour %d changed", u, i)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := FromEdges(100, randomEdges(rng, 100, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+0 2
+1 2
+2 0
+
+3 2
+5 4
+`
+	g, err := ReadEdgeList(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 || g.NumEdges() != 6 {
+		t.Fatalf("got %v, want n=6 m=6", g)
+	}
+	if !g.HasEdge(5, 4) {
+		t.Fatal("missing edge 5->4")
+	}
+}
+
+func TestReadEdgeListMinNodes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("n = %d, want 10 (minNodes)", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), 0); err == nil {
+		t.Fatal("expected error for single-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), 0); err == nil {
+		t.Fatal("expected error for non-numeric fields")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 -1\n"), 0); err == nil {
+		t.Fatal("expected error for negative id")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range tinyEdges {
+		if !g2.HasEdge(e.Src, e.Dst) {
+			t.Errorf("missing edge %d->%d after round trip", e.Src, e.Dst)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// WEdge is a weighted directed link.
+type WEdge struct {
+	Src, Dst Node
+	W        float64
+}
+
+// Weighted augments a Graph with per-edge weights aligned to the CSR and
+// CSC index arrays: the weight of OutIdx[k] is OutW[k], and likewise for
+// the in-edge half. It backs the tropical-ring extensions (SSSP).
+type Weighted struct {
+	*Graph
+	OutW []float64
+	InW  []float64
+}
+
+// WeightedFromEdges builds a weighted graph with n nodes. Adjacency rows
+// are sorted by destination (weights carried along), matching the
+// unweighted builder's layout guarantees.
+func WeightedFromEdges(n int, edges []WEdge) (*Weighted, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count")
+	}
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge %d->%d out of range for n=%d", e.Src, e.Dst, n)
+		}
+	}
+	w := &Weighted{Graph: &Graph{}}
+	w.OutPtr, w.OutIdx, w.OutW = buildWeightedHalf(n, edges, false)
+	w.InPtr, w.InIdx, w.InW = buildWeightedHalf(n, edges, true)
+	return w, nil
+}
+
+func buildWeightedHalf(n int, edges []WEdge, transposed bool) ([]int64, []Node, []float64) {
+	ptr := make([]int64, n+1)
+	for _, e := range edges {
+		k := e.Src
+		if transposed {
+			k = e.Dst
+		}
+		ptr[k+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	idx := make([]Node, len(edges))
+	wts := make([]float64, len(edges))
+	cursor := make([]int64, n)
+	for _, e := range edges {
+		k, v := e.Src, e.Dst
+		if transposed {
+			k, v = v, k
+		}
+		pos := ptr[k] + cursor[k]
+		idx[pos] = v
+		wts[pos] = e.W
+		cursor[k]++
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := ptr[u], ptr[u+1]
+		row := idx[lo:hi]
+		rowW := wts[lo:hi]
+		sort.Sort(&weightedRow{row, rowW})
+	}
+	return ptr, idx, wts
+}
+
+type weightedRow struct {
+	idx []Node
+	w   []float64
+}
+
+func (r *weightedRow) Len() int           { return len(r.idx) }
+func (r *weightedRow) Less(i, j int) bool { return r.idx[i] < r.idx[j] }
+func (r *weightedRow) Swap(i, j int) {
+	r.idx[i], r.idx[j] = r.idx[j], r.idx[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// OutWeights returns u's out-edge weights, aligned with OutNeighbors(u).
+func (w *Weighted) OutWeights(u Node) []float64 { return w.OutW[w.OutPtr[u]:w.OutPtr[u+1]] }
+
+// InWeights returns v's in-edge weights, aligned with InNeighbors(v).
+func (w *Weighted) InWeights(v Node) []float64 { return w.InW[w.InPtr[v]:w.InPtr[v+1]] }
+
+// RandomWeights assigns every edge of g a weight uniform in [lo, hi),
+// deterministic in seed and symmetric per edge occurrence order. It is the
+// standard way synthetic SSSP inputs are produced (e.g. GAP's sssp).
+func RandomWeights(g *Graph, lo, hi float64, seed int64) (*Weighted, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("graph: weight range [%v,%v) invalid", lo, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.Edges()
+	weighted := make([]WEdge, len(edges))
+	for i, e := range edges {
+		weighted[i] = WEdge{Src: e.Src, Dst: e.Dst, W: lo + (hi-lo)*rng.Float64()}
+	}
+	return WeightedFromEdges(g.NumNodes(), weighted)
+}
+
+// ValidateWeighted checks the weight alignment invariants on top of the
+// structural ones.
+func (w *Weighted) ValidateWeighted() error {
+	if err := w.Graph.Validate(); err != nil {
+		return err
+	}
+	if len(w.OutW) != len(w.OutIdx) || len(w.InW) != len(w.InIdx) {
+		return fmt.Errorf("graph: weight arrays misaligned (%d/%d out, %d/%d in)",
+			len(w.OutW), len(w.OutIdx), len(w.InW), len(w.InIdx))
+	}
+	// The multiset of (u, v, w) triples must match between halves.
+	type key struct {
+		u, v Node
+	}
+	sums := map[key]float64{}
+	counts := map[key]int{}
+	n := w.NumNodes()
+	for u := 0; u < n; u++ {
+		row := w.OutNeighbors(Node(u))
+		rowW := w.OutWeights(Node(u))
+		for i, v := range row {
+			k := key{Node(u), v}
+			sums[k] += rowW[i]
+			counts[k]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		col := w.InNeighbors(Node(v))
+		colW := w.InWeights(Node(v))
+		for i, u := range col {
+			k := key{u, Node(v)}
+			sums[k] -= colW[i]
+			counts[k]--
+		}
+	}
+	for k, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("graph: edge %d->%d count mismatch between halves", k.u, k.v)
+		}
+		s := sums[k]
+		if s < -1e-9 || s > 1e-9 {
+			return fmt.Errorf("graph: edge %d->%d weight mismatch between halves", k.u, k.v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedFromEdgesBasic(t *testing.T) {
+	w, err := WeightedFromEdges(3, []WEdge{
+		{Src: 0, Dst: 2, W: 2.5},
+		{Src: 0, Dst: 1, W: 1.5},
+		{Src: 2, Dst: 0, W: 3.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ValidateWeighted(); err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 sorted by destination: [1, 2] with weights [1.5, 2.5].
+	nb := w.OutNeighbors(0)
+	wt := w.OutWeights(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("row 0 = %v", nb)
+	}
+	if wt[0] != 1.5 || wt[1] != 2.5 {
+		t.Fatalf("weights follow sort: %v", wt)
+	}
+	// In-edge half must carry the same weights.
+	inW := w.InWeights(2)
+	if len(inW) != 1 || inW[0] != 2.5 {
+		t.Fatalf("in-weights of 2 = %v", inW)
+	}
+}
+
+func TestWeightedFromEdgesErrors(t *testing.T) {
+	if _, err := WeightedFromEdges(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+	if _, err := WeightedFromEdges(2, []WEdge{{Src: 0, Dst: 5, W: 1}}); err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+}
+
+func TestRandomWeightsDeterministic(t *testing.T) {
+	g, err := FromEdges(10, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomWeights(g, 1, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(g, 1, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.OutW {
+		if a.OutW[i] != b.OutW[i] {
+			t.Fatal("same seed produced different weights")
+		}
+		if a.OutW[i] < 1 || a.OutW[i] >= 5 {
+			t.Fatalf("weight %v outside [1,5)", a.OutW[i])
+		}
+	}
+	if _, err := RandomWeights(g, 5, 1, 3); err == nil {
+		t.Fatal("expected error for inverted range")
+	}
+}
+
+func TestPropertyWeightedHalvesConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		edges := make([]WEdge, rng.Intn(150))
+		for i := range edges {
+			edges[i] = WEdge{
+				Src: Node(rng.Intn(n)),
+				Dst: Node(rng.Intn(n)),
+				W:   rng.Float64() * 100,
+			}
+		}
+		w, err := WeightedFromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		return w.ValidateWeighted() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Total weight must be conserved between the edge list and both halves.
+func TestPropertyWeightConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		edges := make([]WEdge, rng.Intn(100))
+		var total float64
+		for i := range edges {
+			wv := float64(rng.Intn(1000))
+			edges[i] = WEdge{Src: Node(rng.Intn(n)), Dst: Node(rng.Intn(n)), W: wv}
+			total += wv
+		}
+		w, err := WeightedFromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		var outSum, inSum float64
+		for _, x := range w.OutW {
+			outSum += x
+		}
+		for _, x := range w.InW {
+			inSum += x
+		}
+		return close64(outSum, total) && close64(inSum, total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close64(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+b)
+}

@@ -1,0 +1,309 @@
+// Package memmodel substitutes for the hardware performance counters the
+// paper reads with perf and LIKWID (Figures 4, 5 and 7). It provides:
+//
+//   - a software multi-level set-associative LRU cache simulator
+//     (write-back, write-allocate, inclusive fill) that engines drive with
+//     explicit address traces; and
+//   - traced single-iteration InDegree kernels for the three processing
+//     variants the paper instruments — Pull, Block (GPOP-like GAS) and
+//     Mixen (SCGA) — which replay exactly the memory reference streams of
+//     the real engines over the same data structures.
+//
+// The hit/miss/traffic dynamics the paper measures (L2 references split
+// into hits and misses, LLC hits, DRAM traffic versus block size) fall out
+// of the same model the hardware implements, so shapes are preserved even
+// though absolute counts differ from a real Xeon.
+package memmodel
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	Size     int // bytes
+	LineSize int // bytes
+	Ways     int // associativity
+}
+
+// LevelStats accumulates per-level counters.
+type LevelStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// References returns hits+misses (the paper's "references").
+func (s LevelStats) References() int64 { return s.Hits + s.Misses }
+
+// MissRatio returns misses/references (0 for no references).
+func (s LevelStats) MissRatio() float64 {
+	if r := s.References(); r > 0 {
+		return float64(s.Misses) / float64(r)
+	}
+	return 0
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type level struct {
+	cfg      CacheConfig
+	sets     [][]line
+	numSets  uint64
+	lineBits uint
+	clock    uint64
+	stats    LevelStats
+}
+
+func newLevel(cfg CacheConfig) (*level, error) {
+	if cfg.Size <= 0 || cfg.LineSize <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("memmodel: invalid cache config %+v", cfg)
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("memmodel: line size %d not a power of two", cfg.LineSize)
+	}
+	numSets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	if numSets <= 0 {
+		return nil, fmt.Errorf("memmodel: cache %q too small for %d ways", cfg.Name, cfg.Ways)
+	}
+	lv := &level{
+		cfg:     cfg,
+		sets:    make([][]line, numSets),
+		numSets: uint64(numSets),
+	}
+	for i := range lv.sets {
+		lv.sets[i] = make([]line, cfg.Ways)
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		lv.lineBits++
+	}
+	return lv, nil
+}
+
+// access probes the level for the line containing addr. On a hit it updates
+// recency (and dirtiness for writes) and returns true. On a miss it returns
+// false without filling; the hierarchy decides about fills.
+func (lv *level) access(lineAddr uint64, write bool) bool {
+	set := lv.sets[lineAddr%lv.numSets]
+	lv.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = lv.clock
+			if write {
+				set[i].dirty = true
+			}
+			lv.stats.Hits++
+			return true
+		}
+	}
+	lv.stats.Misses++
+	return false
+}
+
+// fill inserts the line, evicting the LRU way. It returns the evicted line
+// address and whether it was dirty (valid eviction only).
+func (lv *level) fill(lineAddr uint64, write bool) (evicted uint64, dirty, hadVictim bool) {
+	set := lv.sets[lineAddr%lv.numSets]
+	lv.clock++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			hadVictim = false
+			set[i] = line{tag: lineAddr, valid: true, dirty: write, lru: lv.clock}
+			return 0, false, false
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted = set[victim].tag
+	dirty = set[victim].dirty
+	hadVictim = true
+	set[victim] = line{tag: lineAddr, valid: true, dirty: write, lru: lv.clock}
+	return evicted, dirty, hadVictim
+}
+
+// markDirty sets the dirty bit if the line is present (used for write-back
+// propagation from inner levels).
+func (lv *level) markDirty(lineAddr uint64) bool {
+	set := lv.sets[lineAddr%lv.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is an inclusive multi-level cache in front of a DRAM traffic
+// counter.
+type Hierarchy struct {
+	levels []*level
+	// MemReads / MemWrites count DRAM line transfers (misses at the last
+	// level and dirty LLC evictions).
+	MemReads  int64
+	MemWrites int64
+}
+
+// NewHierarchy builds a hierarchy from innermost (L1) to outermost (LLC).
+func NewHierarchy(cfgs ...CacheConfig) (*Hierarchy, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("memmodel: need at least one level")
+	}
+	h := &Hierarchy{}
+	lineSize := cfgs[0].LineSize
+	for _, cfg := range cfgs {
+		if cfg.LineSize != lineSize {
+			return nil, fmt.Errorf("memmodel: mixed line sizes unsupported")
+		}
+		lv, err := newLevel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, lv)
+	}
+	return h, nil
+}
+
+// PaperHierarchy models the evaluation machine of §6.1: 64 KB L1, 1 MB L2,
+// 27.5 MB LLC, 64-byte lines.
+func PaperHierarchy() *Hierarchy {
+	h, err := NewHierarchy(
+		CacheConfig{Name: "L1", Size: 64 << 10, LineSize: 64, Ways: 8},
+		CacheConfig{Name: "L2", Size: 1 << 20, LineSize: 64, Ways: 16},
+		CacheConfig{Name: "LLC", Size: 27*(1<<20) + (1 << 19), LineSize: 64, Ways: 11},
+	)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return h
+}
+
+// ScaledHierarchy shrinks the paper machine by factor (for small test
+// graphs whose working sets would otherwise fit entirely in the LLC).
+func ScaledHierarchy(factor int) (*Hierarchy, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("memmodel: scale factor %d must be >= 1", factor)
+	}
+	return NewHierarchy(
+		CacheConfig{Name: "L1", Size: maxBytes(64<<10/factor, 1<<12), LineSize: 64, Ways: 8},
+		CacheConfig{Name: "L2", Size: maxBytes(1<<20/factor, 1<<14), LineSize: 64, Ways: 16},
+		CacheConfig{Name: "LLC", Size: maxBytes(27<<20/factor, 1<<16), LineSize: 64, Ways: 11},
+	)
+}
+
+func maxBytes(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lineOf returns the line address (addr >> lineBits).
+func (h *Hierarchy) lineOf(addr uint64) uint64 { return addr >> h.levels[0].lineBits }
+
+// Access simulates one memory reference of size bytes at addr.
+func (h *Hierarchy) Access(addr uint64, size int, write bool) {
+	first := h.lineOf(addr)
+	last := h.lineOf(addr + uint64(size) - 1)
+	for ln := first; ln <= last; ln++ {
+		h.accessLine(ln, write)
+	}
+}
+
+// Read is shorthand for Access(addr, size, false).
+func (h *Hierarchy) Read(addr uint64, size int) { h.Access(addr, size, false) }
+
+// Write is shorthand for Access(addr, size, true).
+func (h *Hierarchy) Write(addr uint64, size int) { h.Access(addr, size, true) }
+
+func (h *Hierarchy) accessLine(ln uint64, write bool) {
+	// Probe inward-out; stop at the first hit.
+	hitLevel := -1
+	for i, lv := range h.levels {
+		if lv.access(ln, write && i == 0) {
+			hitLevel = i
+			break
+		}
+	}
+	if hitLevel == -1 {
+		h.MemReads++
+		hitLevel = len(h.levels)
+	}
+	// Fill every level closer than the hit (inclusive hierarchy).
+	for i := hitLevel - 1; i >= 0; i-- {
+		evicted, dirty, had := h.levels[i].fill(ln, write && i == 0)
+		if had && dirty {
+			h.writeBack(i+1, evicted)
+		}
+	}
+}
+
+// writeBack propagates a dirty line into level idx (or DRAM past the LLC).
+func (h *Hierarchy) writeBack(idx int, ln uint64) {
+	for i := idx; i < len(h.levels); i++ {
+		if h.levels[i].markDirty(ln) {
+			return
+		}
+	}
+	h.MemWrites++
+}
+
+// Flush writes back every dirty line in the LLC and counts the DRAM
+// traffic; call it at the end of a trace so write traffic is complete.
+func (h *Hierarchy) Flush() {
+	// Dirty lines in inner levels that are clean (or absent) in outer
+	// levels still cost one DRAM write each; walk outermost-first and
+	// deduplicate through markDirty semantics.
+	seen := make(map[uint64]bool)
+	for i := len(h.levels) - 1; i >= 0; i-- {
+		for _, set := range h.levels[i].sets {
+			for _, l := range set {
+				if l.valid && l.dirty && !seen[l.tag] {
+					seen[l.tag] = true
+					h.MemWrites++
+				}
+			}
+		}
+	}
+}
+
+// Stats returns the per-level counters, innermost first.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, lv := range h.levels {
+		out[i] = lv.stats
+	}
+	return out
+}
+
+// LevelName returns the configured name of level i.
+func (h *Hierarchy) LevelName(i int) string { return h.levels[i].cfg.Name }
+
+// LineSize returns the line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.levels[0].cfg.LineSize }
+
+// MemTrafficBytes returns modelled DRAM traffic (reads+writes, in bytes).
+func (h *Hierarchy) MemTrafficBytes() int64 {
+	return (h.MemReads + h.MemWrites) * int64(h.LineSize())
+}
+
+// Reset clears all counters and cache contents.
+func (h *Hierarchy) Reset() {
+	for _, lv := range h.levels {
+		for i := range lv.sets {
+			for j := range lv.sets[i] {
+				lv.sets[i][j] = line{}
+			}
+		}
+		lv.stats = LevelStats{}
+		lv.clock = 0
+	}
+	h.MemReads = 0
+	h.MemWrites = 0
+}

@@ -1,0 +1,190 @@
+package memmodel
+
+import "testing"
+
+// oneLevel builds a tiny single-level cache: 4 sets × 2 ways × 64B lines.
+func oneLevel(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(CacheConfig{Name: "L1", Size: 512, LineSize: 64, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := oneLevel(t)
+	h.Read(0, 8)
+	h.Read(0, 8)
+	s := h.Stats()[0]
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+	if h.MemReads != 1 {
+		t.Fatalf("mem reads = %d, want 1", h.MemReads)
+	}
+}
+
+func TestAccessSpanningTwoLines(t *testing.T) {
+	h := oneLevel(t)
+	h.Read(60, 8) // crosses the 64B boundary
+	s := h.Stats()[0]
+	if s.References() != 2 {
+		t.Fatalf("references = %d, want 2 (two lines)", s.References())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := oneLevel(t)
+	// Set index = line % 4; lines 0, 4, 8 all map to set 0 (2 ways).
+	h.Read(0*64*4, 8) // line 0 -> set 0
+	h.Read(1*64*4, 8) // line 4 -> set 0
+	h.Read(2*64*4, 8) // line 8 -> set 0, evicts line 0 (LRU)
+	h.Read(0*64*4, 8) // line 0 again: must miss
+	s := h.Stats()[0]
+	if s.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (LRU evicted the first line)", s.Misses)
+	}
+	h.Read(2*64*4, 8) // line 8 was MRU before line 0 refilled: line 4 evicted, 8 still resident
+	if h.Stats()[0].Hits != 1 {
+		t.Fatalf("hits = %d, want 1", h.Stats()[0].Hits)
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	h := oneLevel(t)
+	h.Write(0, 8)   // dirty line 0 in set 0
+	h.Read(4*64, 8) // set 0
+	h.Read(8*64, 8) // set 0: evicts dirty line 0 -> DRAM write
+	if h.MemWrites != 1 {
+		t.Fatalf("mem writes = %d, want 1 (dirty eviction)", h.MemWrites)
+	}
+}
+
+func TestFlushCountsDirtyLines(t *testing.T) {
+	h := oneLevel(t)
+	h.Write(0, 8)
+	h.Write(64, 8)
+	h.Read(128, 8)
+	h.Flush()
+	if h.MemWrites != 2 {
+		t.Fatalf("mem writes after flush = %d, want 2", h.MemWrites)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := oneLevel(t)
+	h.Write(0, 8)
+	h.Reset()
+	if h.MemReads != 0 || h.MemWrites != 0 || h.Stats()[0].References() != 0 {
+		t.Fatal("reset must clear all counters")
+	}
+	h.Read(0, 8)
+	if h.Stats()[0].Misses != 1 {
+		t.Fatal("reset must clear cache contents (cold miss expected)")
+	}
+}
+
+func TestMultiLevelInclusive(t *testing.T) {
+	h, err := NewHierarchy(
+		CacheConfig{Name: "L1", Size: 128, LineSize: 64, Ways: 2},
+		CacheConfig{Name: "L2", Size: 1024, LineSize: 64, Ways: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Read(0, 8)   // miss both, fill both
+	h.Read(64, 8)  // miss both (L1 set 1)
+	h.Read(128, 8) // L1 set 0: evicts line 0 from L1 (clean)
+	h.Read(0, 8)   // L1 miss, L2 hit
+	l1, l2 := h.Stats()[0], h.Stats()[1]
+	if l2.Hits != 1 {
+		t.Fatalf("L2 hits = %d, want 1", l2.Hits)
+	}
+	if l1.Hits != 0 || l1.Misses != 4 {
+		t.Fatalf("L1 hits=%d misses=%d, want 0/4", l1.Hits, l1.Misses)
+	}
+	if h.MemReads != 3 {
+		t.Fatalf("mem reads = %d, want 3", h.MemReads)
+	}
+}
+
+func TestSequentialScanMissRate(t *testing.T) {
+	h := PaperHierarchy()
+	// Stream 1 MB sequentially in 8-byte reads: exactly one miss per line.
+	const bytes = 1 << 20
+	for a := uint64(0); a < bytes; a += 8 {
+		h.Read(a, 8)
+	}
+	s := h.Stats()[0]
+	wantMisses := int64(bytes / 64)
+	if s.Misses != wantMisses {
+		t.Fatalf("misses = %d, want %d (one per line)", s.Misses, wantMisses)
+	}
+	if s.References() != bytes/8 {
+		t.Fatalf("references = %d, want %d", s.References(), bytes/8)
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	h := PaperHierarchy()
+	// A 32 KB working set fits in L1: second pass must be all hits.
+	const bytes = 32 << 10
+	for a := uint64(0); a < bytes; a += 8 {
+		h.Read(a, 8)
+	}
+	before := h.Stats()[0]
+	for a := uint64(0); a < bytes; a += 8 {
+		h.Read(a, 8)
+	}
+	after := h.Stats()[0]
+	if after.Misses != before.Misses {
+		t.Fatalf("second pass missed %d times; L1-resident set must hit", after.Misses-before.Misses)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Fatal("expected error for no levels")
+	}
+	if _, err := NewHierarchy(CacheConfig{Size: 0, LineSize: 64, Ways: 1}); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+	if _, err := NewHierarchy(CacheConfig{Size: 128, LineSize: 48, Ways: 1}); err == nil {
+		t.Fatal("expected error for non power-of-two line")
+	}
+	if _, err := NewHierarchy(CacheConfig{Size: 64, LineSize: 64, Ways: 2}); err == nil {
+		t.Fatal("expected error for too few sets")
+	}
+	if _, err := NewHierarchy(
+		CacheConfig{Size: 128, LineSize: 64, Ways: 1},
+		CacheConfig{Size: 256, LineSize: 128, Ways: 1},
+	); err == nil {
+		t.Fatal("expected error for mixed line sizes")
+	}
+	if _, err := ScaledHierarchy(0); err == nil {
+		t.Fatal("expected error for zero scale")
+	}
+}
+
+func TestPaperHierarchyShape(t *testing.T) {
+	h := PaperHierarchy()
+	if len(h.Stats()) != 3 {
+		t.Fatal("paper hierarchy must have 3 levels")
+	}
+	if h.LevelName(0) != "L1" || h.LevelName(1) != "L2" || h.LevelName(2) != "LLC" {
+		t.Fatal("level names wrong")
+	}
+	if h.LineSize() != 64 {
+		t.Fatal("line size must be 64")
+	}
+}
+
+func TestMemTrafficBytes(t *testing.T) {
+	h := oneLevel(t)
+	h.Read(0, 8)
+	h.Read(64, 8)
+	if h.MemTrafficBytes() != 2*64 {
+		t.Fatalf("traffic = %d, want 128", h.MemTrafficBytes())
+	}
+}

@@ -1,0 +1,239 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func skewedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 6000, M: 60000,
+		RegularFrac: 0.35, SeedFrac: 0.35, SinkFrac: 0.25,
+		ZipfS: 1.25, ZipfV: 1, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tinyHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := ScaledHierarchy(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// The pull trace must compute the same single InDegree iteration as the
+// real pull engine.
+func TestTracePullMatchesEngine(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	tr := TracePull(g, x, tinyHierarchy(t))
+	engine := baseline.NewPull(g, 0)
+	res, err := engine.Run(algo.NewInDegree(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if tr.Y[v] != res.Values[v] {
+			t.Fatalf("node %d: trace %v, engine %v", v, tr.Y[v], res.Values[v])
+		}
+	}
+	if tr.TrafficBytes <= 0 || tr.Levels[0].References() == 0 {
+		t.Fatal("trace produced no counters")
+	}
+}
+
+func TestTraceBlockGASMatchesPull(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	pull := TracePull(g, x, tinyHierarchy(t))
+	gas, err := TraceBlockGAS(g, x, 512, tinyHierarchy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if gas.Y[v] != pull.Y[v] {
+			t.Fatalf("node %d: gas %v, pull %v", v, gas.Y[v], pull.Y[v])
+		}
+	}
+}
+
+// The Mixen trace over the regular submatrix plus static bins must equal
+// the pull result restricted to regular nodes.
+func TestTraceMixenMatchesPullOnRegulars(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	e, err := core.New(g, core.Config{Side: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	xNew := make([]float64, n) // all ones in any order
+	for i := range xNew {
+		xNew[i] = 1
+	}
+	mres := TraceMixen(e, xNew, tinyHierarchy(t))
+	pull := TracePull(g, x, tinyHierarchy(t))
+	for newV := 0; newV < e.F.NumRegular; newV++ {
+		old := e.F.OldID[newV]
+		if math.Abs(mres.Y[newV]-pull.Y[old]) > 1e-9 {
+			t.Fatalf("regular new=%d old=%d: mixen %v, pull %v", newV, old, mres.Y[newV], pull.Y[old])
+		}
+	}
+}
+
+// Reproduces the Fig 5 shape: on a skewed graph with a scaled hierarchy,
+// the pull variant's L2 miss ratio must exceed the blocked variants'.
+func TestPullHasWorseCacheBehaviour(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	pull := TracePull(g, x, tinyHierarchy(t))
+	e, err := core.New(g, core.Config{Side: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := TraceMixen(e, x, tinyHierarchy(t))
+	pullMiss := pull.Levels[1].MissRatio()
+	mixMiss := mix.Levels[1].MissRatio()
+	if mixMiss >= pullMiss {
+		t.Fatalf("L2 miss ratios: mixen %.3f !< pull %.3f", mixMiss, pullMiss)
+	}
+}
+
+// Reproduces the Fig 4 shape on a filtered skewed graph: Mixen's traced
+// DRAM traffic must undercut plain blocking (which re-propagates seeds).
+func TestMixenTrafficBelowBlockGAS(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	e, err := core.New(g, core.Config{Side: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := TraceMixen(e, x, tinyHierarchy(t))
+	gas, err := TraceBlockGAS(g, x, 512, tinyHierarchy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.TrafficBytes >= gas.TrafficBytes {
+		t.Fatalf("traffic: mixen %d !< blockgas %d", mix.TrafficBytes, gas.TrafficBytes)
+	}
+}
+
+func TestArenaDisjoint(t *testing.T) {
+	a := newArena()
+	b1 := a.alloc(100)
+	b2 := a.alloc(100)
+	if b2 <= b1+100 {
+		t.Fatal("arena ranges overlap or lack guard space")
+	}
+}
+
+// Multi-iteration traces must compute the same values as the real engines
+// run for the same number of iterations.
+func TestTraceItersMatchEngines(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	const T = 3
+	pullEngine := baseline.NewPull(g, 0)
+	want, err := pullEngine.Run(algo.NewInDegree(T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pullTrace := TracePullIters(g, ones, tinyHierarchy(t), T)
+	for v := 0; v < n; v++ {
+		if pullTrace.Y[v] != want.Values[v] {
+			t.Fatalf("pull node %d: trace %v, engine %v", v, pullTrace.Y[v], want.Values[v])
+		}
+	}
+	gasTrace, err := TraceBlockGASIters(g, ones, 512, tinyHierarchy(t), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if gasTrace.Y[v] != want.Values[v] {
+			t.Fatalf("gas node %d: trace %v, engine %v", v, gasTrace.Y[v], want.Values[v])
+		}
+	}
+	e, err := core.New(g, core.Config{Side: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixTrace := TraceMixenIters(e, ones, tinyHierarchy(t), T)
+	mixWant, err := e.Run(algo.NewInDegree(T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newV := 0; newV < e.F.NumRegular; newV++ {
+		old := e.F.OldID[newV]
+		if math.Abs(mixTrace.Y[newV]-mixWant.Values[old]) > 1e-9*(1+math.Abs(mixTrace.Y[newV])) {
+			t.Fatalf("mixen regular new=%d old=%d: trace %v, engine %v",
+				newV, old, mixTrace.Y[newV], mixWant.Values[old])
+		}
+	}
+}
+
+// Steady state must improve (or at least not worsen) the per-iteration L2
+// miss ratio for the blocked kernels: the second iteration reuses warm
+// index arrays and bins.
+func TestSteadyStateWarmerThanCold(t *testing.T) {
+	g := skewedGraph(t)
+	n := g.NumNodes()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	e, err := core.New(g, core.Config{Side: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ScaledHierarchy(16) // roomier LLC so warm state survives
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := TraceMixen(e, ones, h)
+	h2, err := ScaledHierarchy(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := TraceMixenIters(e, ones, h2, 4)
+	coldTrafficPerIter := cold.TrafficBytes
+	warmTrafficPerIter := warm.TrafficBytes / 4
+	if warmTrafficPerIter > coldTrafficPerIter {
+		t.Fatalf("steady-state traffic/iter %d exceeds cold-start %d",
+			warmTrafficPerIter, coldTrafficPerIter)
+	}
+}

@@ -1,0 +1,87 @@
+// Package model encodes the paper's analytic performance model — the
+// memory-traffic and random-access formulas of Section 3 (pulling flow and
+// blocked GAS) and Section 5 (Mixen's Equations 1 and 2) — as executable
+// functions, so the implementation can be checked against the theory and
+// the theory can be evaluated for arbitrary graph parameters.
+//
+// Conventions follow the paper's Section 3 analysis: node ids, link ids
+// and property updates each occupy one "unit" (the paper uses 1 byte for
+// exposition; pass Bytes to scale to a real element size).
+package model
+
+// Params are the structural quantities the model depends on.
+type Params struct {
+	N     int64   // nodes
+	M     int64   // links
+	C     int64   // cache indicator: nodes per block side (the paper's c)
+	Alpha float64 // r/n, fraction of regular nodes (§5)
+	Beta  float64 // m̃/m, fraction of links in the regular submatrix (§5)
+}
+
+// R returns the regular node count αn.
+func (p Params) R() int64 { return int64(p.Alpha * float64(p.N)) }
+
+// MTilde returns the regular-submatrix link count βm.
+func (p Params) MTilde() int64 { return int64(p.Beta * float64(p.M)) }
+
+// PullTraffic is §3's pulling-flow volume: the CSC (n+m) is scanned, x is
+// loaded m times, and y (n) is written — 2m + 2n units.
+func PullTraffic(p Params) int64 { return 2*p.M + 2*p.N }
+
+// PullRandomAccesses is §3's pulling-flow randomness: up to one random
+// read of x per link.
+func PullRandomAccesses(p Params) int64 { return p.M }
+
+// GASTraffic is §3's blocked Scatter/Gather volume: Scatter reads n+m+n
+// and writes m; Gather reads 2m and writes n — 4m + 3n units.
+func GASTraffic(p Params) int64 { return 4*p.M + 3*p.N }
+
+// GASRandomAccesses is §3's blocking randomness: one jump per block fetch,
+// (n/c)² blocks.
+func GASRandomAccesses(p Params) int64 {
+	if p.C <= 0 {
+		return 0
+	}
+	b := (p.N + p.C - 1) / p.C
+	return b * b
+}
+
+// MixenTraffic is Equation 1: mem = 4r + 4m̃ = 4αn + 4βm.
+func MixenTraffic(p Params) int64 { return 4*p.R() + 4*p.MTilde() }
+
+// MixenRandomAccesses is Equation 2: rand = O(b²) with b = αn/c.
+func MixenRandomAccesses(p Params) int64 {
+	if p.C <= 0 {
+		return 0
+	}
+	r := p.R()
+	b := (r + p.C - 1) / p.C
+	return b * b
+}
+
+// Bytes scales a unit count to bytes for a given element size (the
+// paper's exposition uses 1; this repository's engines move 8-byte
+// properties and 4-byte indices, so element sizes between 4 and 8 bracket
+// the real traffic).
+func Bytes(units int64, elemSize int64) int64 { return units * elemSize }
+
+// Crossover reports whether Mixen's modelled traffic undercuts plain GAS
+// for the given parameters — the α/β regime argument of §5 ("as α→1, β→1
+// the advantage diminishes and Mixen pays 4n+4m versus 3n+4m").
+func Crossover(p Params) bool { return MixenTraffic(p) < GASTraffic(p) }
+
+// BreakEvenAlpha returns the α at which Mixen's traffic equals GAS's,
+// assuming β tracks α linearly (β = α·k for a fixed skew coupling k≥1
+// clamped to 1). Below the returned α Mixen wins on traffic.
+func BreakEvenAlpha(n, m int64, k float64) float64 {
+	// 4αn + 4βm = 4m + 3n with β = min(1, kα):
+	// assuming β = kα below saturation: α(4n + 4km) = 4m + 3n.
+	if n <= 0 || m <= 0 || k <= 0 {
+		return 0
+	}
+	alpha := (4*float64(m) + 3*float64(n)) / (4*float64(n) + 4*k*float64(m))
+	if alpha > 1 {
+		return 1
+	}
+	return alpha
+}

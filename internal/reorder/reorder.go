@@ -1,0 +1,218 @@
+// Package reorder implements whole-graph node relabeling strategies from
+// the locality-reordering literature (degree sorting, reverse
+// Cuthill-McKee, random shuffling). The paper positions Mixen against
+// frameworks that rely on such reorderings (its own prior work [11] and
+// Gorder-style approaches); this package provides the baselines so the
+// repository can compare "reorder the whole graph, then run a conventional
+// engine" against Mixen's connectivity filtering.
+package reorder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mixen/internal/graph"
+)
+
+// Strategy names a reordering.
+type Strategy string
+
+const (
+	// Original keeps node ids unchanged (identity permutation).
+	Original Strategy = "original"
+	// DegreeDesc sorts nodes by descending in-degree (hub clustering, the
+	// "sort" baseline of reordering papers).
+	DegreeDesc Strategy = "degree"
+	// RCM is reverse Cuthill-McKee: BFS from a low-degree node with
+	// neighbours visited in ascending degree order, then the order is
+	// reversed — the classic bandwidth-minimizing ordering.
+	RCM Strategy = "rcm"
+	// Random shuffles ids uniformly (the locality-destroying control).
+	Random Strategy = "random"
+)
+
+// Strategies lists all implemented strategies.
+func Strategies() []Strategy { return []Strategy{Original, DegreeDesc, RCM, Random} }
+
+// Permutation returns newID[old] for the strategy over g. seed only
+// affects Random.
+func Permutation(g *graph.Graph, s Strategy, seed int64) ([]graph.Node, error) {
+	n := g.NumNodes()
+	switch s {
+	case Original:
+		perm := make([]graph.Node, n)
+		for i := range perm {
+			perm[i] = graph.Node(i)
+		}
+		return perm, nil
+	case DegreeDesc:
+		return degreePerm(g), nil
+	case RCM:
+		return rcmPerm(g), nil
+	case Random:
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(n)
+		perm := make([]graph.Node, n)
+		for old, newID := range order {
+			perm[old] = graph.Node(newID)
+		}
+		return perm, nil
+	default:
+		return nil, fmt.Errorf("reorder: unknown strategy %q", s)
+	}
+}
+
+// Apply relabels g under the permutation newID[old] and rebuilds its
+// CSR/CSC (the physical data movement reordering implies).
+func Apply(g *graph.Graph, newID []graph.Node) (*graph.Graph, error) {
+	n := g.NumNodes()
+	if len(newID) != n {
+		return nil, fmt.Errorf("reorder: permutation has %d entries, graph has %d nodes", len(newID), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range newID {
+		if int(v) >= n || seen[v] {
+			return nil, fmt.Errorf("reorder: not a permutation")
+		}
+		seen[v] = true
+	}
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(graph.Node(u)) {
+			edges = append(edges, graph.Edge{Src: newID[u], Dst: newID[v]})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Reorder is Permutation followed by Apply.
+func Reorder(g *graph.Graph, s Strategy, seed int64) (*graph.Graph, []graph.Node, error) {
+	perm, err := Permutation(g, s, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rg, err := Apply(g, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rg, perm, nil
+}
+
+func degreePerm(g *graph.Graph) []graph.Node {
+	n := g.NumNodes()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.InDegree(graph.Node(order[a])), g.InDegree(graph.Node(order[b]))
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	perm := make([]graph.Node, n)
+	for newID, old := range order {
+		perm[old] = graph.Node(newID)
+	}
+	return perm
+}
+
+// rcmPerm computes reverse Cuthill-McKee over the undirected view,
+// component by component (seeded at each component's minimum-degree node).
+func rcmPerm(g *graph.Graph) []graph.Node {
+	n := g.NumNodes()
+	// Undirected degree for seeding and neighbour ordering.
+	udeg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		udeg[v] = g.InDegree(graph.Node(v)) + g.OutDegree(graph.Node(v))
+	}
+	neighbours := func(u graph.Node) []graph.Node {
+		out := append([]graph.Node(nil), g.OutNeighbors(u)...)
+		out = append(out, g.InNeighbors(u)...)
+		sort.Slice(out, func(a, b int) bool {
+			if udeg[out[a]] != udeg[out[b]] {
+				return udeg[out[a]] < udeg[out[b]]
+			}
+			return out[a] < out[b]
+		})
+		return out
+	}
+	visited := make([]bool, n)
+	order := make([]graph.Node, 0, n)
+	// Seed components in ascending degree order.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(a, b int) bool {
+		if udeg[seeds[a]] != udeg[seeds[b]] {
+			return udeg[seeds[a]] < udeg[seeds[b]]
+		}
+		return seeds[a] < seeds[b]
+	})
+	for _, s := range seeds {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue := []graph.Node{graph.Node(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range neighbours(u) {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	// Reverse.
+	perm := make([]graph.Node, n)
+	for i, old := range order {
+		perm[old] = graph.Node(n - 1 - i)
+	}
+	return perm
+}
+
+// Bandwidth measures the maximum |newID(u) - newID(v)| over edges — the
+// quantity RCM minimizes; lower bandwidth means tighter memory spans.
+func Bandwidth(g *graph.Graph) int64 {
+	var bw int64
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(graph.Node(u)) {
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// AvgSpan is the mean |u - v| over edges, a smoother locality proxy.
+func AvgSpan(g *graph.Graph) float64 {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(graph.Node(u)) {
+			d := float64(u) - float64(v)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum / float64(m)
+}

@@ -1,0 +1,188 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/algo"
+	"mixen/internal/baseline"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func chain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges,
+			graph.Edge{Src: graph.Node(i), Dst: graph.Node(i + 1)},
+			graph.Edge{Src: graph.Node(i + 1), Dst: graph.Node(i)})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOriginalIsIdentity(t *testing.T) {
+	g := chain(t, 10)
+	perm, err := Permutation(g, Original, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range perm {
+		if int(v) != i {
+			t.Fatalf("perm[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDegreePermSorts(t *testing.T) {
+	// Star: node 0 receives from all others.
+	var edges []graph.Edge
+	for i := 1; i < 8; i++ {
+		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: 0})
+	}
+	g, err := graph.FromEdges(8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Permutation(g, DegreeDesc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Fatalf("hub must map to id 0, got %d", perm[0])
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledChain(t *testing.T) {
+	g := chain(t, 200)
+	shuffled, _, err := Reorder(g, Random, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(shuffled)
+	rcm, _, err := Reorder(shuffled, RCM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(rcm)
+	if after >= before {
+		t.Fatalf("RCM bandwidth %d !< shuffled %d", after, before)
+	}
+	// A chain's optimal bandwidth is 1; RCM must get it exactly.
+	if after != 1 {
+		t.Fatalf("RCM bandwidth on a chain = %d, want 1", after)
+	}
+}
+
+func TestApplyRejectsBadPermutation(t *testing.T) {
+	g := chain(t, 4)
+	if _, err := Apply(g, []graph.Node{0, 1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Apply(g, []graph.Node{0, 0, 1, 2}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := Apply(g, []graph.Node{0, 1, 2, 9}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	g := chain(t, 4)
+	if _, err := Permutation(g, Strategy("nope"), 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: reordering preserves the degree multiset and the edge count,
+// and PageRank results map through the permutation.
+func TestPropertyReorderPreservesStructure(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		edges := make([]graph.Edge, rng.Intn(150))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: graph.Node(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		for _, s := range Strategies() {
+			rg, perm, err := Reorder(g, s, seed)
+			if err != nil {
+				return false
+			}
+			if rg.NumEdges() != g.NumEdges() {
+				return false
+			}
+			for old := 0; old < n; old++ {
+				if rg.InDegree(perm[old]) != g.InDegree(graph.Node(old)) ||
+					rg.OutDegree(perm[old]) != g.OutDegree(graph.Node(old)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reordering must be transparent to algorithm results: PageRank on the
+// reordered graph, mapped back, equals PageRank on the original.
+func TestReorderTransparentToPageRank(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := baseline.NewPull(g, 0)
+	ref, err := e.Run(algo.NewPageRank(g, 0.85, 1e-12, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies() {
+		rg, perm, err := Reorder(g, s, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := baseline.NewPull(rg, 0)
+		res, err := re.Run(algo.NewPageRank(rg, 0.85, 1e-12, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for old := 0; old < g.NumNodes(); old++ {
+			a, b := ref.Values[old], res.Values[perm[old]]
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-8 {
+				t.Fatalf("%s: node %d rank %v vs %v", s, old, a, b)
+			}
+		}
+	}
+}
+
+func TestSpanMetrics(t *testing.T) {
+	g := chain(t, 50)
+	if Bandwidth(g) != 1 {
+		t.Fatalf("chain bandwidth = %d, want 1", Bandwidth(g))
+	}
+	if AvgSpan(g) != 1 {
+		t.Fatalf("chain avg span = %v, want 1", AvgSpan(g))
+	}
+	empty, err := graph.FromEdges(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AvgSpan(empty) != 0 || Bandwidth(empty) != 0 {
+		t.Fatal("empty graph spans must be 0")
+	}
+}

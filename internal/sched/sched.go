@@ -1,0 +1,192 @@
+// Package sched provides the shared-memory parallel runtime used by every
+// engine in this repository: a reusable worker pool, dynamically scheduled
+// parallel loops, and parallel reductions.
+//
+// The paper's C++ implementation relies on OpenMP's dynamic scheduler; this
+// package reproduces that execution model with goroutines. Work items are
+// handed out in chunks through an atomic cursor so that skew inside the
+// iteration space (hot blocks, hub rows) does not stall the pool, exactly as
+// `schedule(dynamic)` does for OpenMP.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads is the pool width used when a caller passes threads <= 0.
+// The paper pins 20 hardware threads; we follow the host.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// normalize clamps a requested thread count into [1, reasonable].
+func normalize(threads int) int {
+	if threads <= 0 {
+		return DefaultThreads()
+	}
+	return threads
+}
+
+// For runs body(i) for every i in [0, n) using the requested number of
+// workers and dynamic chunking. It blocks until all iterations finish.
+//
+// chunk <= 0 selects an automatic chunk size that yields roughly 16 chunks
+// per worker, which keeps scheduling overhead low while still smoothing
+// load imbalance.
+func For(n, threads, chunk int, body func(i int)) {
+	ForRange(n, threads, chunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange is like For but hands each worker a contiguous [lo, hi) range,
+// letting the body amortize per-chunk setup (e.g. loading a block header).
+func ForRange(n, threads, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = normalize(threads)
+	if threads > n {
+		threads = n
+	}
+	if chunk <= 0 {
+		chunk = n / (threads * 16)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if threads == 1 {
+		body(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForStatic splits [0, n) into exactly `threads` near-equal contiguous
+// ranges, one per worker, mirroring OpenMP's static schedule. Engines use it
+// where the per-range state (thread-private buffers) must map 1:1 to workers.
+func ForStatic(n, threads int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = normalize(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			body(worker, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// SumFloat64 computes a parallel reduction sum_{i in [0,n)} value(i).
+// Partial sums are accumulated per worker and combined once, so no atomics
+// are needed on the hot path.
+func SumFloat64(n, threads int, value func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	threads = normalize(threads)
+	if threads > n {
+		threads = n
+	}
+	partial := make([]float64, threads)
+	ForStatic(n, threads, func(worker, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += value(i)
+		}
+		partial[worker] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// MaxFloat64 computes a parallel max reduction. It returns 0 for n <= 0.
+func MaxFloat64(n, threads int, value func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	threads = normalize(threads)
+	if threads > n {
+		threads = n
+	}
+	partial := make([]float64, threads)
+	ForStatic(n, threads, func(worker, lo, hi int) {
+		m := value(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := value(i); v > m {
+				m = v
+			}
+		}
+		partial[worker] = m
+	})
+	m := partial[0]
+	for _, v := range partial[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CountIf counts indices in [0, n) for which pred is true, in parallel.
+func CountIf(n, threads int, pred func(i int) bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	threads = normalize(threads)
+	if threads > n {
+		threads = n
+	}
+	partial := make([]int64, threads)
+	ForStatic(n, threads, func(worker, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		partial[worker] = c
+	})
+	var total int64
+	for _, c := range partial {
+		total += c
+	}
+	return total
+}

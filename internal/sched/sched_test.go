@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1025} {
+		for _, threads := range []int{1, 2, 8, 64} {
+			seen := make([]atomic.Int32, max(n, 1))
+			For(n, threads, 3, func(i int) { seen[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d threads=%d: index %d visited %d times", n, threads, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeChunksArePartition(t *testing.T) {
+	n := 1000
+	var covered [1000]atomic.Int32
+	ForRange(n, 4, 7, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestForStaticPartition(t *testing.T) {
+	n := 103
+	threads := 8
+	seen := make([]atomic.Int32, n)
+	workers := make([]atomic.Int32, threads)
+	ForStatic(n, threads, func(worker, lo, hi int) {
+		workers[worker].Add(1)
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, seen[i].Load())
+		}
+	}
+	for w := range workers {
+		if workers[w].Load() != 1 {
+			t.Fatalf("worker %d invoked %d times", w, workers[w].Load())
+		}
+	}
+}
+
+func TestForStaticSingleThread(t *testing.T) {
+	var calls int
+	ForStatic(10, 1, func(worker, lo, hi int) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("got worker=%d range [%d,%d)", worker, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected one call, got %d", calls)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, 0, func(i int) { called = true })
+	For(-5, 4, 0, func(i int) { called = true })
+	ForRange(0, 4, 0, func(lo, hi int) { called = true })
+	ForStatic(0, 4, func(w, lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for empty iteration spaces")
+	}
+}
+
+func TestSumFloat64MatchesSerial(t *testing.T) {
+	f := func(raw []int16) bool {
+		// Bounded magnitudes keep the comparison free of catastrophic
+		// cancellation; parallel summation only guarantees equality up
+		// to reassociation.
+		vals := make([]float64, len(raw))
+		var want float64
+		for i, v := range raw {
+			vals[i] = float64(v) / 8
+			want += vals[i]
+		}
+		got := SumFloat64(len(vals), 4, func(i int) float64 { return vals[i] })
+		return nearlyEqualAbs(got, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFloat64(t *testing.T) {
+	vals := []float64{3, -7, 12.5, 0, 12.4999}
+	got := MaxFloat64(len(vals), 3, func(i int) float64 { return vals[i] })
+	if got != 12.5 {
+		t.Fatalf("got %v want 12.5", got)
+	}
+	if MaxFloat64(0, 3, nil) != 0 {
+		t.Fatal("empty max should be 0")
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	n := 10007
+	got := CountIf(n, 8, func(i int) bool { return i%3 == 0 })
+	var want int64
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestDefaultThreadsPositive(t *testing.T) {
+	if DefaultThreads() < 1 {
+		t.Fatal("DefaultThreads must be >= 1")
+	}
+}
+
+func nearlyEqualAbs(a, b, tol float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixen/internal/gen"
+)
+
+// Format comparison on a power-law adjacency matrix: the §7 trade-offs in
+// one bench (CSR/CSC row-parallel, ELL padding-bound, HYB splitting the
+// heavy rows, COO as the serial baseline).
+func BenchmarkFormats(b *testing.B) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(10, 8, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coo := FromGraph(g)
+	n := g.NumNodes()
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y := make([]float64, n)
+	mats := []struct {
+		name string
+		m    Matrix
+	}{
+		{"coo", coo},
+		{"csr", NewCSRFromCOO(coo)},
+		{"csc", NewCSCFromCOO(coo)},
+		{"hyb", NewHYBFromCOO(coo, 0)},
+	}
+	for _, tc := range mats {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := tc.m.Mul(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// ELL on a power-law matrix pads to the max degree — bench the build
+	// cost awareness instead of a prohibitive slab multiply.
+	b.Run("ell-padding", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ell := NewELLFromCOO(coo)
+			if ell.PaddingRatio() < 1 {
+				b.Fatal("padding ratio must be >= 1")
+			}
+		}
+	})
+	b.Run("csc-mulT", func(b *testing.B) {
+		csc := NewCSCFromCOO(coo)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := csc.MulT(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,430 @@
+// Package spmv is the sparse matrix–vector substrate underlying link
+// analysis: the paper casts InDegree as y = Aᵀx and surveys the classic
+// storage formats (§7: CSR/CSC, COO for irregular matrices, ELL for SIMD
+// regularity, HYB as the ELL+COO decomposition). This package implements
+// those formats from scratch over float64 with conversions and parallel
+// multiply kernels, so the graph engines can be cross-validated against a
+// conventional linear-algebra formulation.
+//
+// Matrices are m×n with A[i][j] entries; Mul computes y = A·x (len(x) = n,
+// len(y) = m), MulT computes y = Aᵀ·x. A graph's adjacency matrix in this
+// package has A[u][v] = 1 per edge u→v, so InDegree's y = Aᵀx is MulT over
+// FromGraph.
+package spmv
+
+import (
+	"fmt"
+
+	"mixen/internal/graph"
+	"mixen/internal/sched"
+)
+
+// Entry is one non-zero in coordinate form.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Matrix is the format-independent interface.
+type Matrix interface {
+	// Dims returns (rows, cols).
+	Dims() (int, int)
+	// NNZ returns the stored non-zero count.
+	NNZ() int64
+	// Mul computes y = A·x. len(x) must be cols, len(y) rows.
+	Mul(x, y []float64) error
+	// Entries materializes the non-zeros in unspecified order.
+	Entries() []Entry
+}
+
+func checkDims(m Matrix, x, y []float64) error {
+	rows, cols := m.Dims()
+	if len(x) != cols {
+		return fmt.Errorf("spmv: len(x)=%d, want cols=%d", len(x), cols)
+	}
+	if len(y) != rows {
+		return fmt.Errorf("spmv: len(y)=%d, want rows=%d", len(y), rows)
+	}
+	return nil
+}
+
+// COO is the coordinate-list format: one (row, col, val) triple per
+// non-zero, the natural form for irregular matrices and edge lists.
+type COO struct {
+	Rows, Cols int
+	Data       []Entry
+}
+
+// NewCOO validates the triples and builds the matrix.
+func NewCOO(rows, cols int, data []Entry) (*COO, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("spmv: negative dims %dx%d", rows, cols)
+	}
+	for _, e := range data {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("spmv: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	return &COO{Rows: rows, Cols: cols, Data: append([]Entry(nil), data...)}, nil
+}
+
+// Dims implements Matrix.
+func (a *COO) Dims() (int, int) { return a.Rows, a.Cols }
+
+// NNZ implements Matrix.
+func (a *COO) NNZ() int64 { return int64(len(a.Data)) }
+
+// Entries implements Matrix.
+func (a *COO) Entries() []Entry { return append([]Entry(nil), a.Data...) }
+
+// Mul implements Matrix. COO multiply is serial (scattered writes would
+// race); it exists as the correctness baseline.
+func (a *COO) Mul(x, y []float64) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for _, e := range a.Data {
+		y[e.Row] += e.Val * x[e.Col]
+	}
+	return nil
+}
+
+// CSR is compressed sparse rows: row pointers plus (col, val) pairs in row
+// order. Mul parallelizes over rows without atomics.
+type CSR struct {
+	RowsN, ColsN int
+	Ptr          []int64
+	Col          []int32
+	Val          []float64
+}
+
+// NewCSRFromCOO builds a CSR via counting sort on rows.
+func NewCSRFromCOO(a *COO) *CSR {
+	c := &CSR{RowsN: a.Rows, ColsN: a.Cols}
+	c.Ptr = make([]int64, a.Rows+1)
+	for _, e := range a.Data {
+		c.Ptr[e.Row+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		c.Ptr[i+1] += c.Ptr[i]
+	}
+	c.Col = make([]int32, len(a.Data))
+	c.Val = make([]float64, len(a.Data))
+	cursor := make([]int64, a.Rows)
+	for _, e := range a.Data {
+		pos := c.Ptr[e.Row] + cursor[e.Row]
+		c.Col[pos] = int32(e.Col)
+		c.Val[pos] = e.Val
+		cursor[e.Row]++
+	}
+	return c
+}
+
+// Dims implements Matrix.
+func (a *CSR) Dims() (int, int) { return a.RowsN, a.ColsN }
+
+// NNZ implements Matrix.
+func (a *CSR) NNZ() int64 { return int64(len(a.Col)) }
+
+// Entries implements Matrix.
+func (a *CSR) Entries() []Entry {
+	out := make([]Entry, 0, len(a.Col))
+	for i := 0; i < a.RowsN; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			out = append(out, Entry{Row: i, Col: int(a.Col[k]), Val: a.Val[k]})
+		}
+	}
+	return out
+}
+
+// Mul implements Matrix: parallel over rows.
+func (a *CSR) Mul(x, y []float64) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	sched.ForRange(a.RowsN, 0, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				sum += a.Val[k] * x[a.Col[k]]
+			}
+			y[i] = sum
+		}
+	})
+	return nil
+}
+
+// CSC is compressed sparse columns — the transpose-friendly format: the
+// pulling flow of Algorithm 1 is exactly a CSC multiply of Aᵀ.
+type CSC struct {
+	RowsN, ColsN int
+	Ptr          []int64
+	Row          []int32
+	Val          []float64
+}
+
+// NewCSCFromCOO builds a CSC via counting sort on columns.
+func NewCSCFromCOO(a *COO) *CSC {
+	c := &CSC{RowsN: a.Rows, ColsN: a.Cols}
+	c.Ptr = make([]int64, a.Cols+1)
+	for _, e := range a.Data {
+		c.Ptr[e.Col+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		c.Ptr[i+1] += c.Ptr[i]
+	}
+	c.Row = make([]int32, len(a.Data))
+	c.Val = make([]float64, len(a.Data))
+	cursor := make([]int64, a.Cols)
+	for _, e := range a.Data {
+		pos := c.Ptr[e.Col] + cursor[e.Col]
+		c.Row[pos] = int32(e.Row)
+		c.Val[pos] = e.Val
+		cursor[e.Col]++
+	}
+	return c
+}
+
+// Dims implements Matrix.
+func (a *CSC) Dims() (int, int) { return a.RowsN, a.ColsN }
+
+// NNZ implements Matrix.
+func (a *CSC) NNZ() int64 { return int64(len(a.Row)) }
+
+// Entries implements Matrix.
+func (a *CSC) Entries() []Entry {
+	out := make([]Entry, 0, len(a.Row))
+	for j := 0; j < a.ColsN; j++ {
+		for k := a.Ptr[j]; k < a.Ptr[j+1]; k++ {
+			out = append(out, Entry{Row: int(a.Row[k]), Col: j, Val: a.Val[k]})
+		}
+	}
+	return out
+}
+
+// Mul implements Matrix: y = A·x via column scatter. Serial (scattered
+// writes); the format's strength is MulT.
+func (a *CSC) Mul(x, y []float64) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.ColsN; j++ {
+		xv := x[j]
+		if xv == 0 {
+			continue
+		}
+		for k := a.Ptr[j]; k < a.Ptr[j+1]; k++ {
+			y[a.Row[k]] += a.Val[k] * xv
+		}
+	}
+	return nil
+}
+
+// MulT computes y = Aᵀ·x (len(x)=rows, len(y)=cols), parallel over
+// columns without atomics — the pulling flow.
+func (a *CSC) MulT(x, y []float64) error {
+	if len(x) != a.RowsN {
+		return fmt.Errorf("spmv: len(x)=%d, want rows=%d", len(x), a.RowsN)
+	}
+	if len(y) != a.ColsN {
+		return fmt.Errorf("spmv: len(y)=%d, want cols=%d", len(y), a.ColsN)
+	}
+	sched.ForRange(a.ColsN, 0, 256, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var sum float64
+			for k := a.Ptr[j]; k < a.Ptr[j+1]; k++ {
+				sum += a.Val[k] * x[a.Row[k]]
+			}
+			y[j] = sum
+		}
+	})
+	return nil
+}
+
+// ELL is the Ellpack format: a dense rows×width slab padded with zeros,
+// suited to regular row lengths (SIMD-friendly). Width is the maximum row
+// degree; heavily skewed matrices waste space here, which is exactly why
+// HYB exists.
+type ELL struct {
+	RowsN, ColsN, Width int
+	Col                 []int32   // RowsN*Width, padded with -1
+	Val                 []float64 // RowsN*Width
+	nnz                 int64
+}
+
+// NewELLFromCOO builds an ELL slab with width = max row length.
+func NewELLFromCOO(a *COO) *ELL {
+	counts := make([]int, a.Rows)
+	for _, e := range a.Data {
+		counts[e.Row]++
+	}
+	width := 0
+	for _, c := range counts {
+		if c > width {
+			width = c
+		}
+	}
+	ell := &ELL{RowsN: a.Rows, ColsN: a.Cols, Width: width, nnz: int64(len(a.Data))}
+	ell.Col = make([]int32, a.Rows*width)
+	ell.Val = make([]float64, a.Rows*width)
+	for i := range ell.Col {
+		ell.Col[i] = -1
+	}
+	cursor := make([]int, a.Rows)
+	for _, e := range a.Data {
+		pos := e.Row*width + cursor[e.Row]
+		ell.Col[pos] = int32(e.Col)
+		ell.Val[pos] = e.Val
+		cursor[e.Row]++
+	}
+	return ell
+}
+
+// Dims implements Matrix.
+func (a *ELL) Dims() (int, int) { return a.RowsN, a.ColsN }
+
+// NNZ implements Matrix.
+func (a *ELL) NNZ() int64 { return a.nnz }
+
+// Entries implements Matrix.
+func (a *ELL) Entries() []Entry {
+	out := make([]Entry, 0, a.nnz)
+	for i := 0; i < a.RowsN; i++ {
+		for k := 0; k < a.Width; k++ {
+			pos := i*a.Width + k
+			if a.Col[pos] >= 0 {
+				out = append(out, Entry{Row: i, Col: int(a.Col[pos]), Val: a.Val[pos]})
+			}
+		}
+	}
+	return out
+}
+
+// Mul implements Matrix: parallel over rows on the padded slab.
+func (a *ELL) Mul(x, y []float64) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	sched.ForRange(a.RowsN, 0, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			base := i * a.Width
+			for k := 0; k < a.Width; k++ {
+				c := a.Col[base+k]
+				if c < 0 {
+					break // rows are packed left, padding is trailing
+				}
+				sum += a.Val[base+k] * x[c]
+			}
+			y[i] = sum
+		}
+	})
+	return nil
+}
+
+// PaddingRatio reports stored slots per non-zero (1 = no waste).
+func (a *ELL) PaddingRatio() float64 {
+	if a.nnz == 0 {
+		return 0
+	}
+	return float64(a.RowsN) * float64(a.Width) / float64(a.nnz)
+}
+
+// HYB is the hybrid ELL+COO decomposition: rows are truncated at a width
+// covering most entries (ELL part), the overflow of heavy rows goes to a
+// COO tail — the standard answer to power-law row-length distributions.
+type HYB struct {
+	Ell  *ELL
+	Tail *COO
+}
+
+// NewHYBFromCOO splits at the given width; width <= 0 picks the mean row
+// length rounded up, the conventional heuristic.
+func NewHYBFromCOO(a *COO, width int) *HYB {
+	counts := make([]int, a.Rows)
+	for _, e := range a.Data {
+		counts[e.Row]++
+	}
+	if width <= 0 {
+		if a.Rows > 0 {
+			width = (len(a.Data) + a.Rows - 1) / a.Rows
+		}
+		if width < 1 {
+			width = 1
+		}
+	}
+	var ellData, tailData []Entry
+	cursor := make([]int, a.Rows)
+	for _, e := range a.Data {
+		if cursor[e.Row] < width {
+			ellData = append(ellData, e)
+			cursor[e.Row]++
+		} else {
+			tailData = append(tailData, e)
+		}
+	}
+	ellCOO := &COO{Rows: a.Rows, Cols: a.Cols, Data: ellData}
+	ell := NewELLFromCOO(ellCOO)
+	// Force the requested width so the slab is predictable even when no
+	// row reaches it.
+	if ell.Width < width {
+		ell = padELL(ell, width)
+	}
+	return &HYB{
+		Ell:  ell,
+		Tail: &COO{Rows: a.Rows, Cols: a.Cols, Data: tailData},
+	}
+}
+
+func padELL(e *ELL, width int) *ELL {
+	out := &ELL{RowsN: e.RowsN, ColsN: e.ColsN, Width: width, nnz: e.nnz}
+	out.Col = make([]int32, e.RowsN*width)
+	out.Val = make([]float64, e.RowsN*width)
+	for i := range out.Col {
+		out.Col[i] = -1
+	}
+	for i := 0; i < e.RowsN; i++ {
+		copy(out.Col[i*width:i*width+e.Width], e.Col[i*e.Width:(i+1)*e.Width])
+		copy(out.Val[i*width:i*width+e.Width], e.Val[i*e.Width:(i+1)*e.Width])
+	}
+	return out
+}
+
+// Dims implements Matrix.
+func (a *HYB) Dims() (int, int) { return a.Ell.Dims() }
+
+// NNZ implements Matrix.
+func (a *HYB) NNZ() int64 { return a.Ell.NNZ() + a.Tail.NNZ() }
+
+// Entries implements Matrix.
+func (a *HYB) Entries() []Entry { return append(a.Ell.Entries(), a.Tail.Entries()...) }
+
+// Mul implements Matrix: ELL part in parallel, COO tail accumulated on top.
+func (a *HYB) Mul(x, y []float64) error {
+	if err := a.Ell.Mul(x, y); err != nil {
+		return err
+	}
+	for _, e := range a.Tail.Data {
+		y[e.Row] += e.Val * x[e.Col]
+	}
+	return nil
+}
+
+// FromGraph builds the n×n adjacency matrix of g in COO form (every edge
+// becomes a 1.0 entry; duplicate edges accumulate).
+func FromGraph(g *graph.Graph) *COO {
+	n := g.NumNodes()
+	data := make([]Entry, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(graph.Node(u)) {
+			data = append(data, Entry{Row: u, Col: int(v), Val: 1})
+		}
+	}
+	return &COO{Rows: n, Cols: n, Data: data}
+}

@@ -1,0 +1,295 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+// small fixture:
+//
+//	A = [ 1 0 2 ]
+//	    [ 0 0 0 ]
+//	    [ 3 4 0 ]
+//	    [ 0 5 0 ]
+func fixture(t *testing.T) *COO {
+	t.Helper()
+	a, err := NewCOO(4, 3, []Entry{
+		{0, 0, 1}, {0, 2, 2}, {2, 0, 3}, {2, 1, 4}, {3, 1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+var fixtureX = []float64{1, 10, 100}
+var fixtureWant = []float64{201, 0, 43, 50}
+
+func TestCOOMul(t *testing.T) {
+	a := fixture(t)
+	y := make([]float64, 4)
+	if err := a.Mul(fixtureX, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range fixtureWant {
+		if y[i] != w {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], w)
+		}
+	}
+}
+
+func TestAllFormatsAgreeOnFixture(t *testing.T) {
+	coo := fixture(t)
+	mats := map[string]Matrix{
+		"coo": coo,
+		"csr": NewCSRFromCOO(coo),
+		"csc": NewCSCFromCOO(coo),
+		"ell": NewELLFromCOO(coo),
+		"hyb": NewHYBFromCOO(coo, 0),
+	}
+	for name, m := range mats {
+		rows, cols := m.Dims()
+		if rows != 4 || cols != 3 {
+			t.Fatalf("%s: dims %dx%d", name, rows, cols)
+		}
+		if m.NNZ() != 5 {
+			t.Fatalf("%s: nnz %d, want 5", name, m.NNZ())
+		}
+		y := make([]float64, 4)
+		if err := m.Mul(fixtureX, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, w := range fixtureWant {
+			if y[i] != w {
+				t.Errorf("%s: y[%d] = %v, want %v", name, i, y[i], w)
+			}
+		}
+		if got := len(m.Entries()); got != 5 {
+			t.Errorf("%s: %d entries, want 5", name, got)
+		}
+	}
+}
+
+func TestCSCMulT(t *testing.T) {
+	coo := fixture(t)
+	csc := NewCSCFromCOO(coo)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 3)
+	if err := csc.MulT(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Aᵀx: col 0: 1*1+3*3 = 10; col 1: 4*3+5*4 = 32; col 2: 2*1 = 2.
+	want := []float64{10, 32, 2}
+	for i, w := range want {
+		if y[i] != w {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], w)
+		}
+	}
+}
+
+func TestDimChecks(t *testing.T) {
+	coo := fixture(t)
+	y := make([]float64, 4)
+	if err := coo.Mul([]float64{1, 2}, y); err == nil {
+		t.Error("expected x-dim error")
+	}
+	if err := coo.Mul(fixtureX, make([]float64, 2)); err == nil {
+		t.Error("expected y-dim error")
+	}
+	csc := NewCSCFromCOO(coo)
+	if err := csc.MulT([]float64{1}, make([]float64, 3)); err == nil {
+		t.Error("expected MulT x-dim error")
+	}
+	if err := csc.MulT(make([]float64, 4), []float64{1}); err == nil {
+		t.Error("expected MulT y-dim error")
+	}
+}
+
+func TestNewCOOValidation(t *testing.T) {
+	if _, err := NewCOO(-1, 3, nil); err == nil {
+		t.Error("expected error for negative dims")
+	}
+	if _, err := NewCOO(2, 2, []Entry{{5, 0, 1}}); err == nil {
+		t.Error("expected error for out-of-range row")
+	}
+	if _, err := NewCOO(2, 2, []Entry{{0, -1, 1}}); err == nil {
+		t.Error("expected error for negative col")
+	}
+}
+
+func TestELLPadding(t *testing.T) {
+	// One heavy row of 4, three empty rows: padding ratio = 16/4 = 4.
+	coo, err := NewCOO(4, 4, []Entry{{0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {0, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ell := NewELLFromCOO(coo)
+	if ell.Width != 4 {
+		t.Fatalf("width = %d, want 4", ell.Width)
+	}
+	if ell.PaddingRatio() != 4 {
+		t.Fatalf("padding = %v, want 4", ell.PaddingRatio())
+	}
+}
+
+func TestHYBSplitsHeavyRows(t *testing.T) {
+	// Power-law-ish: row 0 has 8 entries, others 1 each.
+	var data []Entry
+	for j := 0; j < 8; j++ {
+		data = append(data, Entry{0, j, 1})
+	}
+	for i := 1; i < 4; i++ {
+		data = append(data, Entry{i, 0, 1})
+	}
+	coo, err := NewCOO(4, 8, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb := NewHYBFromCOO(coo, 2)
+	if hyb.Ell.Width != 2 {
+		t.Fatalf("ell width = %d, want 2", hyb.Ell.Width)
+	}
+	if hyb.Tail.NNZ() != 6 {
+		t.Fatalf("tail nnz = %d, want 6 (row 0 overflow)", hyb.Tail.NNZ())
+	}
+	if hyb.NNZ() != 11 {
+		t.Fatalf("total nnz = %d, want 11", hyb.NNZ())
+	}
+	// HYB must waste far less than plain ELL on this shape.
+	ell := NewELLFromCOO(coo)
+	if hyb.Ell.PaddingRatio() >= ell.PaddingRatio() {
+		t.Fatal("HYB should reduce ELL padding on skewed rows")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	coo, err := NewCOO(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Matrix{coo, NewCSRFromCOO(coo), NewCSCFromCOO(coo), NewELLFromCOO(coo), NewHYBFromCOO(coo, 0)} {
+		if err := m.Mul(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.NNZ() != 0 {
+			t.Fatal("empty matrix must have 0 nnz")
+		}
+	}
+}
+
+// Property: every format computes the same product on random matrices.
+func TestPropertyFormatsAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(30)
+		cols := 1 + rng.Intn(30)
+		nnz := rng.Intn(200)
+		data := make([]Entry, nnz)
+		for i := range data {
+			data[i] = Entry{rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(19) - 9)}
+		}
+		coo, err := NewCOO(rows, cols, data)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		ref := make([]float64, rows)
+		if err := coo.Mul(x, ref); err != nil {
+			return false
+		}
+		hybWidth := rng.Intn(5) // 0 = heuristic
+		for _, m := range []Matrix{NewCSRFromCOO(coo), NewCSCFromCOO(coo), NewELLFromCOO(coo), NewHYBFromCOO(coo, hybWidth)} {
+			y := make([]float64, rows)
+			if err := m.Mul(x, y); err != nil {
+				return false
+			}
+			for i := range ref {
+				if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MulT equals Mul on the explicitly transposed matrix.
+func TestPropertyMulTIsTranspose(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(20)
+		data := make([]Entry, rng.Intn(120))
+		transposed := make([]Entry, len(data))
+		for i := range data {
+			e := Entry{rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(9))}
+			data[i] = e
+			transposed[i] = Entry{e.Col, e.Row, e.Val}
+		}
+		coo, err := NewCOO(rows, cols, data)
+		if err != nil {
+			return false
+		}
+		cooT, err := NewCOO(cols, rows, transposed)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		a := make([]float64, cols)
+		if err := NewCSCFromCOO(coo).MulT(x, a); err != nil {
+			return false
+		}
+		b := make([]float64, cols)
+		if err := cooT.Mul(x, b); err != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The graph engines' InDegree must equal the linear-algebra formulation
+// y = Aᵀ·1 (the paper's §1 definition of the algorithm).
+func TestFromGraphMatchesInDegree(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coo := FromGraph(g)
+	csc := NewCSCFromCOO(coo)
+	n := g.NumNodes()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, n)
+	if err := csc.MulT(ones, y); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if y[v] != float64(g.InDegree(graph.Node(v))) {
+			t.Fatalf("node %d: spmv %v, in-degree %d", v, y[v], g.InDegree(graph.Node(v)))
+		}
+	}
+}

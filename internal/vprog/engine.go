@@ -1,0 +1,12 @@
+package vprog
+
+// Engine is the contract every framework implementation (Mixen and the
+// four baselines) satisfies, so algorithms and the benchmark harness can
+// treat them interchangeably.
+type Engine interface {
+	// Name identifies the framework ("mixen", "pull", "push", "polymer",
+	// "blockgas").
+	Name() string
+	// Run executes the program to convergence or MaxIter.
+	Run(prog Program) (*Result, error)
+}

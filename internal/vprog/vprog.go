@@ -1,0 +1,99 @@
+// Package vprog defines the vertex-program contract shared by the Mixen
+// engine and every baseline engine, so that one algorithm definition runs
+// unchanged on all of them (the paper evaluates InDegree, PageRank,
+// Collaborative Filtering and BFS across five frameworks).
+//
+// An algorithm is an iterated generalized SpMV over a semiring:
+//
+//	sum_v = ⊕_{u→v} send(x_u, scale_u)
+//	x'_v  = Apply(v, sum_v, x_v)        for every receiver v (in-degree > 0)
+//
+// Under the Sum ring, ⊕ is addition with identity 0 and send multiplies
+// (send = x·scale); under the Min ring, ⊕ is minimum with identity +Inf and
+// send adds (send = x+scale, the tropical semiring used by BFS/SSSP).
+//
+// Engine contract (shared by all engines, matching Mixen's semantics):
+//   - nodes with zero in-degree (seeds, isolated) keep their Init values
+//     forever; they only ever act as sources;
+//   - Apply runs on every receiver each iteration, except that Mixen defers
+//     sink nodes to a single Post-Phase evaluation (§4.3), which coincides
+//     with the per-iteration result once the algorithm has converged.
+package vprog
+
+import "math"
+
+// Ring selects the propagation semiring.
+type Ring uint8
+
+const (
+	// Sum is the (+, ×) ring used by link analysis (InDegree, PageRank, CF).
+	Sum Ring = iota
+	// Min is the (min, +) tropical ring used by BFS.
+	Min
+)
+
+// Identity returns the ⊕-identity of the ring.
+func (r Ring) Identity() float64 {
+	if r == Min {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Send computes the propagated value for a source property x and its scale.
+func (r Ring) Send(x, scale float64) float64 {
+	if r == Min {
+		return x + scale
+	}
+	return x * scale
+}
+
+// Combine folds b into a under the ring.
+func (r Ring) Combine(a, b float64) float64 {
+	if r == Min {
+		return math.Min(a, b)
+	}
+	return a + b
+}
+
+// Program describes one algorithm. All node identifiers passed to Program
+// methods are ORIGINAL graph ids; engines translate from their internal
+// (possibly relabeled) id spaces.
+type Program interface {
+	// Width is the number of float64 lanes per node property (1 for scalar
+	// algorithms, K for collaborative filtering's latent vectors).
+	Width() int
+	// Ring selects the propagation semiring.
+	Ring() Ring
+	// Init writes node v's initial property into out (len Width).
+	Init(v uint32, out []float64)
+	// Scale returns the per-source propagation parameter of node u: a
+	// multiplier under Sum, an additive offset under Min. Called once per
+	// node during engine setup.
+	Scale(u uint32) float64
+	// Apply computes the new property of node v from the gathered sum and
+	// the previous property, writing it to out (which may alias sum). It
+	// returns this node's contribution to the convergence delta.
+	Apply(v uint32, sum, prev, out []float64) float64
+	// Converged reports whether iteration may stop after iter full
+	// iterations produced the given total delta.
+	Converged(totalDelta float64, iter int) bool
+	// MaxIter caps the iteration count regardless of convergence.
+	MaxIter() int
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	// Values holds the final properties in ORIGINAL id order, Width lanes
+	// per node.
+	Values []float64
+	// Iterations is the number of main-loop iterations executed.
+	Iterations int
+	// Delta is the final convergence delta.
+	Delta float64
+}
+
+// Value returns lane l of node v from the result.
+func (r *Result) Value(v uint32, width, l int) float64 {
+	return r.Values[int(v)*width+l]
+}

@@ -1,0 +1,73 @@
+package vprog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingIdentity(t *testing.T) {
+	if Sum.Identity() != 0 {
+		t.Fatal("Sum identity must be 0")
+	}
+	if !math.IsInf(Min.Identity(), 1) {
+		t.Fatal("Min identity must be +Inf")
+	}
+}
+
+func TestRingSend(t *testing.T) {
+	if Sum.Send(3, 2) != 6 {
+		t.Fatal("Sum send must multiply")
+	}
+	if Min.Send(3, 2) != 5 {
+		t.Fatal("Min send must add")
+	}
+}
+
+func TestRingCombine(t *testing.T) {
+	if Sum.Combine(3, 4) != 7 {
+		t.Fatal("Sum combine must add")
+	}
+	if Min.Combine(3, 4) != 3 || Min.Combine(9, 4) != 4 {
+		t.Fatal("Min combine must take the minimum")
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	f := func(raw int32) bool {
+		v := float64(raw) / 16
+		return Sum.Combine(Sum.Identity(), v) == v &&
+			Min.Combine(Min.Identity(), v) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineAssociativeCommutative(t *testing.T) {
+	f := func(a8, b8, c8 int16) bool {
+		a, b, c := float64(a8), float64(b8), float64(c8)
+		for _, r := range []Ring{Sum, Min} {
+			if r.Combine(a, b) != r.Combine(b, a) {
+				return false
+			}
+			if r.Combine(r.Combine(a, b), c) != r.Combine(a, r.Combine(b, c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultValue(t *testing.T) {
+	r := &Result{Values: []float64{1, 2, 3, 4, 5, 6}}
+	if r.Value(1, 2, 1) != 4 {
+		t.Fatalf("Value(1,2,1) = %v, want 4", r.Value(1, 2, 1))
+	}
+	if r.Value(2, 2, 0) != 5 {
+		t.Fatalf("Value(2,2,0) = %v, want 5", r.Value(2, 2, 0))
+	}
+}

@@ -1,0 +1,317 @@
+// Package mixen is a Go implementation of Mixen, the connectivity-aware
+// link-analysis framework for skewed graphs of Chen & Chung (ICPP 2023),
+// together with the four baseline engines the paper compares against and
+// the full evaluation harness.
+//
+// The pipeline: build or load a directed graph, preprocess it with New
+// (connectivity filtering + 2-D cache blocking), then run link-analysis
+// programs on the resulting engine. One-shot helpers (PageRank, InDegree,
+// BFS, CollaborativeFilter) cover the common cases:
+//
+//	g, _ := mixen.GenerateRMAT(20, 16, 42)
+//	ranks, _ := mixen.PageRank(g, 0.85, 1e-9, 100)
+//
+// or, reusing one preprocessed engine for several algorithms:
+//
+//	eng, _ := mixen.New(g, mixen.Config{})
+//	res, _ := eng.Run(mixen.NewPageRankProgram(g, 0.85, 1e-9, 100))
+//
+// Baseline engines with identical semantics are available through
+// NewEngine("pull"|"push"|"polymer"|"blockgas", g) for comparative studies.
+package mixen
+
+import (
+	"fmt"
+	"io"
+
+	"mixen/internal/algo"
+	"mixen/internal/analyze"
+	"mixen/internal/baseline"
+	"mixen/internal/core"
+	"mixen/internal/filter"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+// Graph is a directed graph in dual CSR/CSC form. See FromEdges,
+// ReadEdgeList, ReadBinary and the Generate* helpers for construction.
+type Graph = graph.Graph
+
+// Edge is a directed link.
+type Edge = graph.Edge
+
+// Node is a dense node identifier.
+type Node = graph.Node
+
+// Program is the vertex-program contract all engines run.
+type Program = vprog.Program
+
+// Result is an engine run's outcome.
+type Result = vprog.Result
+
+// Engine is the interface shared by Mixen and the baselines.
+type Engine = vprog.Engine
+
+// Config tunes the Mixen engine (block side, threads, ablation toggles).
+type Config = core.Config
+
+// Stats summarizes a graph's connectivity structure (Tables 1-2).
+type Stats = analyze.Stats
+
+// FromEdges builds a graph with n nodes from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated text edge list.
+func ReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
+	return graph.ReadEdgeList(r, minNodes)
+}
+
+// ReadBinary loads a graph in the CSR binary format.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// GenerateRMAT builds a directed power-law graph (GAP parameters) with
+// 2^scale nodes and edgeFactor·2^scale edges.
+func GenerateRMAT(scale, edgeFactor int, seed int64) (*Graph, error) {
+	return gen.RMAT(gen.GAPRMATConfig(scale, edgeFactor, seed))
+}
+
+// GenerateKronecker builds an undirected Graph500-style Kronecker graph.
+func GenerateKronecker(scale, edgeFactor int, seed int64) (*Graph, error) {
+	return gen.Kronecker(scale, edgeFactor, seed)
+}
+
+// GenerateUniform builds an undirected uniform-random graph with n nodes
+// and m directed edges.
+func GenerateUniform(n int, m int64, seed int64) (*Graph, error) {
+	return gen.URand(n, m, seed)
+}
+
+// GenerateRoad builds a road-like bidirected grid.
+func GenerateRoad(rows, cols int, drop float64, seed int64) (*Graph, error) {
+	return gen.Road(gen.RoadConfig{Rows: rows, Cols: cols, Drop: drop, Seed: seed})
+}
+
+// GenerateSmallWorld builds a Watts–Strogatz small-world graph (ring
+// lattice with degree 2k, rewiring probability beta).
+func GenerateSmallWorld(n, k int, beta float64, seed int64) (*Graph, error) {
+	return gen.SmallWorld(n, k, beta, seed)
+}
+
+// SkewedConfig parameterizes the synthetic skewed-crawl generator.
+type SkewedConfig = gen.SkewedConfig
+
+// GenerateSkewed builds a skewed graph with an exact node-class mix.
+func GenerateSkewed(cfg SkewedConfig) (*Graph, error) { return gen.Skewed(cfg) }
+
+// Dataset builds one of the paper's eight dataset stand-ins ("weibo",
+// "track", "wiki", "pld", "rmat", "kron", "road", "urand") at 1/shrink of
+// laptop scale.
+func Dataset(name string, shrink int) (*Graph, error) {
+	p, err := gen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build(shrink)
+}
+
+// Datasets lists the preset names in the paper's order.
+func Datasets() []string {
+	var out []string
+	for _, p := range gen.Presets() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Analyze computes connectivity statistics (hub share, node classes, α, β).
+func Analyze(g *Graph) Stats { return analyze.Compute(g) }
+
+// DegreeDistribution summarizes a degree histogram.
+type DegreeDistribution = analyze.DegreeHistogram
+
+// InDegreeDistribution computes the in-degree histogram with summary
+// statistics (mean, median, p99, Gini, power-law fit).
+func InDegreeDistribution(g *Graph) *DegreeDistribution { return analyze.InDegreeHistogram(g) }
+
+// OutDegreeDistribution computes the out-degree histogram.
+func OutDegreeDistribution(g *Graph) *DegreeDistribution { return analyze.OutDegreeHistogram(g) }
+
+// ApproxDiameter estimates the directed diameter by double-sweep BFS.
+func ApproxDiameter(g *Graph, start Node) int { return analyze.ApproxDiameter(g, start) }
+
+// MixenEngine is the preprocessed Mixen instance.
+type MixenEngine = core.Engine
+
+// New preprocesses g with Mixen's filtering and blocking.
+func New(g *Graph, cfg Config) (*MixenEngine, error) { return core.New(g, cfg) }
+
+// NewEngine constructs a named engine over g: "mixen", "pull"
+// (GraphMat-like), "push" (Ligra-like), "polymer" (Polymer-like) or
+// "blockgas" (GPOP-like). width is the property lane count (1 unless
+// running CollaborativeFilter programs).
+func NewEngine(name string, g *Graph, threads, width int) (Engine, error) {
+	switch name {
+	case "mixen":
+		return core.New(g, core.Config{Threads: threads})
+	case "pull":
+		return baseline.NewPull(g, threads), nil
+	case "push":
+		return baseline.NewPush(g, threads), nil
+	case "polymer":
+		return baseline.NewPolymer(g, threads, 0), nil
+	case "blockgas":
+		return baseline.NewBlockGAS(g, baseline.BlockGASConfig{Threads: threads, Width: width})
+	default:
+		return nil, fmt.Errorf("mixen: unknown engine %q", name)
+	}
+}
+
+// NewInDegreeProgram returns the iterated InDegree/SpMV program.
+func NewInDegreeProgram(iters int) Program { return algo.NewInDegree(iters) }
+
+// NewPageRankProgram returns the damped PageRank program.
+func NewPageRankProgram(g *Graph, damping, tol float64, maxIter int) Program {
+	return algo.NewPageRank(g, damping, tol, maxIter)
+}
+
+// NewCFProgram returns the K-lane collaborative-filtering program.
+func NewCFProgram(g *Graph, k, iters int) Program { return algo.NewCF(g, k, iters) }
+
+// NewBFSProgram returns the tropical-ring BFS program.
+func NewBFSProgram(g *Graph, source uint32) Program { return algo.NewBFS(g, source) }
+
+// InDegree runs one InDegree iteration on Mixen and returns each node's
+// in-degree-weighted score.
+func InDegree(g *Graph) ([]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(algo.NewInDegree(1))
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// PageRank runs damped PageRank on Mixen until |Δ|₁ < tol or maxIter.
+func PageRank(g *Graph, damping, tol float64, maxIter int) ([]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(algo.NewPageRank(g, damping, tol, maxIter))
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// BFS runs breadth-first search from source on Mixen and returns per-node
+// hop counts (+Inf when unreachable).
+func BFS(g *Graph, source uint32) ([]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := algo.RunBFS(e, g, source)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// CollaborativeFilter runs the CF propagation kernel for iters iterations
+// and returns n×k latent values (k lanes per node).
+func CollaborativeFilter(g *Graph, k, iters int) ([]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(algo.NewCF(g, k, iters))
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// ConnectedComponents labels weakly-connected components on the Mixen
+// engine: labels[v] is the smallest node id in v's component.
+func ConnectedComponents(g *Graph) ([]float64, error) {
+	return algo.ConnectedComponents(g, func(sym *Graph) (Engine, error) {
+		return core.New(sym, core.Config{})
+	})
+}
+
+// CountTriangles counts undirected triangles with rank-ordered adjacency
+// intersection, in parallel.
+func CountTriangles(g *Graph) int64 { return algo.CountTriangles(g, 0) }
+
+// KCore computes every node's core number (Batagelj–Zaveršnik peeling).
+func KCore(g *Graph) []int32 { return algo.KCore(g) }
+
+// LabelPropagation detects communities on the undirected view of g with
+// deterministic synchronous LPA. It returns per-node labels and the number
+// of rounds executed.
+func LabelPropagation(g *Graph, maxIters int) ([]uint32, int) {
+	return algo.LabelPropagation(g, maxIters)
+}
+
+// HITS runs Kleinberg's algorithm; see algo.HITS.
+func HITS(g *Graph, iters int, tol float64) (authority, hub []float64) {
+	s := algo.HITS(g, iters, tol)
+	return s.Authority, s.Hub
+}
+
+// SALSA runs the stochastic link-structure analysis; see algo.SALSA.
+func SALSA(g *Graph, iters int, tol float64) (authority, hub []float64) {
+	s := algo.SALSA(g, iters, tol)
+	return s.Authority, s.Hub
+}
+
+// WeightedGraph is a graph with per-edge weights (SSSP substrate).
+type WeightedGraph = graph.Weighted
+
+// WeightedEdge is a weighted directed link.
+type WeightedEdge = graph.WEdge
+
+// WeightedFromEdges builds a weighted graph with n nodes.
+func WeightedFromEdges(n int, edges []WeightedEdge) (*WeightedGraph, error) {
+	return graph.WeightedFromEdges(n, edges)
+}
+
+// RandomWeights assigns uniform [lo, hi) weights to g's edges.
+func RandomWeights(g *Graph, lo, hi float64, seed int64) (*WeightedGraph, error) {
+	return graph.RandomWeights(g, lo, hi, seed)
+}
+
+// ShortestPaths computes single-source shortest paths with parallel
+// Δ-stepping (delta <= 0 picks a heuristic width). Weights must be
+// non-negative; unreachable nodes get +Inf.
+func ShortestPaths(w *WeightedGraph, source uint32) ([]float64, error) {
+	return algo.SSSPDeltaStepping(w, source, 0, 0)
+}
+
+// ShortestPathsBellmanFord computes SSSP by parallel label-correcting
+// rounds (the pulling-flow execution pattern).
+func ShortestPathsBellmanFord(w *WeightedGraph, source uint32, threads int) ([]float64, error) {
+	return algo.SSSPBellmanFord(w, source, threads)
+}
+
+// ShortestPathsDijkstra is the serial reference implementation.
+func ShortestPathsDijkstra(w *WeightedGraph, source uint32) ([]float64, error) {
+	return algo.SSSPDijkstra(w, source)
+}
+
+// Filtered exposes Mixen's relabeled mixed CSR/CSC form for advanced use.
+type Filtered = filter.Filtered
+
+// Filter runs only the filtering/relabeling stage.
+func Filter(g *Graph) *Filtered { return filter.Filter(g) }
+
+// ReadFiltered loads a preprocessed filtered form (written with
+// Filtered.WriteBinary) and re-attaches it to g, validating consistency.
+func ReadFiltered(r io.Reader, g *Graph) (*Filtered, error) {
+	return filter.ReadBinary(r, g)
+}
