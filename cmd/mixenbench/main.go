@@ -7,6 +7,12 @@
 //	mixenbench -experiment all
 //
 // Experiments: table1 table2 table3 table4 fig4 fig5 fig6 fig7 all.
+//
+// With -metrics-addr the process serves live scheduler metrics and pprof
+// while the experiments run, e.g.:
+//
+//	mixenbench -experiment table3 -metrics-addr :6060 &
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"mixen"
 	"mixen/internal/bench"
 )
 
@@ -24,7 +31,20 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations per timed run (the paper uses 100)")
 	threads := flag.Int("threads", 0, "worker threads (0 = all cores)")
 	graphs := flag.String("graphs", "", "comma-separated preset subset (default: all eight)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := mixen.NewMetricsRegistry()
+		mixen.InstrumentScheduler(reg)
+		srv, err := mixen.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixenbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr)
+	}
 
 	opts := bench.Options{Shrink: *shrink, Iters: *iters, Threads: *threads}
 	if *graphs != "" {

@@ -6,6 +6,14 @@
 //	mixenrun -preset wiki -algo pagerank -engine mixen -top 10
 //	mixenrun -edgelist graph.txt -algo bfs -source 0
 //	mixenrun -preset weibo -algo indegree -engine pull
+//
+// Observability:
+//
+//	mixenrun -preset wiki -algo pagerank -trace            # per-iteration timeline
+//	mixenrun -preset wiki -algo pagerank -report -         # RunReport JSON to stdout
+//	mixenrun -preset wiki -algo pagerank -metrics-addr :6060 &
+//	curl localhost:6060/metrics                            # live snapshot
+//	go tool pprof localhost:6060/debug/pprof/profile       # CPU profile
 package main
 
 import (
@@ -14,59 +22,229 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 
 	"mixen"
 )
+
+// algoFlags records which tuning flags each algorithm actually consumes, so
+// the run header can report the effective configuration and call out
+// ignored flags instead of silently dropping them.
+type algoFlags struct {
+	iters, tol, source, k bool
+	// engine reports whether -engine selects the execution engine; library
+	// routines (cc, lpa, triangles, kcore, hits, salsa) run on their own
+	// internal engines.
+	engine bool
+}
+
+var algoInfo = map[string]algoFlags{
+	"indegree":  {iters: true, engine: true},
+	"pagerank":  {iters: true, tol: true, engine: true},
+	"cf":        {iters: true, k: true, engine: true},
+	"bfs":       {source: true, engine: true},
+	"cc":        {},
+	"lpa":       {iters: true},
+	"triangles": {},
+	"kcore":     {},
+	"hits":      {iters: true, tol: true},
+	"salsa":     {iters: true, tol: true},
+}
 
 func main() {
 	preset := flag.String("preset", "", "dataset stand-in to generate")
 	shrink := flag.Int("shrink", 8, "preset shrink factor")
 	edgelist := flag.String("edgelist", "", "path to a text edge list")
-	algoName := flag.String("algo", "pagerank", "algorithm: indegree, pagerank, cf, bfs, cc, triangles, kcore, hits, salsa")
+	algoName := flag.String("algo", "pagerank", "algorithm: indegree, pagerank, cf, bfs, cc, lpa, triangles, kcore, hits, salsa")
 	engine := flag.String("engine", "mixen", "engine: mixen, pull, push, polymer, blockgas")
 	iters := flag.Int("iters", 100, "max iterations")
-	tol := flag.Float64("tol", 1e-9, "PageRank convergence tolerance")
+	tol := flag.Float64("tol", 1e-9, "convergence tolerance (pagerank, hits, salsa)")
 	source := flag.Uint("source", 0, "BFS source node")
 	top := flag.Int("top", 10, "how many top nodes to print")
 	k := flag.Int("k", 8, "CF latent dimensions")
+	threads := flag.Int("threads", 0, "worker threads (0 = all cores)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
+	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
 	flag.Parse()
+
+	info, ok := algoInfo[*algoName]
+	if !ok {
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
 
 	g, err := loadGraph(*preset, *shrink, *edgelist)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("graph: %v\n", g)
 
-	e, err := mixen.NewEngine(*engine, g, 0, widthOf(*algoName, *k))
-	if err != nil {
-		fail(err)
+	// Observability wiring: one registry feeds the engine, the scheduler
+	// and the HTTP endpoint.
+	var reg *mixen.MetricsRegistry
+	if *metricsAddr != "" || *trace || *reportPath != "" {
+		reg = mixen.NewMetricsRegistry()
+	}
+	if *metricsAddr != "" {
+		mixen.InstrumentScheduler(reg)
+		srv, err := mixen.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr)
 	}
 
-	switch *algoName {
+	graphName := *preset
+	if graphName == "" {
+		graphName = *edgelist
+	}
+	report := &mixen.RunReport{
+		Algorithm: *algoName,
+		Graph: mixen.GraphInfo{
+			Name:  graphName,
+			Nodes: g.NumNodes(),
+			Edges: g.NumEdges(),
+		},
+		Config: map[string]string{},
+	}
+
+	// Effective-config header: what the run will actually use, plus any
+	// flags the chosen algorithm ignores.
+	var ignored []string
+	addCfg := func(name, val string, used bool) {
+		if used {
+			report.Config[name] = val
+		} else if isFlagSet(name) {
+			ignored = append(ignored, "-"+name)
+		}
+	}
+	addCfg("iters", strconv.Itoa(*iters), info.iters)
+	addCfg("tol", strconv.FormatFloat(*tol, 'g', -1, 64), info.tol)
+	addCfg("source", strconv.FormatUint(uint64(*source), 10), info.source)
+	addCfg("k", strconv.Itoa(*k), info.k)
+	report.Config["threads"] = strconv.Itoa(*threads)
+
+	if info.engine {
+		report.Engine = *engine
+	} else {
+		report.Engine = "library"
+		if isFlagSet("engine") {
+			ignored = append(ignored, "-engine")
+		}
+	}
+	if *trace && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -trace requires an engine-run algorithm on the mixen engine; ignoring")
+		*trace = false
+	}
+
+	fmt.Printf("graph: %v\n", g)
+	fmt.Println(report.FormatHeader())
+	for _, f := range ignored {
+		fmt.Printf("note: %s is ignored by -algo %s\n", f, *algoName)
+	}
+
+	if info.engine {
+		runEngineAlgo(g, report, reg, *algoName, *engine, engineOpts{
+			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
+			threads: *threads, top: *top, trace: *trace,
+		})
+	} else {
+		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
+	}
+
+	if reg != nil {
+		s := reg.Snapshot()
+		report.Metrics = &s
+	}
+	if *reportPath != "" {
+		writeReport(report, *reportPath)
+	}
+}
+
+type engineOpts struct {
+	iters, k, threads, top int
+	tol                    float64
+	source                 uint32
+	trace                  bool
+}
+
+// runEngineAlgo executes one of the vertex-program algorithms (indegree,
+// pagerank, cf, bfs) on the selected engine, filling in the report's phase
+// breakdown and trace as it goes.
+func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRegistry, algoName, engine string, o engineOpts) {
+	width := 1
+	if algoName == "cf" {
+		width = o.k
+	}
+
+	var prog mixen.Program
+	switch algoName {
 	case "indegree":
-		res, err := e.Run(mixen.NewInDegreeProgram(1))
-		if err != nil {
-			fail(err)
-		}
-		printTop("indegree", res.Values, *top)
+		prog = mixen.NewInDegreeProgram(o.iters)
 	case "pagerank":
-		res, err := e.Run(mixen.NewPageRankProgram(g, 0.85, *tol, *iters))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("converged after %d iterations (delta %.3g)\n", res.Iterations, res.Delta)
-		printTop("pagerank", res.Values, *top)
+		prog = mixen.NewPageRankProgram(g, 0.85, o.tol, o.iters)
 	case "cf":
-		res, err := e.Run(mixen.NewCFProgram(g, *k, *iters))
+		prog = mixen.NewCFProgram(g, o.k, o.iters)
+	case "bfs":
+		prog = mixen.NewBFSProgram(g, o.source)
+	}
+
+	var (
+		res *mixen.Result
+		err error
+	)
+	if engine == "mixen" {
+		// The core engine gets the full observability treatment: collector
+		// during preprocessing, per-iteration trace, phase stats.
+		var col mixen.Collector
+		if reg != nil {
+			col = reg
+		}
+		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col})
+		if nerr != nil {
+			fail(nerr)
+		}
+		var stats mixen.RunStats
+		res, stats, err = e.RunWithStats(prog)
 		if err != nil {
 			fail(err)
 		}
+		algoCfg := report.Config
+		*report = *e.BuildReport(algoName, report.Graph.Name, res, stats)
+		for k, v := range algoCfg {
+			if _, exists := report.Config[k]; !exists {
+				report.Config[k] = v
+			}
+		}
+		if o.trace {
+			fmt.Println(mixen.FormatTimeline(stats.Trace))
+		}
+		fmt.Println(report.FormatSummary())
+	} else {
+		e, nerr := mixen.NewEngine(engine, g, o.threads, width)
+		if nerr != nil {
+			fail(nerr)
+		}
+		if reg != nil {
+			mixen.Instrument(e, reg)
+		}
+		res, err = e.Run(prog)
+		if err != nil {
+			fail(err)
+		}
+		report.Iterations = res.Iterations
+		report.Delta = res.Delta
+	}
+
+	switch algoName {
+	case "indegree":
+		printTop("indegree", res.Values, o.top)
+	case "pagerank":
+		fmt.Printf("converged after %d iterations (delta %.3g)\n", res.Iterations, res.Delta)
+		printTop("pagerank", res.Values, o.top)
+	case "cf":
 		fmt.Printf("cf: %d iterations, %d latent values\n", res.Iterations, len(res.Values))
 	case "bfs":
-		res, err := e.Run(mixen.NewBFSProgram(g, uint32(*source)))
-		if err != nil {
-			fail(err)
-		}
 		reached, maxLevel := 0, 0.0
 		for _, l := range res.Values {
 			if !math.IsInf(l, 1) {
@@ -77,7 +255,14 @@ func main() {
 			}
 		}
 		fmt.Printf("bfs from %d: reached %d/%d nodes, eccentricity %.0f, %d level-sync rounds\n",
-			*source, reached, g.NumNodes(), maxLevel, res.Iterations)
+			o.source, reached, g.NumNodes(), maxLevel, res.Iterations)
+	}
+}
+
+// runLibraryAlgo executes the algorithms that run on their own internal
+// engines (cc, lpa, triangles, kcore, hits, salsa).
+func runLibraryAlgo(g *mixen.Graph, report *mixen.RunReport, algoName string, iters int, tol float64, top int) {
+	switch algoName {
 	case "cc":
 		labels, err := mixen.ConnectedComponents(g)
 		if err != nil {
@@ -95,7 +280,7 @@ func main() {
 		}
 		fmt.Printf("cc: %d weakly-connected components, largest has %d nodes\n", len(comps), largest)
 	case "lpa":
-		labels, rounds := mixen.LabelPropagation(g, *iters)
+		labels, rounds := mixen.LabelPropagation(g, iters)
 		sizes := map[uint32]int{}
 		largest := 0
 		for _, l := range labels {
@@ -104,6 +289,7 @@ func main() {
 				largest = sizes[l]
 			}
 		}
+		report.Iterations = rounds
 		fmt.Printf("lpa: %d communities after %d rounds, largest has %d nodes\n",
 			len(sizes), rounds, largest)
 	case "triangles":
@@ -125,21 +311,39 @@ func main() {
 			fmt.Printf("  core %d: %d nodes\n", k, counts[k])
 		}
 	case "hits":
-		a, _ := mixen.HITS(g, *iters, *tol)
-		printTop("authority", a, *top)
+		a, _ := mixen.HITS(g, iters, tol)
+		printTop("authority", a, top)
 	case "salsa":
-		a, _ := mixen.SALSA(g, *iters, *tol)
-		printTop("authority", a, *top)
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+		a, _ := mixen.SALSA(g, iters, tol)
+		printTop("authority", a, top)
 	}
 }
 
-func widthOf(alg string, k int) int {
-	if alg == "cf" {
-		return k
+// isFlagSet reports whether the named flag was given on the command line.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func writeReport(r *mixen.RunReport, path string) {
+	data, err := r.JSON()
+	if err != nil {
+		fail(err)
 	}
-	return 1
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("report: wrote %s\n", path)
 }
 
 func printTop(label string, values []float64, top int) {

@@ -22,9 +22,35 @@ import (
 	"time"
 
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
+
+// Instr is the collector attachment embedded by every baseline engine,
+// implementing obs.Instrumentable. The zero value is the no-op collector.
+type Instr struct {
+	col obs.Collector
+}
+
+// SetCollector attaches a telemetry collector (nil resets to no-op).
+func (i *Instr) SetCollector(c obs.Collector) { i.col = obs.Default(c) }
+
+// collector returns the attached collector, never nil.
+func (i *Instr) collector() obs.Collector {
+	if i.col == nil {
+		return obs.Nop{}
+	}
+	return i.col
+}
+
+// runInstruments fetches the per-run instruments every baseline records:
+// run count, iteration count, and the per-iteration time distribution,
+// namespaced by engine name (e.g. "pull.iteration_ns").
+func (i *Instr) runInstruments(name string) (runs, iters *obs.Counter, iterNs *obs.Histogram) {
+	c := i.collector()
+	return c.Counter(name + ".runs"), c.Counter(name + ".iterations"), c.Histogram(name + ".iteration_ns")
+}
 
 // setup holds the run state common to the simple (unblocked) engines.
 type setup struct {

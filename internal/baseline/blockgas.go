@@ -5,6 +5,7 @@ import (
 
 	"mixen/internal/block"
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -17,6 +18,7 @@ import (
 // which is exactly the redundancy §3 quantifies.
 type BlockGAS struct {
 	PrepTimer
+	Instr
 	g       *graph.Graph
 	threads int
 	p       *block.Partition
@@ -85,7 +87,10 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 	var delta float64
 	identity := ring.Identity()
 	colDelta := make([]float64, maxInt(p.B, 1))
+	runs, iters, iterNs := e.runInstruments(e.Name())
+	runs.Inc()
 	for iter < prog.MaxIter() {
+		sp := obs.StartSpan(iterNs)
 		// Scatter into the dynamic bins (parallel over sub-blocks).
 		sched.For(len(p.Blocks), e.threads, 1, func(bi int) {
 			sb := p.Blocks[bi]
@@ -172,6 +177,8 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 		for j := 0; j < p.B; j++ {
 			delta += colDelta[j]
 		}
+		sp.End()
+		iters.Inc()
 		if prog.Converged(delta, iter) {
 			break
 		}

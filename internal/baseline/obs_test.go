@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/obs"
+	"mixen/internal/vprog"
+)
+
+func TestAllBaselinesInstrumentable(t *testing.T) {
+	g := tiny(t)
+	bg, err := NewBlockGAS(g, BlockGASConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []vprog.Engine{NewPull(g, 2), NewPush(g, 2), NewPolymer(g, 2, 2), bg}
+	for _, e := range engines {
+		inst, ok := e.(obs.Instrumentable)
+		if !ok {
+			t.Errorf("%s does not implement obs.Instrumentable", e.Name())
+			continue
+		}
+		reg := obs.NewRegistry()
+		inst.SetCollector(reg)
+		const iters = 3
+		res, err := e.Run(algo.NewInDegree(iters))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if res.Iterations != iters {
+			t.Fatalf("%s ran %d iterations, want %d", e.Name(), res.Iterations, iters)
+		}
+		s := reg.Snapshot()
+		if got := s.Counters[e.Name()+".runs"]; got != 1 {
+			t.Errorf("%s.runs = %d, want 1", e.Name(), got)
+		}
+		if got := s.Counters[e.Name()+".iterations"]; got != iters {
+			t.Errorf("%s.iterations = %d, want %d", e.Name(), got, iters)
+		}
+		h := s.Histograms[e.Name()+".iteration_ns"]
+		if h.Count != iters || h.Sum <= 0 {
+			t.Errorf("%s.iteration_ns = %+v, want %d positive samples", e.Name(), h, iters)
+		}
+	}
+}
+
+func TestBaselineUninstrumentedRunsFine(t *testing.T) {
+	g := tiny(t)
+	e := NewPull(g, 2)
+	// No SetCollector call at all: the embedded Instr must default to no-op.
+	if _, err := e.Run(algo.NewInDegree(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit nil detaches as well.
+	e.SetCollector(nil)
+	if _, err := e.Run(algo.NewInDegree(1)); err != nil {
+		t.Fatal(err)
+	}
+}

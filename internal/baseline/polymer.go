@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -18,6 +19,7 @@ import (
 // regresses (Table 3).
 type Polymer struct {
 	PrepTimer
+	Instr
 	g          *graph.Graph
 	threads    int
 	partitions int
@@ -106,7 +108,10 @@ func (p *Polymer) Run(prog vprog.Program) (*vprog.Result, error) {
 	iter := 0
 	var delta float64
 	partDelta := make([]float64, p.partitions)
+	runs, iters, iterNs := p.runInstruments(p.Name())
+	runs.Inc()
 	for iter < prog.MaxIter() {
+		sp := obs.StartSpan(iterNs)
 		sched.For(p.partitions, p.threads, 1, func(part int) {
 			lo := p.bounds[part]
 			hi := p.bounds[part+1]
@@ -153,6 +158,8 @@ func (p *Polymer) Run(prog vprog.Program) (*vprog.Result, error) {
 		for _, d := range partDelta {
 			delta += d
 		}
+		sp.End()
+		iters.Inc()
 		if prog.Converged(delta, iter) {
 			break
 		}

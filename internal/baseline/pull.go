@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -12,6 +13,7 @@ import (
 // Memory Access").
 type Pull struct {
 	PrepTimer
+	Instr
 	g       *graph.Graph
 	threads int
 	// Its own CSC copy: GraphMat converts the input into its internal
@@ -53,7 +55,10 @@ func (p *Pull) Run(prog vprog.Program) (*vprog.Result, error) {
 	iter := 0
 	var delta float64
 	partial := make([]float64, maxInt(p.threads, 1))
+	runs, iters, iterNs := p.runInstruments(p.Name())
+	runs.Inc()
 	for iter < prog.MaxIter() {
+		sp := obs.StartSpan(iterNs)
 		for i := range partial {
 			partial[i] = 0
 		}
@@ -107,6 +112,8 @@ func (p *Pull) Run(prog vprog.Program) (*vprog.Result, error) {
 		for _, d := range partial {
 			delta += d
 		}
+		sp.End()
+		iters.Inc()
 		if prog.Converged(delta, iter) {
 			break
 		}

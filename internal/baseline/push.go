@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -18,6 +19,7 @@ import (
 // (see RunFrontierBFS).
 type Push struct {
 	PrepTimer
+	Instr
 	g       *graph.Graph
 	threads int
 	// Ligra converts edge lists into both direction structures at load
@@ -87,7 +89,10 @@ func (p *Push) Run(prog vprog.Program) (*vprog.Result, error) {
 	var delta float64
 	partial := make([]float64, maxInt(p.threads, 1))
 	identity := ring.Identity()
+	runs, iters, iterNs := p.runInstruments(p.Name())
+	runs.Inc()
 	for iter < prog.MaxIter() {
+		sp := obs.StartSpan(iterNs)
 		// Reset receiver slots to the ring identity.
 		sched.For(n, p.threads, 2048, func(v int) {
 			if p.inPtr[v+1] == p.inPtr[v] {
@@ -142,6 +147,8 @@ func (p *Push) Run(prog vprog.Program) (*vprog.Result, error) {
 		for _, d := range partial {
 			delta += d
 		}
+		sp.End()
+		iters.Inc()
 		if prog.Converged(delta, iter) {
 			break
 		}

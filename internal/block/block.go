@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 )
 
@@ -59,6 +60,9 @@ type Config struct {
 	// (source, block) pair. Only used by the ablation study.
 	DisableCompression bool
 	Threads            int
+	// Collector receives partitioning telemetry: blocks built, splits
+	// performed, compression ratio. Nil means the no-op collector.
+	Collector obs.Collector
 }
 
 // DefaultSide picks a block side for an r-node submatrix: cache-sized
@@ -95,6 +99,19 @@ type Partition struct {
 	// CompressedEntries counts bin slots (Σ per-block sources), the
 	// quantity edge compression optimizes.
 	CompressedEntries int64
+
+	// Splits counts sub-blocks created beyond one per non-empty grid cell
+	// by the load-balance splitting of overloaded cells.
+	Splits int64
+}
+
+// CompressionRatio returns edges per bin entry (≥ 1; 1 with compression
+// disabled, 0 for an empty partition).
+func (p *Partition) CompressionRatio() float64 {
+	if p.CompressedEntries == 0 {
+		return 0
+	}
+	return float64(p.Nnz) / float64(p.CompressedEntries)
 }
 
 // NewPartition blocks the square submatrix given by ptr/idx (r+1 pointers,
@@ -144,13 +161,31 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 	})
 
 	for _, row := range p.Rows {
+		lastCol := -1
 		for _, sb := range row {
 			p.Blocks = append(p.Blocks, sb)
 			p.CompressedEntries += int64(len(sb.Srcs))
+			// Blocks in a row are column-ordered, so repeats of the same
+			// column index are the extra pieces splitting produced.
+			if sb.BlockCol == lastCol {
+				p.Splits++
+			}
+			lastCol = sb.BlockCol
 		}
 	}
 	for _, sb := range p.Blocks {
 		p.Cols[sb.BlockCol] = append(p.Cols[sb.BlockCol], sb)
+	}
+	if col := obs.Default(cfg.Collector); col.Enabled() {
+		col.Counter("block.partitions").Inc()
+		col.Gauge("block.side").Set(int64(p.Side))
+		col.Gauge("block.grid").Set(int64(p.B))
+		col.Gauge("block.blocks").Set(int64(len(p.Blocks)))
+		col.Gauge("block.splits").Set(p.Splits)
+		col.Gauge("block.edges").Set(p.Nnz)
+		col.Gauge("block.compressed_entries").Set(p.CompressedEntries)
+		// Permille so the int64 gauge keeps two decimals of the ratio.
+		col.Gauge("block.compression_ratio_permille").Set(int64(p.CompressionRatio() * 1000))
 	}
 	return p, nil
 }

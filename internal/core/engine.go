@@ -17,12 +17,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"mixen/internal/block"
 	"mixen/internal/filter"
 	"mixen/internal/graph"
+	"mixen/internal/obs"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -57,6 +59,14 @@ type Config struct {
 	// (unchanged) messages, so Gather stays exact. Sparse iterations such
 	// as BFS skip most of the matrix once the frontier has passed.
 	DisableActiveTracking bool
+	// Collector receives engine telemetry (phase spans, iteration counts,
+	// skipped-block counters) from preprocessing and every run. Nil means
+	// the zero-cost no-op collector.
+	Collector obs.Collector
+	// Trace records a per-iteration timeline (Scatter/Cache/Gather-Apply
+	// spans, delta, active block-rows) into RunStats.Trace. Independent of
+	// Collector so `-trace` works without a metrics registry.
+	Trace bool
 }
 
 func (c Config) regularOrder() filter.RegularOrder {
@@ -102,27 +112,77 @@ type Engine struct {
 
 	// SkippedBlocks counts sub-blocks whose Scatter was skipped by the
 	// activity mask during the most recent Run (observability/testing).
-	SkippedBlocks int64
+	// Reset at the start of every RunWithStats; safe to read concurrently
+	// (e.g. from a metrics poller) while a run is in flight.
+	SkippedBlocks atomic.Int64
+
+	col obs.Collector
+	m   engineMetrics
 }
+
+// engineMetrics caches the collector's instrument handles so the hot loop
+// never performs name lookups. All handles are nil under the no-op
+// collector, making every update a single branch.
+type engineMetrics struct {
+	runs          *obs.Counter
+	iterations    *obs.Counter
+	skippedBlocks *obs.Counter
+	activeRows    *obs.Gauge
+	preNs         *obs.Histogram
+	mainNs        *obs.Histogram
+	postNs        *obs.Histogram
+	scatterNs     *obs.Histogram
+	cacheNs       *obs.Histogram
+	gatherNs      *obs.Histogram
+	iterNs        *obs.Histogram
+}
+
+func newEngineMetrics(c obs.Collector) engineMetrics {
+	return engineMetrics{
+		runs:          c.Counter("core.runs"),
+		iterations:    c.Counter("core.iterations"),
+		skippedBlocks: c.Counter("core.skipped_blocks"),
+		activeRows:    c.Gauge("core.active_block_rows"),
+		preNs:         c.Histogram("core.pre_ns"),
+		mainNs:        c.Histogram("core.main_ns"),
+		postNs:        c.Histogram("core.post_ns"),
+		scatterNs:     c.Histogram("core.scatter_ns"),
+		cacheNs:       c.Histogram("core.cache_ns"),
+		gatherNs:      c.Histogram("core.gather_apply_ns"),
+		iterNs:        c.Histogram("core.iteration_ns"),
+	}
+}
+
+// SetCollector attaches (or replaces) the telemetry collector for future
+// runs. Implements obs.Instrumentable.
+func (e *Engine) SetCollector(c obs.Collector) {
+	e.col = obs.Default(c)
+	e.m = newEngineMetrics(e.col)
+}
+
+// Collector returns the attached collector (never nil).
+func (e *Engine) Collector() obs.Collector { return e.col }
 
 // New preprocesses g: filtering/relabeling plus 2-D blocking of the regular
 // submatrix.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	col := obs.Default(cfg.Collector)
 	t0 := time.Now()
-	f := filter.FilterWithOptions(g, filter.Options{Order: cfg.regularOrder()})
+	f := filter.FilterWithOptions(g, filter.Options{Order: cfg.regularOrder(), Collector: col})
 	t1 := time.Now()
 	p, err := block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, block.Config{
 		Side:               cfg.Side,
 		MaxLoadFactor:      cfg.MaxLoadFactor,
 		DisableCompression: cfg.DisableCompression,
 		Threads:            cfg.Threads,
+		Collector:          col,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: partition: %w", err)
 	}
 	t2 := time.Now()
-	return &Engine{
+	e := &Engine{
 		cfg: cfg,
 		F:   f,
 		P:   p,
@@ -130,7 +190,11 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 			FilterTime:    t1.Sub(t0),
 			PartitionTime: t2.Sub(t1),
 		},
-	}, nil
+	}
+	e.SetCollector(col)
+	col.Histogram("core.filter_ns").Observe(int64(e.Prep.FilterTime))
+	col.Histogram("core.partition_ns").Observe(int64(e.Prep.PartitionTime))
+	return e, nil
 }
 
 // Graph returns the original graph.
@@ -158,7 +222,16 @@ type RunStats struct {
 	PostTime time.Duration
 	// MainIterations equals Result.Iterations.
 	MainIterations int
+	// SkippedBlocks is the run's total count of sub-blocks whose Scatter
+	// was skipped by the activity mask.
+	SkippedBlocks int64
+	// Trace is the per-iteration timeline, populated when Config.Trace is
+	// set (nil otherwise).
+	Trace []obs.IterationTrace
 }
+
+// Total returns the end-to-end execution time across the three phases.
+func (s RunStats) Total() time.Duration { return s.PreTime + s.MainTime + s.PostTime }
 
 // Run executes prog to convergence (or prog.MaxIter) and returns the final
 // values in original id order.
@@ -192,6 +265,8 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 	})
 	copy(y, x)
 
+	e.m.runs.Inc()
+
 	// Pre-Phase: accumulate the seed contributions into the static bins.
 	t0 := time.Now()
 	sta := make([]float64, r*w)
@@ -199,6 +274,7 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 	e.pushSeeds(x, scale, sta, ring, w)
 	e.P.Sta = sta
 	stats.PreTime = time.Since(t0)
+	e.m.preNs.Observe(int64(stats.PreTime))
 
 	// Main-Phase.
 	t1 := time.Now()
@@ -212,20 +288,64 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 	for i := range active {
 		active[i] = true
 	}
-	e.SkippedBlocks = 0
+	e.SkippedBlocks.Store(0)
 	track := !e.cfg.DisableActiveTracking
+	// Per-iteration tracing is on when explicitly requested or when a
+	// recording collector is attached; the timeline slice itself is only
+	// kept when Config.Trace asks for it.
+	traced := e.cfg.Trace || e.col.Enabled()
 	for iter < prog.MaxIter() {
+		var it obs.IterationTrace
+		if traced {
+			it.Iter = iter + 1
+			it.TotalBlockRows = e.P.B
+			for _, a := range active {
+				if a {
+					it.ActiveBlockRows++
+				}
+			}
+		}
 		if e.cfg.DisableCache {
 			// Ablation: redo the seed propagation every iteration.
 			fillIdentity(sta, ring)
 			e.pushSeeds(x, scale, sta, ring, w)
 		}
-		e.scatter(x, scale, ring, w, threads, active)
+		var mark time.Time
+		if traced {
+			mark = time.Now()
+		}
+		it.SkippedBlocks = e.scatter(x, scale, ring, w, threads, active)
+		if traced {
+			now := time.Now()
+			it.ScatterNs = now.Sub(mark).Nanoseconds()
+			e.m.scatterNs.Observe(it.ScatterNs)
+			mark = now
+		}
 		e.cache(y, sta, w, threads)
+		if traced {
+			now := time.Now()
+			it.CacheNs = now.Sub(mark).Nanoseconds()
+			e.m.cacheNs.Observe(it.CacheNs)
+			mark = now
+		}
 		d := e.gatherApply(prog, x, y, ring, w, threads, colDelta, active, nextActive, iter == 0)
+		if traced {
+			now := time.Now()
+			it.GatherNs = now.Sub(mark).Nanoseconds()
+			e.m.gatherNs.Observe(it.GatherNs)
+		}
 		x, y = y, x
 		iter++
 		delta = d
+		if traced {
+			it.Delta = d
+			e.m.iterations.Inc()
+			e.m.activeRows.Set(int64(it.ActiveBlockRows))
+			e.m.iterNs.Observe(it.TotalNs())
+			if e.cfg.Trace {
+				stats.Trace = append(stats.Trace, it)
+			}
+		}
 		if prog.Converged(delta, iter) {
 			break
 		}
@@ -235,11 +355,15 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 	}
 	stats.MainTime = time.Since(t1)
 	stats.MainIterations = iter
+	stats.SkippedBlocks = e.SkippedBlocks.Load()
+	e.m.mainNs.Observe(int64(stats.MainTime))
+	e.m.skippedBlocks.Add(stats.SkippedBlocks)
 
 	// Post-Phase: sinks pull once from the final source values.
 	t2 := time.Now()
 	e.postSinks(prog, x, scale, ring, w, threads)
 	stats.PostTime = time.Since(t2)
+	e.m.postNs.Observe(int64(stats.PostTime))
 
 	// Translate back to original id order.
 	out := make([]float64, n*w)
@@ -248,6 +372,68 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 		copy(out[old*w:old*w+w], x[newV*w:newV*w+w])
 	})
 	return &vprog.Result{Values: out, Iterations: iter, Delta: delta}, stats, nil
+}
+
+// EffectiveConfig reports the configuration the engine actually runs with
+// (after defaulting), for run-report headers: what happened, not what was
+// asked for.
+func (e *Engine) EffectiveConfig() map[string]string {
+	cfg := map[string]string{
+		"side":        strconv.Itoa(e.P.Side),
+		"threads":     strconv.Itoa(e.cfg.Threads),
+		"load_factor": strconv.FormatFloat(e.cfg.MaxLoadFactor, 'g', -1, 64),
+	}
+	if e.cfg.DisableCache {
+		cfg["cache"] = "off"
+	}
+	if e.cfg.DisableCompression {
+		cfg["compression"] = "off"
+	}
+	if e.cfg.DisableActiveTracking {
+		cfg["active_tracking"] = "off"
+	}
+	switch {
+	case e.cfg.DegreeSortOrder:
+		cfg["order"] = "degree-sort"
+	case e.cfg.DisableHubOrder:
+		cfg["order"] = "original"
+	default:
+		cfg["order"] = "hub-first"
+	}
+	return cfg
+}
+
+// BuildReport assembles the JSON-serializable run report for a completed
+// RunWithStats invocation: effective config, prep + phase breakdown, the
+// per-iteration trace (when enabled), and a metrics snapshot when the
+// attached collector records one.
+func (e *Engine) BuildReport(algorithm, graphName string, res *vprog.Result, stats RunStats) *obs.RunReport {
+	g := e.F.G
+	r := &obs.RunReport{
+		Engine:    e.Name(),
+		Algorithm: algorithm,
+		Graph: obs.GraphInfo{
+			Name:  graphName,
+			Nodes: g.NumNodes(),
+			Edges: g.NumEdges(),
+		},
+		Config:     e.EffectiveConfig(),
+		Iterations: stats.MainIterations,
+		Trace:      stats.Trace,
+	}
+	if res != nil {
+		r.Delta = res.Delta
+	}
+	r.AddPhase("filter", e.Prep.FilterTime)
+	r.AddPhase("partition", e.Prep.PartitionTime)
+	r.AddPhase("pre", stats.PreTime)
+	r.AddPhase("main", stats.MainTime)
+	r.AddPhase("post", stats.PostTime)
+	if sn, ok := e.col.(interface{ Snapshot() obs.Snapshot }); ok {
+		s := sn.Snapshot()
+		r.Metrics = &s
+	}
+	return r
 }
 
 // fillIdentity resets a bin array to the ring's ⊕-identity.
@@ -334,8 +520,8 @@ func (e *Engine) pushSeedRangeInto(x, scale, dst []float64, ring vprog.Ring, w, 
 // bin is private, so no synchronisation is needed, and dynamic chunking
 // absorbs the hub-row imbalance the load-balance splitting creates tasks
 // for. Sub-blocks whose source segment is inactive keep their previous
-// (still valid) bin contents.
-func (e *Engine) scatter(x, scale []float64, ring vprog.Ring, w, threads int, active []bool) {
+// (still valid) bin contents. Returns the number of skipped sub-blocks.
+func (e *Engine) scatter(x, scale []float64, ring vprog.Ring, w, threads int, active []bool) int64 {
 	blocks := e.P.Blocks
 	var skipped atomic.Int64
 	sched.For(len(blocks), threads, 1, func(bi int) {
@@ -368,7 +554,9 @@ func (e *Engine) scatter(x, scale []float64, ring vprog.Ring, w, threads int, ac
 			}
 		}
 	})
-	e.SkippedBlocks += skipped.Load()
+	n := skipped.Load()
+	e.SkippedBlocks.Add(n)
+	return n
 }
 
 // cache writes the static-bin contributions over the regular segment of y

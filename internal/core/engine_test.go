@@ -267,7 +267,7 @@ func TestActiveTrackingSkipsAndStaysCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tracked.SkippedBlocks == 0 {
+	if tracked.SkippedBlocks.Load() == 0 {
 		t.Fatal("activity mask never skipped a block on a chain BFS")
 	}
 	untracked, err := New(g, Config{Side: 256, DisableActiveTracking: true})
@@ -278,7 +278,7 @@ func TestActiveTrackingSkipsAndStaysCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if untracked.SkippedBlocks != 0 {
+	if untracked.SkippedBlocks.Load() != 0 {
 		t.Fatal("tracking disabled but blocks were skipped")
 	}
 	for v := range resT.Values {

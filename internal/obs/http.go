@@ -1,0 +1,121 @@
+// HTTP exposure: an expvar-backed snapshot of a Registry plus the standard
+// net/http/pprof profiling handlers, served from one address. cmd/mixenrun
+// and cmd/mixenbench mount this behind the -metrics-addr flag so a profile
+// or metrics snapshot can be grabbed mid-benchmark:
+//
+//	mixenbench -experiment table3 -metrics-addr :6060 &
+//	curl localhost:6060/metrics              # JSON Registry snapshot
+//	curl localhost:6060/debug/vars           # expvar (includes the snapshot)
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=10
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards against double-publishing (expvar panics on duplicate
+// names, and tests may publish repeatedly).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes r's snapshot as the named expvar variable. It is
+// idempotent per name: the latest registry wins for a republished name.
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	// expvar has no replace API, so the published Func reads through a box
+	// that republishing re-points at the new registry.
+	box := getExpvarBox(name)
+	box.mu.Lock()
+	box.reg = r
+	box.mu.Unlock()
+	if !expvarPublished[name] {
+		expvar.Publish(name, expvar.Func(box.value))
+		expvarPublished[name] = true
+	}
+}
+
+type expvarBox struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+var expvarBoxes = map[string]*expvarBox{}
+
+func getExpvarBox(name string) *expvarBox {
+	b, ok := expvarBoxes[name]
+	if !ok {
+		b = &expvarBox{}
+		expvarBoxes[name] = b
+	}
+	return b
+}
+
+func (b *expvarBox) value() any {
+	b.mu.Lock()
+	reg := b.reg
+	b.mu.Unlock()
+	if reg == nil {
+		return Snapshot{}
+	}
+	return reg.Snapshot()
+}
+
+// MetricsServer serves a Registry over HTTP: /metrics (JSON snapshot),
+// /debug/vars (expvar) and /debug/pprof/* (profiling).
+type MetricsServer struct {
+	Addr string // actual listen address (resolved port)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics publishes r under the expvar name "mixen" and starts an
+// HTTP server on addr (e.g. ":6060" or "127.0.0.1:0"). The server runs
+// until Close; startup errors (bad address, port in use) are returned
+// synchronously.
+func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("obs: empty metrics address")
+	}
+	PublishExpvar("mixen", r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	ms := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close shuts the server down.
+func (ms *MetricsServer) Close() error {
+	if ms == nil || ms.srv == nil {
+		return nil
+	}
+	return ms.srv.Close()
+}

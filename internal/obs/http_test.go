@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestPublishExpvarIsIdempotent(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("x").Add(1)
+	PublishExpvar("obs_test_var", r1)
+	// Republished names must not panic, and the latest registry wins.
+	r2 := NewRegistry()
+	r2.Counter("x").Add(2)
+	PublishExpvar("obs_test_var", r2)
+
+	v := expvar.Get("obs_test_var")
+	if v == nil {
+		t.Fatal("variable not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not a Snapshot: %v", err)
+	}
+	if s.Counters["x"] != 2 {
+		t.Errorf("expvar counter = %d, want 2 (latest registry)", s.Counters["x"])
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.runs").Add(1)
+	r.Histogram("core.iteration_ns").Observe(1000)
+	srv, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return body
+	}
+
+	var s Snapshot
+	if err := json.Unmarshal(get("/metrics"), &s); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v", err)
+	}
+	if s.Counters["core.runs"] != 1 || s.Histograms["core.iteration_ns"].Count != 1 {
+		t.Errorf("/metrics snapshot = %+v", s)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["mixen"]; !ok {
+		t.Error("/debug/vars missing the published \"mixen\" snapshot")
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("/debug/pprof/ index is empty")
+	}
+}
+
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("", NewRegistry()); err == nil {
+		t.Error("want error for empty address")
+	}
+	if _, err := ServeMetrics("256.256.256.256:0", NewRegistry()); err == nil {
+		t.Error("want synchronous error for unusable address")
+	}
+}

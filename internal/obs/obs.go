@@ -1,0 +1,465 @@
+// Package obs is the engine-wide observability layer: zero-dependency,
+// low-overhead metrics and tracing shared by every engine in the repository.
+//
+// The paper's evaluation (Figs 4-10, Tables 3-4) is entirely built on
+// *measuring* phase behaviour — memory traffic, skipped work, preprocessing
+// overhead, per-iteration convergence. This package provides the
+// instruments those measurements hang off:
+//
+//   - Counter / Gauge: atomic int64 instruments;
+//   - Histogram: lock-free log₂-bucketed distribution with p50/p95/p99;
+//   - Span: phase timing recorded into a Histogram;
+//   - Registry: a named collection of the above, snapshotable to JSON and
+//     publishable through expvar;
+//   - Collector: the interface every engine accepts. The no-op default
+//     (Nop) hands out nil instruments whose methods are branch-and-return,
+//     so uninstrumented runs pay ~nothing — no allocation, no clock reads.
+//
+// All instruments are safe for concurrent use. Nil instrument pointers are
+// valid receivers everywhere, which is what makes the no-op path free:
+//
+//	var c Collector = Nop{}
+//	h := c.Histogram("scatter_ns") // nil
+//	sp := StartSpan(h)             // zero Span, no time.Now()
+//	...
+//	sp.End()                       // single nil check
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector hands out named instruments. Engines fetch their handles once
+// (at construction or run start) and use them on the hot path; the lookup
+// cost is therefore off the critical path.
+//
+// Implementations: *Registry (recording) and Nop (discarding). A nil
+// Collector must be normalized with Default before use.
+type Collector interface {
+	// Counter returns the named monotonic counter (nil under Nop).
+	Counter(name string) *Counter
+	// Gauge returns the named last-value gauge (nil under Nop).
+	Gauge(name string) *Gauge
+	// Histogram returns the named distribution (nil under Nop).
+	Histogram(name string) *Histogram
+	// Enabled reports whether instruments record anything, letting callers
+	// skip expensive derivations (formatting, per-item accounting) early.
+	Enabled() bool
+}
+
+// Instrumentable is implemented by engines that accept a Collector after
+// construction (all baselines and the Mixen core engine).
+type Instrumentable interface {
+	SetCollector(Collector)
+}
+
+// Default normalizes a possibly-nil Collector to the no-op implementation.
+func Default(c Collector) Collector {
+	if c == nil {
+		return Nop{}
+	}
+	return c
+}
+
+// Nop is the zero-cost Collector: every instrument it returns is nil, and
+// nil instruments discard updates with a single branch.
+type Nop struct{}
+
+// Counter implements Collector.
+func (Nop) Counter(string) *Counter { return nil }
+
+// Gauge implements Collector.
+func (Nop) Gauge(string) *Gauge { return nil }
+
+// Histogram implements Collector.
+func (Nop) Histogram(string) *Histogram { return nil }
+
+// Enabled implements Collector.
+func (Nop) Enabled() bool { return false }
+
+// Counter is a monotonic atomic counter. The zero value is ready to use; a
+// nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value instrument. The zero value is ready to
+// use; a nil *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d (useful for in-flight style gauges).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: bucket i counts samples
+// whose value has bit length i, i.e. value ∈ [2^(i-1), 2^i). That gives
+// ≤ 2× relative quantile error over the full non-negative int64 range,
+// plenty for phase timings and size distributions.
+const histBuckets = 65
+
+// Histogram is a lock-free log₂-bucketed distribution over non-negative
+// int64 samples (durations in nanoseconds, sizes, counts). The zero value
+// is ready to use; a nil *Histogram discards updates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; offset by +1 so 0 works
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	// min is stored +1 so that the zero value means "unset".
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v+1 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	h.buckets[bitLen(uint64(v))].Add(1)
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of recorded samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sample sum (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramStats is a point-in-time summary of a Histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats summarizes the histogram. Quantiles are estimated by linear
+// interpolation inside the log₂ bucket holding the quantile rank, clamped
+// to the observed [Min, Max] range.
+func (h *Histogram) Stats() HistogramStats {
+	var s HistogramStats
+	if h == nil {
+		return s
+	}
+	// Snapshot buckets first: concurrent Observe calls may land between the
+	// count load and the bucket loads, so derive the count from the bucket
+	// snapshot to keep ranks consistent.
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	s.Sum = h.sum.Load()
+	if total == 0 {
+		return s
+	}
+	if m := h.min.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	if m := h.max.Load(); m > 0 {
+		s.Max = m - 1
+	}
+	s.Mean = float64(s.Sum) / float64(total)
+	s.P50 = h.quantile(counts[:], total, 0.50, s.Min, s.Max)
+	s.P95 = h.quantile(counts[:], total, 0.95, s.Min, s.Max)
+	s.P99 = h.quantile(counts[:], total, 0.99, s.Min, s.Max)
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Stats()
+	if s.Count == 0 {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return h.quantile(counts[:], total, q, s.Min, s.Max)
+}
+
+func (h *Histogram) quantile(counts []int64, total int64, q float64, lo, hi int64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1)
+	idx := int64(rank)
+	var seen int64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c > idx {
+			// Interpolate inside bucket b, which spans [2^(b-1), 2^b).
+			bucketLo := float64(0)
+			if b > 0 {
+				bucketLo = math.Ldexp(1, b-1)
+			}
+			bucketHi := math.Ldexp(1, b)
+			frac := (rank - float64(seen)) / float64(c)
+			v := bucketLo + frac*(bucketHi-bucketLo)
+			// Clamp to the observed range so single-sample buckets report
+			// exact values at the extremes.
+			if v < float64(lo) {
+				v = float64(lo)
+			}
+			if v > float64(hi) {
+				v = float64(hi)
+			}
+			return v
+		}
+		seen += c
+	}
+	return float64(hi)
+}
+
+// Span times one phase and records the elapsed nanoseconds into a
+// Histogram on End. The zero Span (from a nil Histogram) is free: no clock
+// read on start, a single branch on End.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing into h. A nil h yields a no-op Span.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span and records its duration. It returns the elapsed time
+// (0 for a no-op span) so callers can reuse the measurement.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(int64(d))
+	return d
+}
+
+// Registry is a recording Collector: a named set of instruments.
+// Instruments are created on first use and live for the registry's
+// lifetime. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty recording Collector.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter implements Collector.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge implements Collector.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram implements Collector.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Enabled implements Collector.
+func (r *Registry) Enabled() bool { return true }
+
+// Snapshot is a point-in-time JSON-serializable view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramStats, len(histograms)),
+	}
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range histograms {
+		s.Histograms[k] = v.Stats()
+	}
+	return s
+}
+
+// Names returns the sorted instrument names of each kind (testing/UI).
+func (r *Registry) Names() (counters, gauges, histograms []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.counters {
+		counters = append(counters, k)
+	}
+	for k := range r.gauges {
+		gauges = append(gauges, k)
+	}
+	for k := range r.histograms {
+		histograms = append(histograms, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return counters, gauges, histograms
+}

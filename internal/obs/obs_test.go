@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if s := h.Stats(); s != (HistogramStats{}) {
+		t.Errorf("nil histogram stats = %+v, want zero", s)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", q)
+	}
+	if d := StartSpan(nil).End(); d != 0 {
+		t.Errorf("no-op span elapsed = %v, want 0", d)
+	}
+}
+
+func TestNopCollector(t *testing.T) {
+	var c Collector = Nop{}
+	if c.Counter("x") != nil || c.Gauge("x") != nil || c.Histogram("x") != nil {
+		t.Error("Nop must hand out nil instruments")
+	}
+	if c.Enabled() {
+		t.Error("Nop.Enabled() = true, want false")
+	}
+	if Default(nil) == nil {
+		t.Error("Default(nil) must not be nil")
+	}
+	if Default(c) != c {
+		t.Error("Default must pass a non-nil collector through")
+	}
+}
+
+// TestNoopPathAllocatesNothing is the overhead contract: the uninstrumented
+// hot path (nil instruments, no-op spans) must not allocate.
+func TestNoopPathAllocatesNothing(t *testing.T) {
+	var c Collector = Nop{}
+	h := c.Histogram("scatter_ns")
+	cnt := c.Counter("iterations")
+	g := c.Gauge("active")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(h)
+		cnt.Inc()
+		g.Set(3)
+		h.Observe(5)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op instrument path allocates %.1f bytes/op, want 0", allocs)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %d, want 5050", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %d/%d, want 1/100", s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %g, want 50.5", s.Mean)
+	}
+	// Log₂ buckets guarantee ≤2× relative error; check the quantiles are in
+	// the right ballpark and ordered.
+	if s.P50 < 25 || s.P50 > 100 {
+		t.Errorf("p50 = %g, want within [25, 100]", s.P50)
+	}
+	if s.P95 < 48 || s.P95 > 100 {
+		t.Errorf("p95 = %g, want within [48, 100]", s.P95)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > float64(s.Max) || s.P50 < float64(s.Min) {
+		t.Error("quantiles must be clamped to the observed range")
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamped to 0
+	s := h.Stats()
+	if s.Count != 2 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("stats = %+v, want count=2 sum=0 min=0 max=0", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("quantiles = %g/%g, want 0/0", s.P50, s.P99)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(777)
+	s := h.Stats()
+	if s.P50 != 777 || s.P95 != 777 || s.P99 != 777 {
+		t.Errorf("single-sample quantiles = %g/%g/%g, want 777 (range clamp)", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestConcurrentUpdates exercises all instruments from many goroutines; run
+// with -race to check the lock-free paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(int64(id*per + j))
+				if j%100 == 0 {
+					_ = h.Stats() // concurrent reads
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	s := r.Histogram("h").Stats()
+	if s.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 0 || s.Max != workers*per-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, workers*per-1)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter must return a stable handle per name")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Error("Histogram must return a stable handle per name")
+	}
+	if !r.Enabled() {
+		t.Error("Registry.Enabled() = false, want true")
+	}
+	counters, gauges, hists := r.Names()
+	if len(counters) != 1 || len(gauges) != 0 || len(hists) != 1 {
+		t.Errorf("Names() = %v/%v/%v, want one counter and one histogram", counters, gauges, hists)
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	var h Histogram
+	sp := StartSpan(&h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("span elapsed %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() != int64(d) {
+		t.Errorf("histogram sum = %d, want %d", h.Sum(), int64(d))
+	}
+}
+
+func TestSnapshotIsPointInTime(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	s := r.Snapshot()
+	r.Counter("c").Add(10)
+	if s.Counters["c"] != 3 {
+		t.Errorf("snapshot counter = %d, want 3 (must not track later updates)", s.Counters["c"])
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *RunReport {
+	r := &RunReport{
+		Engine:    "mixen",
+		Algorithm: "pagerank",
+		Graph:     GraphInfo{Name: "wiki", Nodes: 100, Edges: 950},
+		Config:    map[string]string{"iters": "100", "tol": "1e-9"},
+		Iterations: 2,
+		Delta:      4.5e-10,
+		Trace: []IterationTrace{
+			{Iter: 1, ScatterNs: 100, CacheNs: 10, GatherNs: 300, Delta: 0.5, ActiveBlockRows: 4, TotalBlockRows: 4},
+			{Iter: 2, ScatterNs: 90, CacheNs: 9, GatherNs: 280, Delta: 0.1, ActiveBlockRows: 2, TotalBlockRows: 4, SkippedBlocks: 3},
+		},
+	}
+	r.AddPhase("pre", 2*time.Microsecond)
+	r.AddPhase("main", 20*time.Microsecond)
+	r.AddPhase("post", time.Microsecond)
+	return r
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	reg := NewRegistry()
+	reg.Counter("core.iterations").Add(2)
+	reg.Histogram("core.iteration_ns").Observe(400)
+	s := reg.Snapshot()
+	r.Metrics = &s
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	back, err := ParseRunReport(data)
+	if err != nil {
+		t.Fatalf("ParseRunReport: %v", err)
+	}
+	if back.Engine != r.Engine || back.Algorithm != r.Algorithm {
+		t.Errorf("round trip lost identity: %s/%s", back.Engine, back.Algorithm)
+	}
+	if back.Graph != r.Graph {
+		t.Errorf("graph = %+v, want %+v", back.Graph, r.Graph)
+	}
+	if back.Iterations != r.Iterations || back.Delta != r.Delta {
+		t.Errorf("convergence = %d/%g, want %d/%g", back.Iterations, back.Delta, r.Iterations, r.Delta)
+	}
+	if len(back.Trace) != 2 || back.Trace[1] != r.Trace[1] {
+		t.Errorf("trace = %+v, want %+v", back.Trace, r.Trace)
+	}
+	if len(back.Phases) != 3 || back.Phase("main") != 20*time.Microsecond {
+		t.Errorf("phases = %+v", back.Phases)
+	}
+	if back.Config["tol"] != "1e-9" {
+		t.Errorf("config = %v", back.Config)
+	}
+	if back.Metrics == nil || back.Metrics.Counters["core.iterations"] != 2 {
+		t.Errorf("metrics lost in round trip: %+v", back.Metrics)
+	}
+	if back.Metrics.Histograms["core.iteration_ns"].Count != 1 {
+		t.Errorf("histogram stats lost: %+v", back.Metrics.Histograms)
+	}
+}
+
+func TestParseRunReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseRunReport([]byte("{nope")); err == nil {
+		t.Error("want error for invalid JSON")
+	}
+}
+
+func TestFormatHeader(t *testing.T) {
+	h := sampleReport().FormatHeader()
+	for _, want := range []string{"engine=mixen", "algo=pagerank", "graph=wiki(n=100 m=950)", "iters=100", "tol=1e-9"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("header missing %q:\n%s", want, h)
+		}
+	}
+	// Config keys must be sorted for stable output.
+	if strings.Index(h, "iters=") > strings.Index(h, "tol=") {
+		t.Errorf("config keys not sorted:\n%s", h)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	s := sampleReport().FormatSummary()
+	for _, want := range []string{"pre=", "main=", "post=", "converged: 2 iterations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// main is 20µs of 23µs total ≈ 87%.
+	if !strings.Contains(s, "main=20µs(87.0%)") {
+		t.Errorf("summary share wrong:\n%s", s)
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	r := sampleReport()
+	out := FormatTimeline(r.Trace)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one row per iteration + totals.
+	if len(lines) != 2+len(r.Trace) {
+		t.Fatalf("timeline has %d lines, want %d:\n%s", len(lines), 2+len(r.Trace), out)
+	}
+	if !strings.Contains(lines[0], "scatter") || !strings.Contains(lines[0], "skipped") {
+		t.Errorf("header row wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "4/4") {
+		t.Errorf("active column wrong: %q", lines[1])
+	}
+	total := lines[len(lines)-1]
+	if !strings.Contains(total, "total") || !strings.Contains(total, "3") {
+		t.Errorf("totals row wrong: %q", total)
+	}
+	if FormatTimeline(nil) != "trace: (empty)" {
+		t.Error("empty trace must render a placeholder")
+	}
+}
+
+func TestIterationTraceTotal(t *testing.T) {
+	it := IterationTrace{ScatterNs: 1, CacheNs: 2, GatherNs: 4}
+	if it.TotalNs() != 7 {
+		t.Errorf("TotalNs = %d, want 7", it.TotalNs())
+	}
+}

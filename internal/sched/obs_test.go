@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mixen/internal/obs"
+)
+
+// instrumented runs f with a fresh registry installed, restoring the
+// uninstrumented state afterwards (the collector is package-global).
+func instrumented(t *testing.T, f func()) obs.Snapshot {
+	t.Helper()
+	reg := obs.NewRegistry()
+	SetCollector(reg)
+	defer SetCollector(nil)
+	f()
+	return reg.Snapshot()
+}
+
+func TestInstrumentedLoopsStayCorrect(t *testing.T) {
+	const n = 10000
+	var sum atomic.Int64
+	s := instrumented(t, func() {
+		ForRange(n, 4, 128, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		ForStatic(n, 4, func(worker, lo, hi int) {})
+		For(10, 1, 0, func(i int) {}) // serial path records too
+	})
+	if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("instrumented ForRange sum = %d, want %d", sum.Load(), want)
+	}
+	if got := s.Counters["sched.calls"]; got != 3 {
+		t.Errorf("sched.calls = %d, want 3", got)
+	}
+	// ForRange hands out ceil(n/chunk) chunks, ForStatic one per worker,
+	// the serial call one.
+	want := int64((n+127)/128) + 4 + 1
+	if got := s.Counters["sched.chunks"]; got != want {
+		t.Errorf("sched.chunks = %d, want %d", got, want)
+	}
+	wall := s.Histograms["sched.call_ns"]
+	if wall.Count != 3 {
+		t.Errorf("sched.call_ns count = %d, want 3", wall.Count)
+	}
+	if idle := s.Histograms["sched.worker_idle_ns"]; idle.Count != 3 || idle.Min < 0 {
+		t.Errorf("sched.worker_idle_ns = %+v", idle)
+	}
+}
+
+func TestSetCollectorDetaches(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetCollector(reg)
+	SetCollector(nil)
+	ForRange(100, 2, 10, func(lo, hi int) {})
+	if got := reg.Snapshot().Counters["sched.calls"]; got != 0 {
+		t.Errorf("detached collector recorded %d calls", got)
+	}
+	// A disabled collector must also uninstall.
+	SetCollector(reg)
+	SetCollector(obs.Nop{})
+	ForRange(100, 2, 10, func(lo, hi int) {})
+	if got := reg.Snapshot().Counters["sched.calls"]; got != 0 {
+		t.Errorf("Nop collector left instrumentation installed: %d calls", got)
+	}
+}
+
+func TestInstrumentedEmptyLoopIsFine(t *testing.T) {
+	s := instrumented(t, func() {
+		ForRange(0, 4, 1, func(lo, hi int) { t.Error("body called for n=0") })
+	})
+	if got := s.Counters["sched.calls"]; got != 0 {
+		t.Errorf("empty loop recorded %d calls", got)
+	}
+}

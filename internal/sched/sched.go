@@ -13,11 +13,42 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mixen/internal/obs"
 )
 
 // DefaultThreads is the pool width used when a caller passes threads <= 0.
 // The paper pins 20 hardware threads; we follow the host.
 func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// instr caches instrument handles for the package-level collector so the
+// per-call cost of instrumentation is one atomic pointer load.
+type instr struct {
+	calls  *obs.Counter   // parallel-loop invocations
+	chunks *obs.Counter   // work chunks handed out
+	wallNs *obs.Histogram // wall time per parallel loop
+	idleNs *obs.Histogram // Σ per-worker (wall - busy) per loop
+}
+
+var instrP atomic.Pointer[instr]
+
+// SetCollector installs (or, with nil / a disabled collector, removes) the
+// package-level scheduler instrumentation: chunk counts and worker idle
+// time per parallel loop. The uninstrumented hot path pays one atomic load
+// per loop invocation — not per chunk or element.
+func SetCollector(c obs.Collector) {
+	if c == nil || !c.Enabled() {
+		instrP.Store(nil)
+		return
+	}
+	instrP.Store(&instr{
+		calls:  c.Counter("sched.calls"),
+		chunks: c.Counter("sched.chunks"),
+		wallNs: c.Histogram("sched.call_ns"),
+		idleNs: c.Histogram("sched.worker_idle_ns"),
+	})
+}
 
 // normalize clamps a requested thread count into [1, reasonable].
 func normalize(threads int) int {
@@ -57,8 +88,19 @@ func ForRange(n, threads, chunk int, body func(lo, hi int)) {
 			chunk = 1
 		}
 	}
+	in := instrP.Load()
 	if threads == 1 {
+		if in == nil {
+			body(0, n)
+			return
+		}
+		start := time.Now()
 		body(0, n)
+		in.record(1, time.Since(start), 0)
+		return
+	}
+	if in != nil {
+		forRangeInstrumented(n, threads, chunk, body, in)
 		return
 	}
 	var cursor atomic.Int64
@@ -83,6 +125,55 @@ func ForRange(n, threads, chunk int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// record books one finished parallel loop.
+func (in *instr) record(chunks int64, wall, idle time.Duration) {
+	in.calls.Inc()
+	in.chunks.Add(chunks)
+	in.wallNs.ObserveDuration(wall)
+	in.idleNs.ObserveDuration(idle)
+}
+
+// forRangeInstrumented is the recording twin of ForRange's parallel path:
+// each worker accumulates its busy time, and idle time is the gap between
+// the pool's wall time and each worker's busy time (time spent waiting on
+// the cursor, descheduled, or parked after the work ran out).
+func forRangeInstrumented(n, threads, chunk int, body func(lo, hi int), in *instr) {
+	start := time.Now()
+	busy := make([]int64, threads)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(worker int) {
+			defer wg.Done()
+			var b int64
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					busy[worker] = b
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				t0 := time.Now()
+				body(lo, hi)
+				b += int64(time.Since(t0))
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var idle time.Duration
+	for _, b := range busy {
+		if d := wall - time.Duration(b); d > 0 {
+			idle += d
+		}
+	}
+	in.record(int64((n+chunk-1)/chunk), wall, idle)
+}
+
 // ForStatic splits [0, n) into exactly `threads` near-equal contiguous
 // ranges, one per worker, mirroring OpenMP's static schedule. Engines use it
 // where the per-range state (thread-private buffers) must map 1:1 to workers.
@@ -94,9 +185,22 @@ func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 	if threads > n {
 		threads = n
 	}
+	in := instrP.Load()
 	if threads == 1 {
+		if in == nil {
+			body(0, 0, n)
+			return
+		}
+		start := time.Now()
 		body(0, 0, n)
+		in.record(1, time.Since(start), 0)
 		return
+	}
+	start := time.Time{}
+	var busy []int64
+	if in != nil {
+		start = time.Now()
+		busy = make([]int64, threads)
 	}
 	var wg sync.WaitGroup
 	wg.Add(threads)
@@ -105,10 +209,26 @@ func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 		hi := (t + 1) * n / threads
 		go func(worker, lo, hi int) {
 			defer wg.Done()
+			if busy != nil {
+				t0 := time.Now()
+				body(worker, lo, hi)
+				busy[worker] = int64(time.Since(t0))
+				return
+			}
 			body(worker, lo, hi)
 		}(t, lo, hi)
 	}
 	wg.Wait()
+	if in != nil {
+		wall := time.Since(start)
+		var idle time.Duration
+		for _, b := range busy {
+			if d := wall - time.Duration(b); d > 0 {
+				idle += d
+			}
+		}
+		in.record(int64(threads), wall, idle)
+	}
 }
 
 // SumFloat64 computes a parallel reduction sum_{i in [0,n)} value(i).

@@ -31,6 +31,8 @@ import (
 	"mixen/internal/filter"
 	"mixen/internal/gen"
 	"mixen/internal/graph"
+	"mixen/internal/obs"
+	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
 
@@ -303,6 +305,63 @@ func ShortestPathsBellmanFord(w *WeightedGraph, source uint32, threads int) ([]f
 func ShortestPathsDijkstra(w *WeightedGraph, source uint32) ([]float64, error) {
 	return algo.SSSPDijkstra(w, source)
 }
+
+// Collector is the observability hook every engine accepts: a source of
+// named counters, gauges and histograms. See NewMetricsRegistry for the
+// recording implementation; nil/absent means a zero-cost no-op.
+type Collector = obs.Collector
+
+// MetricsRegistry is the recording Collector: snapshotable to JSON,
+// publishable through expvar, servable over HTTP (ServeMetrics).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty recording Collector.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunStats is the Mixen engine's per-phase timing breakdown.
+type RunStats = core.RunStats
+
+// PrepStats is the Mixen engine's preprocessing cost breakdown.
+type PrepStats = core.PrepStats
+
+// RunReport is the JSON-serializable record of one engine run (effective
+// config, phase breakdown, per-iteration trace, metrics snapshot).
+type RunReport = obs.RunReport
+
+// IterationTrace is one main-phase iteration's record inside a RunReport.
+type IterationTrace = obs.IterationTrace
+
+// GraphInfo summarizes the input graph inside a RunReport.
+type GraphInfo = obs.GraphInfo
+
+// MetricsServer serves a MetricsRegistry over HTTP (/metrics JSON,
+// /debug/vars expvar, /debug/pprof profiling).
+type MetricsServer = obs.MetricsServer
+
+// ServeMetrics publishes r through expvar and serves it (plus pprof) on
+// addr until the returned server is closed.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, r)
+}
+
+// Instrument attaches c to an engine that supports telemetry and reports
+// whether it did. All engines in this module do.
+func Instrument(e Engine, c Collector) bool {
+	if i, ok := e.(obs.Instrumentable); ok {
+		i.SetCollector(c)
+		return true
+	}
+	return false
+}
+
+// InstrumentScheduler routes parallel-runtime telemetry (chunk counts,
+// worker idle time) into c; nil disables it again. Scheduler metrics are
+// global to the process, unlike per-engine collectors.
+func InstrumentScheduler(c Collector) { sched.SetCollector(c) }
+
+// FormatTimeline renders a per-iteration trace as a human-readable table
+// (the -trace output of cmd/mixenrun).
+func FormatTimeline(trace []IterationTrace) string { return obs.FormatTimeline(trace) }
 
 // Filtered exposes Mixen's relabeled mixed CSR/CSC form for advanced use.
 type Filtered = filter.Filtered

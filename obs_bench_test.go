@@ -1,0 +1,36 @@
+package mixen
+
+// Observability overhead benches: BenchmarkPageRank times the reference
+// PageRank run on the wiki stand-in across three collector settings, so the
+// no-op collector's cost is directly comparable against an uninstrumented
+// engine (the contract is < 2% overhead):
+//
+//	go test -bench=BenchmarkPageRank -benchmem
+
+import (
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+	"mixen/internal/obs"
+)
+
+func benchPageRank(b *testing.B, col obs.Collector) {
+	g := benchGraph(b, "wiki")
+	e, err := core.New(g, core.Config{Collector: col})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(algo.NewPageRank(g, 0.85, 0, benchIters)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	b.Run("collector=none", func(b *testing.B) { benchPageRank(b, nil) })
+	b.Run("collector=noop", func(b *testing.B) { benchPageRank(b, obs.Nop{}) })
+	b.Run("collector=registry", func(b *testing.B) { benchPageRank(b, obs.NewRegistry()) })
+}
