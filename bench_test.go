@@ -159,6 +159,7 @@ func BenchmarkTable3(b *testing.B) {
 				g := benchGraph(b, name)
 				b.Run(fmt.Sprintf("%s/%s/%s", alg, fw, name), func(b *testing.B) {
 					e := benchEngine(b, fw, g, benchWidth(alg))
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						if alg == "BFS" {
@@ -223,6 +224,7 @@ func BenchmarkFig4(b *testing.B) {
 			b.Run(fw+"/"+name, func(b *testing.B) {
 				e := benchEngine(b, fw, g, 1)
 				prog := algo.NewInDegree(benchIters)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := e.Run(prog); err != nil {
@@ -291,6 +293,7 @@ func BenchmarkFig6(b *testing.B) {
 					b.Fatal(err)
 				}
 				prog := algo.NewInDegree(benchIters)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := e.Run(prog); err != nil {
@@ -340,6 +343,7 @@ func benchAblation(b *testing.B, name string, on, off core.Config) {
 				b.Fatal(err)
 			}
 			prog := algo.NewInDegree(benchIters)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Run(prog); err != nil {

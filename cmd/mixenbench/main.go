@@ -104,9 +104,13 @@ func main() {
 			rows, err := bench.PhaseStudy(o)
 			return bench.FormatPhaseStudy(rows), err
 		},
+		"concurrent": func(o bench.Options) (string, error) {
+			rows, err := bench.ConcurrentStudy(o)
+			return bench.FormatConcurrentStudy(rows), err
+		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

@@ -23,6 +23,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
+	"time"
 
 	"mixen"
 )
@@ -66,6 +68,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
 	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
+	parallel := flag.Int("parallel", 1, "after the reported run, issue N concurrent runs over the same engine and report runs/sec")
 	flag.Parse()
 
 	info, ok := algoInfo[*algoName]
@@ -136,6 +139,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mixenrun: -trace requires an engine-run algorithm on the mixen engine; ignoring")
 		*trace = false
 	}
+	if *parallel > 1 && !info.engine {
+		fmt.Fprintln(os.Stderr, "mixenrun: -parallel requires an engine-run algorithm; ignoring")
+		*parallel = 1
+	}
 
 	fmt.Printf("graph: %v\n", g)
 	fmt.Println(report.FormatHeader())
@@ -146,7 +153,7 @@ func main() {
 	if info.engine {
 		runEngineAlgo(g, report, reg, *algoName, *engine, engineOpts{
 			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
-			threads: *threads, top: *top, trace: *trace,
+			threads: *threads, top: *top, trace: *trace, parallel: *parallel,
 		})
 	} else {
 		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
@@ -166,6 +173,7 @@ type engineOpts struct {
 	tol                    float64
 	source                 uint32
 	trace                  bool
+	parallel               int
 }
 
 // runEngineAlgo executes one of the vertex-program algorithms (indegree,
@@ -177,21 +185,27 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		width = o.k
 	}
 
-	var prog mixen.Program
-	switch algoName {
-	case "indegree":
-		prog = mixen.NewInDegreeProgram(o.iters)
-	case "pagerank":
-		prog = mixen.NewPageRankProgram(g, 0.85, o.tol, o.iters)
-	case "cf":
-		prog = mixen.NewCFProgram(g, o.k, o.iters)
-	case "bfs":
-		prog = mixen.NewBFSProgram(g, o.source)
+	// Each run gets its own program value so concurrent runs never share
+	// program state (the engines themselves are concurrency-safe).
+	newProg := func() mixen.Program {
+		switch algoName {
+		case "indegree":
+			return mixen.NewInDegreeProgram(o.iters)
+		case "pagerank":
+			return mixen.NewPageRankProgram(g, 0.85, o.tol, o.iters)
+		case "cf":
+			return mixen.NewCFProgram(g, o.k, o.iters)
+		case "bfs":
+			return mixen.NewBFSProgram(g, o.source)
+		}
+		return nil
 	}
+	prog := newProg()
 
 	var (
 		res *mixen.Result
 		err error
+		eng mixen.Engine
 	)
 	if engine == "mixen" {
 		// The core engine gets the full observability treatment: collector
@@ -204,6 +218,7 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		if nerr != nil {
 			fail(nerr)
 		}
+		eng = e
 		var stats mixen.RunStats
 		res, stats, err = e.RunWithStats(prog)
 		if err != nil {
@@ -225,6 +240,7 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		if nerr != nil {
 			fail(nerr)
 		}
+		eng = e
 		if reg != nil {
 			mixen.Instrument(e, reg)
 		}
@@ -234,6 +250,10 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		}
 		report.Iterations = res.Iterations
 		report.Delta = res.Delta
+	}
+
+	if o.parallel > 1 {
+		runConcurrent(eng, newProg, res.Values, o.parallel)
 	}
 
 	switch algoName {
@@ -257,6 +277,58 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		fmt.Printf("bfs from %d: reached %d/%d nodes, eccentricity %.0f, %d level-sync rounds\n",
 			o.source, reached, g.NumNodes(), maxLevel, res.Iterations)
 	}
+}
+
+// runConcurrent issues n concurrent runs over one shared engine (the
+// concurrent-serving pattern), cross-checks every result against the
+// serial reference, and reports aggregate throughput.
+func runConcurrent(e mixen.Engine, newProg func() mixen.Program, want []float64, n int) {
+	results := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Run(newProg())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.Values
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			fail(fmt.Errorf("parallel run %d: %w", i, err))
+		}
+	}
+	mismatches := 0
+	for _, vals := range results {
+		if !equalValues(vals, want) {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		fail(fmt.Errorf("parallel: %d of %d concurrent runs differ from the serial result", mismatches, n))
+	}
+	fmt.Printf("parallel: %d concurrent runs in %v (%.2f runs/sec), all identical to serial\n",
+		n, wall.Round(time.Millisecond), float64(n)/wall.Seconds())
+}
+
+func equalValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // runLibraryAlgo executes the algorithms that run on their own internal

@@ -19,6 +19,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mixen/internal/graph"
@@ -52,29 +53,53 @@ func (i *Instr) runInstruments(name string) (runs, iters *obs.Counter, iterNs *o
 	return c.Counter(name + ".runs"), c.Counter(name + ".iterations"), c.Histogram(name + ".iteration_ns")
 }
 
-// setup holds the run state common to the simple (unblocked) engines.
+// setup holds the run state common to every baseline engine: the x/y
+// property arrays, scale factors, and reusable scratch buffers. Setups are
+// recycled across runs through runPool, mirroring the core engine's
+// workspace discipline, so comparative benchmarks measure kernels rather
+// than the allocator — and so the baselines share the core engine's
+// concurrent-runs contract (each run owns a private setup).
 type setup struct {
 	n     int
 	w     int
 	ring  vprog.Ring
 	x, y  []float64
 	scale []float64
+
+	pool    *sync.Pool  // owning pool, for release
+	accs    [][]float64 // per-worker/partition w-lane accumulators
+	scratch []float64   // per-worker/partition reduction slots
+	bins    []float64   // dynamic-bin values (blocked engine only)
 }
 
-func newSetup(g *graph.Graph, prog vprog.Program, threads int) (*setup, error) {
+// runPool recycles setups across runs, keyed by program width. The zero
+// value is ready to use.
+type runPool struct {
+	pools sync.Map // width -> *sync.Pool
+}
+
+// acquire returns a setup initialised for prog: pooled buffers when a
+// compatible setup is available, freshly allocated otherwise.
+func (rp *runPool) acquire(g *graph.Graph, prog vprog.Program, threads int) (*setup, error) {
 	w := prog.Width()
 	if w <= 0 {
 		return nil, fmt.Errorf("baseline: program width %d must be positive", w)
 	}
+	pv, _ := rp.pools.LoadOrStore(w, &sync.Pool{})
+	sp := pv.(*sync.Pool)
 	n := g.NumNodes()
-	s := &setup{
-		n:     n,
-		w:     w,
-		ring:  prog.Ring(),
-		x:     make([]float64, n*w),
-		y:     make([]float64, n*w),
-		scale: make([]float64, n),
+	s, _ := sp.Get().(*setup)
+	if s == nil || s.n != n || s.w != w {
+		s = &setup{
+			n:     n,
+			w:     w,
+			x:     make([]float64, n*w),
+			y:     make([]float64, n*w),
+			scale: make([]float64, n),
+		}
 	}
+	s.pool = sp
+	s.ring = prog.Ring()
 	sched.For(n, threads, 1024, func(v int) {
 		prog.Init(uint32(v), s.x[v*w:v*w+w])
 		s.scale[v] = prog.Scale(uint32(v))
@@ -83,8 +108,46 @@ func newSetup(g *graph.Graph, prog vprog.Program, threads int) (*setup, error) {
 	return s, nil
 }
 
+// release returns the setup to its pool for reuse by a later run.
+func (s *setup) release() {
+	if s.pool != nil {
+		s.pool.Put(s)
+	}
+}
+
+// lanes returns k reusable w-lane accumulator buffers (one per logical
+// worker or partition), grown on first use and kept across runs.
+func (s *setup) lanes(k int) [][]float64 {
+	for len(s.accs) < k {
+		s.accs = append(s.accs, make([]float64, s.w))
+	}
+	return s.accs[:k]
+}
+
+// scratchFloats returns a reusable scratch slice of k float64s (contents
+// undefined — callers reset what they read).
+func (s *setup) scratchFloats(k int) []float64 {
+	if cap(s.scratch) < k {
+		s.scratch = make([]float64, k)
+	}
+	return s.scratch[:k]
+}
+
+// binSpace returns a reusable flat dynamic-bin array of k values (contents
+// undefined — every Scatter rewrites the bins it gathers).
+func (s *setup) binSpace(k int) []float64 {
+	if cap(s.bins) < k {
+		s.bins = make([]float64, k)
+	}
+	return s.bins[:k]
+}
+
+// result snapshots the final values into a fresh slice: the setup's own
+// buffers return to the pool, so they must never leak into a Result.
 func (s *setup) result(iter int, delta float64) *vprog.Result {
-	return &vprog.Result{Values: s.x, Iterations: iter, Delta: delta}
+	out := make([]float64, len(s.x))
+	copy(out, s.x)
+	return &vprog.Result{Values: out, Iterations: iter, Delta: delta}
 }
 
 // PrepTimer captures a baseline's preprocessing cost for Table 4. Each

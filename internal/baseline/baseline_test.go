@@ -2,11 +2,14 @@ package baseline
 
 import (
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"mixen/internal/algo"
 	"mixen/internal/gen"
 	"mixen/internal/graph"
+	"mixen/internal/vprog"
 )
 
 func tiny(t *testing.T) *graph.Graph {
@@ -304,5 +307,70 @@ func TestTrafficModelsOrdering(t *testing.T) {
 	// Blocking trades traffic for locality: far fewer random accesses.
 	if bg.RandomAccessesPerIteration() >= pull.RandomAccessesPerIteration() {
 		t.Fatal("blocking must reduce random accesses versus pull")
+	}
+}
+
+// TestConcurrentBaselineRunsMatchSerial exercises the pooled-setup
+// discipline under the race detector: every baseline engine runs InDegree
+// from several goroutines at once on one shared instance, and each result
+// must be bit-identical to the serial one. InDegree keeps all values
+// integral, so even Push's atomic accumulation is order-insensitive.
+func TestConcurrentBaselineRunsMatchSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := NewBlockGAS(g, BlockGASConfig{Side: 64, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []vprog.Engine{
+		NewPull(g, 2),
+		NewPush(g, 2),
+		NewPolymer(g, 2, 3),
+		bg,
+	}
+	for _, e := range engines {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			want, err := e.Run(algo.NewInDegree(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const runs = 4
+			results := make([][]float64, runs)
+			errs := make([]error, runs)
+			var wg sync.WaitGroup
+			for i := 0; i < runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, err := e.Run(algo.NewInDegree(3))
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					results[i] = res.Values
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, vals := range results {
+				if len(vals) != len(want.Values) {
+					t.Fatalf("run %d: %d values, want %d", i, len(vals), len(want.Values))
+				}
+				for v := range vals {
+					if vals[v] != want.Values[v] {
+						t.Fatalf("run %d: node %d = %v, want %v", i, v, vals[v], want.Values[v])
+					}
+				}
+			}
+		})
 	}
 }

@@ -23,6 +23,7 @@ type BlockGAS struct {
 	threads int
 	p       *block.Partition
 	width   int
+	rp      runPool
 }
 
 // BlockGASConfig tunes the GPOP-like engine.
@@ -52,7 +53,6 @@ func NewBlockGAS(g *graph.Graph, cfg BlockGASConfig) (*BlockGAS, error) {
 	e.PrepTime = timed(func() {
 		e.p, err = block.NewPartition(g.OutPtr, g.OutIdx, g.NumNodes(), block.Config{
 			Side:          cfg.Side,
-			Width:         cfg.Width,
 			MaxLoadFactor: cfg.MaxLoadFactor,
 			Threads:       cfg.Threads,
 		})
@@ -77,16 +77,20 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 	if prog.Width() != e.width {
 		return nil, fmt.Errorf("blockgas: engine built for width %d, program has %d", e.width, prog.Width())
 	}
-	s, err := newSetup(e.g, prog, e.threads)
+	s, err := e.rp.acquire(e.g, prog, e.threads)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	n, w, ring := s.n, s.w, s.ring
 	p := e.p
 	iter := 0
 	var delta float64
 	identity := ring.Identity()
-	colDelta := make([]float64, maxInt(p.B, 1))
+	colDelta := s.scratchFloats(maxInt(p.B, 1))
+	// Dynamic-bin values live in the setup (the partition is read-only),
+	// addressed through each sub-block's EntryOff prefix offset.
+	bins := s.binSpace(int(p.CompressedEntries) * w)
 	runs, iters, iterNs := e.runInstruments(e.Name())
 	runs.Inc()
 	for iter < prog.MaxIter() {
@@ -94,10 +98,12 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 		// Scatter into the dynamic bins (parallel over sub-blocks).
 		sched.For(len(p.Blocks), e.threads, 1, func(bi int) {
 			sb := p.Blocks[bi]
+			off := int(sb.EntryOff) * w
+			vals := bins[off : off+len(sb.Srcs)*w]
 			if ring == vprog.Sum {
 				if w == 1 {
 					for k, src := range sb.Srcs {
-						sb.Vals[k] = s.x[src] * s.scale[src]
+						vals[k] = s.x[src] * s.scale[src]
 					}
 					return
 				}
@@ -105,7 +111,7 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 					sc := s.scale[src]
 					base := int(src) * w
 					for l := 0; l < w; l++ {
-						sb.Vals[k*w+l] = s.x[base+l] * sc
+						vals[k*w+l] = s.x[base+l] * sc
 					}
 				}
 				return
@@ -114,7 +120,7 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 				sc := s.scale[src]
 				base := int(src) * w
 				for l := 0; l < w; l++ {
-					sb.Vals[k*w+l] = s.x[base+l] + sc
+					vals[k*w+l] = s.x[base+l] + sc
 				}
 			}
 		})
@@ -130,9 +136,11 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 		// Gather per block-column, fused with Apply over the column range.
 		sched.For(p.B, e.threads, 1, func(j int) {
 			for _, sb := range p.Cols[j] {
+				off := int(sb.EntryOff) * w
+				vals := bins[off : off+len(sb.Srcs)*w]
 				if ring == vprog.Sum && w == 1 {
 					for k := range sb.Srcs {
-						v := sb.Vals[k]
+						v := vals[k]
 						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 							s.y[d] += v
 						}
@@ -140,7 +148,7 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 					continue
 				}
 				for k := range sb.Srcs {
-					vb := sb.Vals[k*w : k*w+w]
+					vb := vals[k*w : k*w+w]
 					for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 						base := int(d) * w
 						if ring == vprog.Sum {
@@ -189,7 +197,7 @@ func (e *BlockGAS) Run(prog vprog.Program) (*vprog.Result, error) {
 // TrafficPerIteration models the GAS schedule's traffic on the actual
 // partition (4m+3n of §3, adjusted for edge compression).
 func (e *BlockGAS) TrafficPerIteration() int64 {
-	return e.p.TrafficPerIteration(false)
+	return e.p.TrafficPerIteration(e.width, false)
 }
 
 // RandomAccessesPerIteration counts block switches, (n/c)² of §3.

@@ -23,6 +23,7 @@ type Polymer struct {
 	g          *graph.Graph
 	threads    int
 	partitions int
+	rp         runPool
 	// Per-partition CSC slices: partition p owns destinations
 	// [bounds[p], bounds[p+1]) with its own pointer/index arrays, the
 	// "graph data evenly redistributed across NUMA nodes" of §6.2.
@@ -100,14 +101,16 @@ func (p *Polymer) Partitions() int { return p.partitions }
 // parallel; inside a partition, destinations are pulled from the private
 // in-edge slice, so every write stays partition-local.
 func (p *Polymer) Run(prog vprog.Program) (*vprog.Result, error) {
-	s, err := newSetup(p.g, prog, p.threads)
+	s, err := p.rp.acquire(p.g, prog, p.threads)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	w, ring := s.w, s.ring
 	iter := 0
 	var delta float64
-	partDelta := make([]float64, p.partitions)
+	partDelta := s.scratchFloats(p.partitions)
+	accs := s.lanes(p.partitions)
 	runs, iters, iterNs := p.runInstruments(p.Name())
 	runs.Inc()
 	for iter < prog.MaxIter() {
@@ -117,7 +120,7 @@ func (p *Polymer) Run(prog vprog.Program) (*vprog.Result, error) {
 			hi := p.bounds[part+1]
 			ptr := p.ptrs[part]
 			idx := p.idxs[part]
-			acc := make([]float64, w)
+			acc := accs[part]
 			var d float64
 			for v := lo; v < hi; v++ {
 				row := idx[ptr[v-lo]:ptr[v-lo+1]]

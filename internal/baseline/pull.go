@@ -16,6 +16,7 @@ type Pull struct {
 	Instr
 	g       *graph.Graph
 	threads int
+	rp      runPool
 	// Its own CSC copy: GraphMat converts the input into its internal
 	// matrix format rather than accepting the CSR binary directly, which
 	// is what Table 4 charges it for.
@@ -47,14 +48,17 @@ func (p *Pull) Graph() *graph.Graph { return p.g }
 
 // Run implements vprog.Engine.
 func (p *Pull) Run(prog vprog.Program) (*vprog.Result, error) {
-	s, err := newSetup(p.g, prog, p.threads)
+	s, err := p.rp.acquire(p.g, prog, p.threads)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	n, w, ring := s.n, s.w, s.ring
 	iter := 0
 	var delta float64
-	partial := make([]float64, maxInt(p.threads, 1))
+	workers := maxInt(p.threads, 1)
+	partial := s.scratchFloats(workers)
+	accs := s.lanes(workers)
 	runs, iters, iterNs := p.runInstruments(p.Name())
 	runs.Inc()
 	for iter < prog.MaxIter() {
@@ -64,7 +68,7 @@ func (p *Pull) Run(prog vprog.Program) (*vprog.Result, error) {
 		}
 		sched.ForStatic(n, p.threads, func(worker, lo, hi int) {
 			var d float64
-			acc := make([]float64, w)
+			acc := accs[worker]
 			for v := lo; v < hi; v++ {
 				row := p.inIdx[p.inPtr[v]:p.inPtr[v+1]]
 				if len(row) == 0 {

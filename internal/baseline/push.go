@@ -22,6 +22,7 @@ type Push struct {
 	Instr
 	g       *graph.Graph
 	threads int
+	rp      runPool
 	// Ligra converts edge lists into both direction structures at load
 	// time; Table 4 charges it for that conversion.
 	outPtr []int64
@@ -80,14 +81,15 @@ func atomicMin(addr *float64, val float64) {
 
 // Run implements vprog.Engine.
 func (p *Push) Run(prog vprog.Program) (*vprog.Result, error) {
-	s, err := newSetup(p.g, prog, p.threads)
+	s, err := p.rp.acquire(p.g, prog, p.threads)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	n, w, ring := s.n, s.w, s.ring
 	iter := 0
 	var delta float64
-	partial := make([]float64, maxInt(p.threads, 1))
+	partial := s.scratchFloats(maxInt(p.threads, 1))
 	identity := ring.Identity()
 	runs, iters, iterNs := p.runInstruments(p.Name())
 	runs.Inc()

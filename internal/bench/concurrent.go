@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+	"mixen/internal/sched"
+)
+
+// ConcurrentRow is one point of the concurrent-serving study: aggregate
+// throughput of one shared Mixen engine under the given number of
+// concurrent clients, each issuing complete InDegree runs.
+type ConcurrentRow struct {
+	Graph      string
+	Clients    int
+	RunsPerSec float64
+	// Identical reports whether every concurrent result matched the
+	// serial reference bit-for-bit (the immutable-engine contract).
+	Identical bool
+}
+
+// ConcurrentStudy exercises the concurrent-runs contract: one engine per
+// graph, client counts 1, 2, 4, ... up to twice the core count, each
+// client issuing one full run; throughput is clients/wall. Every result
+// is cross-checked against a serial reference run.
+func ConcurrentStudy(o Options) ([]ConcurrentRow, error) {
+	o = o.withDefaults()
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	maxClients := 2 * sched.DefaultThreads()
+	var counts []int
+	for c := 1; c < maxClients; c *= 2 {
+		counts = append(counts, c)
+	}
+	counts = append(counts, maxClients)
+	var rows []ConcurrentRow
+	for _, gname := range order {
+		g := graphs[gname]
+		e, err := core.New(g, core.Config{Threads: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		ref, err := e.Run(algo.NewInDegree(o.Iters))
+		if err != nil {
+			return nil, err
+		}
+		for _, clients := range counts {
+			results := make([][]float64, clients)
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, err := e.Run(algo.NewInDegree(o.Iters))
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					results[i] = res.Values
+				}(i)
+			}
+			wg.Wait()
+			wall := time.Since(t0)
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			identical := true
+			for _, vals := range results {
+				if !equalF64(vals, ref.Values) {
+					identical = false
+				}
+			}
+			rows = append(rows, ConcurrentRow{
+				Graph:      gname,
+				Clients:    clients,
+				RunsPerSec: float64(clients) / wall.Seconds(),
+				Identical:  identical,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatConcurrentStudy renders the study.
+func FormatConcurrentStudy(rows []ConcurrentRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s\n", "Graph", "clients", "runs/sec", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %10.2f %10v\n", r.Graph, r.Clients, r.RunsPerSec, r.Identical)
+	}
+	return b.String()
+}

@@ -24,6 +24,12 @@ import (
 // multiple destination nodes ... compressed into a single transmission"):
 // the dynamic bin holds one buffered value per contributing source, not one
 // per edge; destinations are replayed from DstIdx during Gather.
+//
+// A SubBlock is immutable once NewPartition returns: it carries topology
+// only. The dynamic-bin VALUES (one Width-lane slot per entry, rewritten by
+// every Scatter and drained by every Gather) live in the caller's per-run
+// workspace, addressed through EntryOff, so one partition can serve many
+// concurrent runs.
 type SubBlock struct {
 	BlockRow int // block-row index i
 	BlockCol int // block-column index j
@@ -34,9 +40,10 @@ type SubBlock struct {
 	DstStart []int32      // len(Srcs)+1 offsets into DstIdx
 	DstIdx   []graph.Node // destination ids (global), grouped by source
 
-	// Vals is the dynamic bin: Width lanes per contributing source,
-	// rewritten by every Scatter and drained by every Gather.
-	Vals []float64
+	// EntryOff is this block's first slot in a flat per-run bin array of
+	// Partition.CompressedEntries entries: a workspace with w lanes keeps
+	// this block's bin values at [EntryOff*w, (EntryOff+len(Srcs))*w).
+	EntryOff int64
 }
 
 // NumEdges returns the edge count in this sub-block.
@@ -50,8 +57,6 @@ type Config struct {
 	// Side is the number of nodes per block side (the paper's cache
 	// indicator c; 256 KB blocks over 32-bit properties hold 64K nodes).
 	Side int
-	// Width is the number of float64 lanes per node property.
-	Width int
 	// MaxLoadFactor caps a sub-block's edges at MaxLoadFactor × the mean
 	// edges per block; heavier blocks are split by source range. The paper
 	// uses 2. Zero disables splitting.
@@ -80,24 +85,25 @@ func DefaultSide(r, threads int) int {
 }
 
 // Partition is the 2-D blocked form of an r×r CSR submatrix.
+//
+// A Partition is READ-ONLY after NewPartition returns: it holds topology
+// and metadata only, never run state. All per-run values — property
+// arrays, static (seed) bins, dynamic bin values — live in the engine's
+// per-run workspace, which is what lets a single partition be shared by
+// any number of concurrent runs of any property width.
 type Partition struct {
-	R     int // submatrix dimension
-	Side  int // block side actually used
-	B     int // number of block rows/columns = ceil(R/Side)
-	Width int
-	Nnz   int64 // total edges in the submatrix
+	R    int   // submatrix dimension
+	Side int   // block side actually used
+	B    int   // number of block rows/columns = ceil(R/Side)
+	Nnz  int64 // total edges in the submatrix
 
 	Blocks []*SubBlock   // all sub-blocks
 	Rows   [][]*SubBlock // grouped by block-row, ordered by column
 	Cols   [][]*SubBlock // grouped by block-column, ordered by row
 
-	// Sta is the static bin: the per-destination cached contribution from
-	// seed nodes (len R*Width). Written once in the Pre-Phase, read-only
-	// afterwards. Nil until the engine fills it.
-	Sta []float64
-
 	// CompressedEntries counts bin slots (Σ per-block sources), the
-	// quantity edge compression optimizes.
+	// quantity edge compression optimizes. It is also the entry dimension
+	// of a per-run dynamic-bin array (see SubBlock.EntryOff).
 	CompressedEntries int64
 
 	// Splits counts sub-blocks created beyond one per non-empty grid cell
@@ -123,17 +129,13 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 	if cfg.Side <= 0 {
 		cfg.Side = DefaultSide(r, cfg.Threads)
 	}
-	if cfg.Width <= 0 {
-		cfg.Width = 1
-	}
 	if cfg.MaxLoadFactor < 0 {
 		return nil, fmt.Errorf("block: negative load factor %v", cfg.MaxLoadFactor)
 	}
 	p := &Partition{
-		R:     r,
-		Side:  cfg.Side,
-		Width: cfg.Width,
-		Nnz:   ptr[r],
+		R:    r,
+		Side: cfg.Side,
+		Nnz:  ptr[r],
 	}
 	if r == 0 {
 		p.B = 0
@@ -163,6 +165,7 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 	for _, row := range p.Rows {
 		lastCol := -1
 		for _, sb := range row {
+			sb.EntryOff = p.CompressedEntries
 			p.Blocks = append(p.Blocks, sb)
 			p.CompressedEntries += int64(len(sb.Srcs))
 			// Blocks in a row are column-ordered, so repeats of the same
@@ -238,7 +241,7 @@ func buildBlockRow(ptr []int64, idx []graph.Node, r, i int, cfg Config, maxEdges
 			continue
 		}
 		c.dstStart = append(c.dstStart, int32(len(c.dstIdx)))
-		out = append(out, splitCell(c, i, j, lo, hi, maxEdges, cfg.Width)...)
+		out = append(out, splitCell(c, i, j, lo, hi, maxEdges)...)
 	}
 	return out
 }
@@ -246,14 +249,13 @@ func buildBlockRow(ptr []int64, idx []graph.Node, r, i int, cfg Config, maxEdges
 // splitCell turns one cell into one or more SubBlocks, each holding at most
 // maxEdges edges (source-aligned split; a single source's run is never
 // divided, so a pathological hub row can still exceed the cap by itself).
-func splitCell(c *builder, i, j, lo, hi int, maxEdges int64, width int) []*SubBlock {
+func splitCell(c *builder, i, j, lo, hi int, maxEdges int64) []*SubBlock {
 	total := int64(len(c.dstIdx))
 	if maxEdges == 0 || total <= maxEdges {
 		sb := &SubBlock{
 			BlockRow: i, BlockCol: j,
 			SrcLo: lo, SrcHi: hi,
 			Srcs: c.srcs, DstStart: c.dstStart, DstIdx: c.dstIdx,
-			Vals: make([]float64, len(c.srcs)*width),
 		}
 		return []*SubBlock{sb}
 	}
@@ -282,25 +284,11 @@ func splitCell(c *builder, i, j, lo, hi int, maxEdges int64, width int) []*SubBl
 			Srcs:     srcs,
 			DstStart: dstStart,
 			DstIdx:   c.dstIdx[c.dstStart[start]:c.dstStart[end]],
-			Vals:     make([]float64, len(srcs)*width),
 		}
 		out = append(out, sb)
 		start = end
 	}
 	return out
-}
-
-// SetWidth re-sizes every dynamic bin for a new lane count, letting one
-// partition serve programs of different property widths (the bins are
-// scratch space rewritten by every Scatter, so no data is preserved).
-func (p *Partition) SetWidth(w int) {
-	if w <= 0 || w == p.Width {
-		return
-	}
-	p.Width = w
-	for _, sb := range p.Blocks {
-		sb.Vals = make([]float64, len(sb.Srcs)*w)
-	}
 }
 
 // Validate checks partition invariants (tests only).
@@ -316,8 +304,8 @@ func (p *Partition) Validate() error {
 		if int(sb.DstStart[len(sb.Srcs)]) != len(sb.DstIdx) {
 			return fmt.Errorf("block: (%d,%d) DstStart tail mismatch", sb.BlockRow, sb.BlockCol)
 		}
-		if len(sb.Vals) != len(sb.Srcs)*p.Width {
-			return fmt.Errorf("block: (%d,%d) Vals len %d, want %d", sb.BlockRow, sb.BlockCol, len(sb.Vals), len(sb.Srcs)*p.Width)
+		if sb.EntryOff != entries {
+			return fmt.Errorf("block: (%d,%d) EntryOff %d, want %d", sb.BlockRow, sb.BlockCol, sb.EntryOff, entries)
 		}
 		for k, s := range sb.Srcs {
 			if int(s)/p.Side != sb.BlockRow {
@@ -359,11 +347,16 @@ func (p *Partition) Validate() error {
 // evaluated on the actual structures (so edge compression is visible):
 // Scatter reads the source properties and block metadata and writes the
 // bins; Cache rewrites the property segments from the static bins; Gather
-// reads the bins plus destinations and writes the sums.
-func (p *Partition) TrafficPerIteration(withCache bool) int64 {
+// reads the bins plus destinations and writes the sums. The property width
+// is a run-time choice (the partition itself is width-agnostic), so the
+// caller passes the lane count of the program being modelled.
+func (p *Partition) TrafficPerIteration(width int, withCache bool) int64 {
 	const f = 8 // float64 lanes
 	const u = 4 // uint32 ids
-	lanes := int64(p.Width)
+	if width <= 0 {
+		width = 1
+	}
+	lanes := int64(width)
 	var traffic int64
 	// Scatter: read x for each compressed entry, read source ids, write vals.
 	traffic += p.CompressedEntries * (f*lanes + u + f*lanes)

@@ -209,8 +209,8 @@ func TestTrafficModelMonotonic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	with := p.TrafficPerIteration(true)
-	without := p.TrafficPerIteration(false)
+	with := p.TrafficPerIteration(1, true)
+	without := p.TrafficPerIteration(1, false)
 	if with <= without {
 		t.Fatal("cache step must add traffic to the per-iteration model")
 	}
@@ -292,5 +292,35 @@ func TestPropertyEdgeRecovery(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEntryOffsetsIndexFlatBins verifies the contract workspaces rely on:
+// EntryOff values form an exact prefix sum of per-block entry counts over
+// Blocks, so a flat array of CompressedEntries*width values gives every
+// block a disjoint bin slice.
+func TestEntryOffsetsIndexFlatBins(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(9, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(g.OutPtr, g.OutIdx, g.NumNodes(), Config{Side: 64, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for _, sb := range p.Blocks {
+		if sb.EntryOff != off {
+			t.Fatalf("block (%d,%d): EntryOff = %d, want %d", sb.BlockRow, sb.BlockCol, sb.EntryOff, off)
+		}
+		off += int64(len(sb.Srcs))
+	}
+	if off != p.CompressedEntries {
+		t.Fatalf("EntryOff prefix sum ends at %d, CompressedEntries = %d", off, p.CompressedEntries)
+	}
+	// Width is a per-run property now: the partition models traffic for any
+	// lane count without being rebuilt.
+	if t1, t4 := p.TrafficPerIteration(1, true), p.TrafficPerIteration(4, true); t4 <= t1 {
+		t.Fatalf("traffic should grow with width: w=1 %d, w=4 %d", t1, t4)
 	}
 }

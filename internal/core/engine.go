@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +105,16 @@ func (p PrepStats) Total() time.Duration { return p.FilterTime + p.PartitionTime
 
 // Engine is a preprocessed Mixen instance, reusable across algorithm runs
 // on the same graph.
+//
+// Concurrency contract: after New returns, the engine — configuration,
+// filtered graph, partition — is read-only. Run, RunWithStats and
+// RunInWorkspace (on distinct workspaces) are safe to call from any number
+// of goroutines on one engine; every piece of mutable run state lives in a
+// per-run Workspace. Programs must be read-only during Run (see
+// vprog.Program); the same Program value may serve concurrent runs if its
+// implementation honours that contract. SetCollector may race with
+// in-flight runs (the swap is atomic; a run uses the collector it observed
+// at start).
 type Engine struct {
 	cfg  Config
 	F    *filter.Filtered
@@ -112,10 +123,22 @@ type Engine struct {
 
 	// SkippedBlocks counts sub-blocks whose Scatter was skipped by the
 	// activity mask during the most recent Run (observability/testing).
-	// Reset at the start of every RunWithStats; safe to read concurrently
-	// (e.g. from a metrics poller) while a run is in flight.
+	// Reset at the start of every run; safe to read concurrently (e.g.
+	// from a metrics poller) while a run is in flight. With multiple
+	// concurrent runs the value interleaves their counts — use
+	// RunStats.SkippedBlocks for a per-run exact figure.
 	SkippedBlocks atomic.Int64
 
+	// state bundles the collector with its cached instrument handles so a
+	// SetCollector racing with runs swaps both atomically.
+	state atomic.Pointer[engineState]
+
+	// wsPools holds one *sync.Pool of Workspaces per property width, so
+	// steady-state serving reuses run state instead of reallocating it.
+	wsPools sync.Map
+}
+
+type engineState struct {
 	col obs.Collector
 	m   engineMetrics
 }
@@ -156,12 +179,12 @@ func newEngineMetrics(c obs.Collector) engineMetrics {
 // SetCollector attaches (or replaces) the telemetry collector for future
 // runs. Implements obs.Instrumentable.
 func (e *Engine) SetCollector(c obs.Collector) {
-	e.col = obs.Default(c)
-	e.m = newEngineMetrics(e.col)
+	col := obs.Default(c)
+	e.state.Store(&engineState{col: col, m: newEngineMetrics(col)})
 }
 
 // Collector returns the attached collector (never nil).
-func (e *Engine) Collector() obs.Collector { return e.col }
+func (e *Engine) Collector() obs.Collector { return e.state.Load().col }
 
 // New preprocesses g: filtering/relabeling plus 2-D blocking of the regular
 // submatrix.
@@ -204,9 +227,10 @@ func (e *Engine) Graph() *graph.Graph { return e.F.G }
 func (e *Engine) Name() string { return "mixen" }
 
 // TrafficPerIteration models the main-phase memory traffic per iteration on
-// the actual partition (Equation 1, 4r+4m̃, refined by edge compression).
+// the actual partition (Equation 1, 4r+4m̃, refined by edge compression),
+// for scalar (width-1) properties.
 func (e *Engine) TrafficPerIteration() int64 {
-	return e.P.TrafficPerIteration(!e.cfg.DisableCache)
+	return e.P.TrafficPerIteration(1, !e.cfg.DisableCache)
 }
 
 // RandomAccessesPerIteration counts block switches per iteration
@@ -234,72 +258,102 @@ type RunStats struct {
 func (s RunStats) Total() time.Duration { return s.PreTime + s.MainTime + s.PostTime }
 
 // Run executes prog to convergence (or prog.MaxIter) and returns the final
-// values in original id order.
+// values in original id order. Safe for concurrent callers on one engine.
 func (e *Engine) Run(prog vprog.Program) (*vprog.Result, error) {
 	res, _, err := e.RunWithStats(prog)
 	return res, err
 }
 
-// RunWithStats is Run plus per-phase timing.
+// RunWithStats is Run plus per-phase timing. Safe for concurrent callers
+// on one engine: each invocation borrows a workspace from the engine's
+// width-keyed pool and returns values copied into a fresh slice.
 func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, error) {
+	w := prog.Width()
+	if w <= 0 {
+		return nil, RunStats{}, fmt.Errorf("core: program width %d must be positive", w)
+	}
+	pool := e.workspacePool(w)
+	ws := pool.Get().(*Workspace)
+	defer pool.Put(ws)
+	// The result must survive the workspace's return to the pool, so it is
+	// written into a fresh slice rather than the workspace's out buffer.
+	out := make([]float64, e.F.N()*w)
+	return e.runInWorkspace(prog, ws, out)
+}
+
+// RunInWorkspace executes prog inside a caller-owned workspace obtained
+// from NewWorkspace, for zero-allocation steady-state serving. The
+// returned Result.Values ALIASES the workspace's internal buffer: it is
+// valid until the next RunInWorkspace call on the same workspace (copy it
+// out to keep it). A workspace serves one run at a time; concurrent runs
+// need one workspace each.
+func (e *Engine) RunInWorkspace(prog vprog.Program, ws *Workspace) (*vprog.Result, RunStats, error) {
+	if ws == nil || ws.eng != e {
+		return nil, RunStats{}, fmt.Errorf("core: workspace does not belong to this engine")
+	}
+	if w := prog.Width(); w != ws.width {
+		return nil, RunStats{}, fmt.Errorf("core: program width %d does not match workspace width %d", w, ws.width)
+	}
+	return e.runInWorkspace(prog, ws, ws.out)
+}
+
+// runInWorkspace is the SCGA run loop. All mutable state lives in ws and
+// out; the engine and partition are only read, which is what makes
+// concurrent runs on one engine safe.
+func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64) (*vprog.Result, RunStats, error) {
 	w := prog.Width()
 	if w <= 0 {
 		return nil, RunStats{}, fmt.Errorf("core: program width %d must be positive", w)
 	}
 	n := e.F.N()
 	r := e.F.NumRegular
-	ring := prog.Ring()
-	threads := e.cfg.Threads
-	e.P.SetWidth(w)
+	st := e.state.Load()
 	var stats RunStats
+
+	// Bind this run into the workspace's prebuilt execution context.
+	rc := &ws.rc
+	rc.prog = prog
+	rc.ring = prog.Ring()
+	rc.threads = e.cfg.Threads
+	rc.x, rc.y = ws.x, ws.y
+	rc.out = out
+	rc.skipped.Store(0)
+	for i := range rc.active {
+		rc.active[i] = true
+	}
 
 	// x and y are full property arrays in NEW id space. Both carry the seed
 	// segment (constant) so pointer swapping stays valid.
-	x := make([]float64, n*w)
-	y := make([]float64, n*w)
-	scale := make([]float64, n)
-	sched.For(n, threads, 1024, func(newV int) {
-		old := uint32(e.F.OldID[newV])
-		prog.Init(old, x[newV*w:newV*w+w])
-		scale[newV] = prog.Scale(old)
-	})
-	copy(y, x)
+	sched.ForRange(n, rc.threads, 1024, rc.initBody)
+	copy(rc.y, rc.x)
 
-	e.m.runs.Inc()
+	st.m.runs.Inc()
 
 	// Pre-Phase: accumulate the seed contributions into the static bins.
 	t0 := time.Now()
-	sta := make([]float64, r*w)
-	fillIdentity(sta, ring)
-	e.pushSeeds(x, scale, sta, ring, w)
-	e.P.Sta = sta
+	fillIdentity(rc.sta, rc.ring)
+	e.pushSeeds(rc.x, rc.scale, rc.sta, rc.ring, w)
 	stats.PreTime = time.Since(t0)
-	e.m.preNs.Observe(int64(stats.PreTime))
+	st.m.preNs.Observe(int64(stats.PreTime))
 
 	// Main-Phase.
 	t1 := time.Now()
 	iter := 0
 	delta := math.Inf(1)
-	colDelta := make([]float64, e.P.B)
-	// Activity mask: active[i] is true when block-row i's source segment
-	// changed last iteration and must be re-scattered.
-	active := make([]bool, e.P.B)
-	nextActive := make([]bool, e.P.B)
-	for i := range active {
-		active[i] = true
-	}
 	e.SkippedBlocks.Store(0)
+	var lastSkipped int64
 	track := !e.cfg.DisableActiveTracking
 	// Per-iteration tracing is on when explicitly requested or when a
 	// recording collector is attached; the timeline slice itself is only
 	// kept when Config.Trace asks for it.
-	traced := e.cfg.Trace || e.col.Enabled()
+	traced := e.cfg.Trace || st.col.Enabled()
 	for iter < prog.MaxIter() {
+		rc.first = iter == 0
 		var it obs.IterationTrace
 		if traced {
 			it.Iter = iter + 1
 			it.TotalBlockRows = e.P.B
-			for _, a := range active {
+			for _, a := range rc.active {
 				if a {
 					it.ActiveBlockRows++
 				}
@@ -307,41 +361,45 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 		}
 		if e.cfg.DisableCache {
 			// Ablation: redo the seed propagation every iteration.
-			fillIdentity(sta, ring)
-			e.pushSeeds(x, scale, sta, ring, w)
+			fillIdentity(rc.sta, rc.ring)
+			e.pushSeeds(rc.x, rc.scale, rc.sta, rc.ring, w)
 		}
-		var mark time.Time
+		var d float64
 		if traced {
-			mark = time.Now()
-		}
-		it.SkippedBlocks = e.scatter(x, scale, ring, w, threads, active)
-		if traced {
+			mark := time.Now()
+			sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
 			now := time.Now()
 			it.ScatterNs = now.Sub(mark).Nanoseconds()
-			e.m.scatterNs.Observe(it.ScatterNs)
+			st.m.scatterNs.Observe(it.ScatterNs)
 			mark = now
-		}
-		e.cache(y, sta, w, threads)
-		if traced {
-			now := time.Now()
+			sched.ForRange(r*w, rc.threads, 8192, rc.cacheBody)
+			now = time.Now()
 			it.CacheNs = now.Sub(mark).Nanoseconds()
-			e.m.cacheNs.Observe(it.CacheNs)
+			st.m.cacheNs.Observe(it.CacheNs)
 			mark = now
+			sched.ForRange(e.P.B, rc.threads, 1, rc.gatherBody)
+			it.GatherNs = time.Since(mark).Nanoseconds()
+			st.m.gatherNs.Observe(it.GatherNs)
+			for _, cd := range rc.colDelta {
+				d += cd
+			}
+		} else {
+			d = rc.iterateMain()
 		}
-		d := e.gatherApply(prog, x, y, ring, w, threads, colDelta, active, nextActive, iter == 0)
-		if traced {
-			now := time.Now()
-			it.GatherNs = now.Sub(mark).Nanoseconds()
-			e.m.gatherNs.Observe(it.GatherNs)
-		}
-		x, y = y, x
+		// Per-iteration skip accounting: rc.skipped is cumulative over the
+		// run, the engine counter mirrors it for live observation.
+		cur := rc.skipped.Load()
+		it.SkippedBlocks = cur - lastSkipped
+		e.SkippedBlocks.Add(cur - lastSkipped)
+		lastSkipped = cur
+		rc.x, rc.y = rc.y, rc.x
 		iter++
 		delta = d
 		if traced {
 			it.Delta = d
-			e.m.iterations.Inc()
-			e.m.activeRows.Set(int64(it.ActiveBlockRows))
-			e.m.iterNs.Observe(it.TotalNs())
+			st.m.iterations.Inc()
+			st.m.activeRows.Set(int64(it.ActiveBlockRows))
+			st.m.iterNs.Observe(it.TotalNs())
 			if e.cfg.Trace {
 				stats.Trace = append(stats.Trace, it)
 			}
@@ -350,27 +408,23 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 			break
 		}
 		if track {
-			active, nextActive = nextActive, active
+			rc.active, rc.nextActive = rc.nextActive, rc.active
 		}
 	}
 	stats.MainTime = time.Since(t1)
 	stats.MainIterations = iter
-	stats.SkippedBlocks = e.SkippedBlocks.Load()
-	e.m.mainNs.Observe(int64(stats.MainTime))
-	e.m.skippedBlocks.Add(stats.SkippedBlocks)
+	stats.SkippedBlocks = rc.skipped.Load()
+	st.m.mainNs.Observe(int64(stats.MainTime))
+	st.m.skippedBlocks.Add(stats.SkippedBlocks)
 
 	// Post-Phase: sinks pull once from the final source values.
 	t2 := time.Now()
-	e.postSinks(prog, x, scale, ring, w, threads)
+	e.postSinks(prog, rc.x, rc.scale, rc.ring, w, rc.threads)
 	stats.PostTime = time.Since(t2)
-	e.m.postNs.Observe(int64(stats.PostTime))
+	st.m.postNs.Observe(int64(stats.PostTime))
 
 	// Translate back to original id order.
-	out := make([]float64, n*w)
-	sched.For(n, threads, 1024, func(old int) {
-		newV := int(e.F.NewID[old])
-		copy(out[old*w:old*w+w], x[newV*w:newV*w+w])
-	})
+	sched.ForRange(n, rc.threads, 1024, rc.translateBody)
 	return &vprog.Result{Values: out, Iterations: iter, Delta: delta}, stats, nil
 }
 
@@ -429,7 +483,7 @@ func (e *Engine) BuildReport(algorithm, graphName string, res *vprog.Result, sta
 	r.AddPhase("pre", stats.PreTime)
 	r.AddPhase("main", stats.MainTime)
 	r.AddPhase("post", stats.PostTime)
-	if sn, ok := e.col.(interface{ Snapshot() obs.Snapshot }); ok {
+	if sn, ok := e.Collector().(interface{ Snapshot() obs.Snapshot }); ok {
 		s := sn.Snapshot()
 		r.Metrics = &s
 	}
@@ -513,162 +567,6 @@ func (e *Engine) pushSeedRangeInto(x, scale, dst []float64, ring vprog.Ring, w, 
 			}
 		}
 	}
-}
-
-// scatter fills every dynamic bin with the compressed source values
-// (SCGA Scatter). Parallel over the flat sub-block list: each sub-block's
-// bin is private, so no synchronisation is needed, and dynamic chunking
-// absorbs the hub-row imbalance the load-balance splitting creates tasks
-// for. Sub-blocks whose source segment is inactive keep their previous
-// (still valid) bin contents. Returns the number of skipped sub-blocks.
-func (e *Engine) scatter(x, scale []float64, ring vprog.Ring, w, threads int, active []bool) int64 {
-	blocks := e.P.Blocks
-	var skipped atomic.Int64
-	sched.For(len(blocks), threads, 1, func(bi int) {
-		sb := blocks[bi]
-		if !active[sb.BlockRow] {
-			skipped.Add(1)
-			return
-		}
-		if ring == vprog.Sum {
-			if w == 1 {
-				for k, s := range sb.Srcs {
-					sb.Vals[k] = x[s] * scale[s]
-				}
-				return
-			}
-			for k, s := range sb.Srcs {
-				sc := scale[s]
-				base := int(s) * w
-				for l := 0; l < w; l++ {
-					sb.Vals[k*w+l] = x[base+l] * sc
-				}
-			}
-			return
-		}
-		for k, s := range sb.Srcs {
-			sc := scale[s]
-			base := int(s) * w
-			for l := 0; l < w; l++ {
-				sb.Vals[k*w+l] = x[base+l] + sc
-			}
-		}
-	})
-	n := skipped.Load()
-	e.SkippedBlocks.Add(n)
-	return n
-}
-
-// cache writes the static-bin contributions over the regular segment of y
-// (SCGA Cache): a purely sequential streaming write per segment that also
-// stands in for zero-initialising the output.
-func (e *Engine) cache(y, sta []float64, w, threads int) {
-	r := e.F.NumRegular
-	sched.ForRange(r*w, threads, 8192, func(lo, hi int) {
-		copy(y[lo:hi], sta[lo:hi])
-	})
-}
-
-// gatherApply drains the dynamic bins column-by-column and applies the user
-// function to each regular node (SCGA Gather+Apply, fused per block-column
-// exactly as the paper groups them in one parallel region). Returns the
-// summed convergence delta.
-//
-// Activity fast path: when every block-row feeding column j was inactive
-// this iteration, all of j's inputs (bins and static cache) are unchanged,
-// so the column's result equals its previous values — copy them forward
-// and skip the gather. This relies on Apply being a pure function of the
-// gathered sum (or monotone-stable in prev, like BFS's min), the same
-// contract the deferred sink Post-Phase requires.
-func (e *Engine) gatherApply(prog vprog.Program, x, y []float64, ring vprog.Ring, w, threads int, colDelta []float64, active []bool, colChanged []bool, first bool) float64 {
-	p := e.P
-	f := e.F
-	r := f.NumRegular
-	if r == 0 {
-		return 0
-	}
-	b := p.B
-	sched.For(b, threads, 1, func(j int) {
-		// The first iteration must Apply everywhere (seed-only columns have
-		// no sub-blocks yet carry static contributions).
-		anyActive := first
-		for _, sb := range p.Cols[j] {
-			if anyActive {
-				break
-			}
-			if active[sb.BlockRow] {
-				anyActive = true
-			}
-		}
-		if !anyActive {
-			lo := j * p.Side * w
-			hi := lo + p.Side*w
-			if hi > r*w {
-				hi = r * w
-			}
-			copy(y[lo:hi], x[lo:hi])
-			colDelta[j] = 0
-			colChanged[j] = false
-			return
-		}
-		for _, sb := range p.Cols[j] {
-			if ring == vprog.Sum {
-				if w == 1 {
-					for k := range sb.Srcs {
-						v := sb.Vals[k]
-						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
-							y[d] += v
-						}
-					}
-					continue
-				}
-				for k := range sb.Srcs {
-					vb := sb.Vals[k*w : k*w+w]
-					for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
-						base := int(d) * w
-						for l := 0; l < w; l++ {
-							y[base+l] += vb[l]
-						}
-					}
-				}
-				continue
-			}
-			for k := range sb.Srcs {
-				vb := sb.Vals[k*w : k*w+w]
-				for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
-					base := int(d) * w
-					for l := 0; l < w; l++ {
-						if vb[l] < y[base+l] {
-							y[base+l] = vb[l]
-						}
-					}
-				}
-			}
-		}
-		// Apply over this block-column's node range.
-		lo := j * p.Side
-		hi := lo + p.Side
-		if hi > r {
-			hi = r
-		}
-		var d float64
-		changed := false
-		for v := lo; v < hi; v++ {
-			old := uint32(f.OldID[v])
-			dv := prog.Apply(old, y[v*w:v*w+w], x[v*w:v*w+w], y[v*w:v*w+w])
-			d += dv
-			if dv != 0 {
-				changed = true
-			}
-		}
-		colDelta[j] = d
-		colChanged[j] = changed
-	})
-	var total float64
-	for _, d := range colDelta {
-		total += d
-	}
-	return total
 }
 
 // postSinks computes each sink's value once from the final source values

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mixen/internal/sched"
+	"mixen/internal/vprog"
+)
+
+// Workspace owns every piece of mutable per-run state for one engine run:
+// the x/y property arrays, per-node scale factors, the static (seed) bins,
+// the flat dynamic-bin array addressed through block.SubBlock.EntryOff, the
+// per-block-column delta accumulators, and the activity masks. The engine
+// and its partition stay read-only during Run, which is what makes one
+// engine safe for concurrent callers — each run works entirely inside its
+// own workspace.
+//
+// Workspaces are width-specific (a PageRank workspace cannot serve a
+// width-4 CF program). Run/RunWithStats acquire one transparently from a
+// per-engine sync.Pool keyed by width; latency-sensitive callers can
+// instead hold one explicitly via Engine.NewWorkspace and reuse it through
+// Engine.RunInWorkspace for a zero-allocation steady state.
+type Workspace struct {
+	eng   *Engine
+	width int
+
+	// x, y are the canonical full property arrays in NEW id space (both
+	// carry the constant seed segment so pointer swapping stays valid);
+	// out is the per-workspace result buffer used by RunInWorkspace.
+	x, y, out []float64
+
+	rc runCtx
+}
+
+// Width returns the property width this workspace serves.
+func (ws *Workspace) Width() int { return ws.width }
+
+// runCtx is the per-run execution context embedded in a Workspace. Its
+// loop bodies are built ONCE at workspace construction and capture only the
+// runCtx pointer, so the Main-Phase hot loop — three sched.ForRange calls
+// per iteration — performs zero heap allocations when the workspace is
+// reused: no closures, no goroutines, no buffers.
+type runCtx struct {
+	e       *Engine
+	prog    vprog.Program
+	ring    vprog.Ring
+	w       int
+	threads int
+	first   bool // current iteration is the first (Apply everywhere)
+
+	x, y, out []float64 // x/y swap every iteration; out is the result sink
+	scale     []float64 // per-node Scale factors (len n)
+	sta       []float64 // static bins (len r*w)
+	bins      []float64 // flat dynamic bins (len CompressedEntries*w)
+	colDelta  []float64 // per-block-column convergence delta (len B)
+
+	// active[i]: block-row i's sources changed last iteration and must be
+	// re-scattered. nextActive doubles as the per-column changed flag the
+	// gather writes; the pair swaps between iterations when tracking is on.
+	active, nextActive []bool
+
+	// skipped counts sub-blocks skipped by the activity mask, cumulative
+	// over the run (exact even when other runs share the engine).
+	skipped atomic.Int64
+
+	initBody      func(lo, hi int)
+	scatterBody   func(lo, hi int)
+	cacheBody     func(lo, hi int)
+	gatherBody    func(lo, hi int)
+	translateBody func(lo, hi int)
+}
+
+// NewWorkspace allocates a workspace for programs of the given property
+// width, for explicit reuse across runs via RunInWorkspace. The returned
+// workspace is NOT pooled: the caller owns it, and must not use it from
+// two runs at once.
+func (e *Engine) NewWorkspace(w int) (*Workspace, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("core: workspace width %d must be positive", w)
+	}
+	return e.newWorkspace(w), nil
+}
+
+func (e *Engine) newWorkspace(w int) *Workspace {
+	n := e.F.N()
+	r := e.F.NumRegular
+	ws := &Workspace{
+		eng:   e,
+		width: w,
+		x:     make([]float64, n*w),
+		y:     make([]float64, n*w),
+		out:   make([]float64, n*w),
+	}
+	rc := &ws.rc
+	rc.e = e
+	rc.w = w
+	rc.scale = make([]float64, n)
+	rc.sta = make([]float64, r*w)
+	rc.bins = make([]float64, e.P.CompressedEntries*int64(w))
+	rc.colDelta = make([]float64, e.P.B)
+	rc.active = make([]bool, e.P.B)
+	rc.nextActive = make([]bool, e.P.B)
+	rc.buildBodies()
+	return ws
+}
+
+// workspacePool returns the engine's sync.Pool for width-w workspaces.
+func (e *Engine) workspacePool(w int) *sync.Pool {
+	if p, ok := e.wsPools.Load(w); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := e.wsPools.LoadOrStore(w, &sync.Pool{New: func() any { return e.newWorkspace(w) }})
+	return p.(*sync.Pool)
+}
+
+// buildBodies constructs the prebuilt loop bodies. Each closure captures
+// only rc; everything else — the program, the swapped x/y, the masks — is
+// read through rc fields at call time, so the same closures serve every
+// run and every iteration without reallocation.
+func (rc *runCtx) buildBodies() {
+	// Init: per-node program initialisation + scale factors, in NEW order.
+	rc.initBody = func(lo, hi int) {
+		f := rc.e.F
+		w := rc.w
+		for v := lo; v < hi; v++ {
+			old := uint32(f.OldID[v])
+			rc.prog.Init(old, rc.x[v*w:v*w+w])
+			rc.scale[v] = rc.prog.Scale(old)
+		}
+	}
+
+	// Scatter (SCGA): fill each active sub-block's dynamic bin with the
+	// compressed source values. Bins are disjoint per sub-block, so no
+	// synchronisation is needed; inactive block-rows keep their previous
+	// (still valid) bin contents.
+	rc.scatterBody = func(lo, hi int) {
+		blocks := rc.e.P.Blocks
+		x, scale, w, ring := rc.x, rc.scale, rc.w, rc.ring
+		var skipped int64
+		for bi := lo; bi < hi; bi++ {
+			sb := blocks[bi]
+			if !rc.active[sb.BlockRow] {
+				skipped++
+				continue
+			}
+			off := int(sb.EntryOff) * w
+			vals := rc.bins[off : off+len(sb.Srcs)*w]
+			if ring == vprog.Sum {
+				if w == 1 {
+					for k, s := range sb.Srcs {
+						vals[k] = x[s] * scale[s]
+					}
+					continue
+				}
+				for k, s := range sb.Srcs {
+					sc := scale[s]
+					base := int(s) * w
+					for l := 0; l < w; l++ {
+						vals[k*w+l] = x[base+l] * sc
+					}
+				}
+				continue
+			}
+			for k, s := range sb.Srcs {
+				sc := scale[s]
+				base := int(s) * w
+				for l := 0; l < w; l++ {
+					vals[k*w+l] = x[base+l] + sc
+				}
+			}
+		}
+		if skipped != 0 {
+			rc.skipped.Add(skipped)
+		}
+	}
+
+	// Cache (SCGA): seed the output segment with the static-bin
+	// contributions — a streaming copy that doubles as zero-initialisation.
+	rc.cacheBody = func(lo, hi int) {
+		copy(rc.y[lo:hi], rc.sta[lo:hi])
+	}
+
+	// Gather+Apply (SCGA): drain the dynamic bins column-by-column, then
+	// apply the user function over the column's node range. When every
+	// block-row feeding a column was inactive, the column's inputs are
+	// unchanged — copy the previous values forward and skip the gather
+	// (valid because Apply is a pure function of the gathered sum, the same
+	// contract the deferred sink Post-Phase requires).
+	rc.gatherBody = func(lo, hi int) {
+		p := rc.e.P
+		f := rc.e.F
+		r := f.NumRegular
+		x, y, w, ring := rc.x, rc.y, rc.w, rc.ring
+		prog := rc.prog
+		for j := lo; j < hi; j++ {
+			// The first iteration must Apply everywhere (seed-only columns
+			// have no sub-blocks yet carry static contributions).
+			anyActive := rc.first
+			for _, sb := range p.Cols[j] {
+				if anyActive {
+					break
+				}
+				if rc.active[sb.BlockRow] {
+					anyActive = true
+				}
+			}
+			if !anyActive {
+				clo := j * p.Side * w
+				chi := clo + p.Side*w
+				if chi > r*w {
+					chi = r * w
+				}
+				copy(y[clo:chi], x[clo:chi])
+				rc.colDelta[j] = 0
+				rc.nextActive[j] = false
+				continue
+			}
+			for _, sb := range p.Cols[j] {
+				off := int(sb.EntryOff) * w
+				vals := rc.bins[off : off+len(sb.Srcs)*w]
+				if ring == vprog.Sum {
+					if w == 1 {
+						for k := range sb.Srcs {
+							v := vals[k]
+							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+								y[d] += v
+							}
+						}
+						continue
+					}
+					for k := range sb.Srcs {
+						vb := vals[k*w : k*w+w]
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							base := int(d) * w
+							for l := 0; l < w; l++ {
+								y[base+l] += vb[l]
+							}
+						}
+					}
+					continue
+				}
+				for k := range sb.Srcs {
+					vb := vals[k*w : k*w+w]
+					for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+						base := int(d) * w
+						for l := 0; l < w; l++ {
+							if vb[l] < y[base+l] {
+								y[base+l] = vb[l]
+							}
+						}
+					}
+				}
+			}
+			// Apply over this block-column's node range.
+			clo := j * p.Side
+			chi := clo + p.Side
+			if chi > r {
+				chi = r
+			}
+			var d float64
+			changed := false
+			for v := clo; v < chi; v++ {
+				old := uint32(f.OldID[v])
+				dv := prog.Apply(old, y[v*w:v*w+w], x[v*w:v*w+w], y[v*w:v*w+w])
+				d += dv
+				if dv != 0 {
+					changed = true
+				}
+			}
+			rc.colDelta[j] = d
+			rc.nextActive[j] = changed
+		}
+	}
+
+	// Translate: final values from NEW id order back to original ids.
+	rc.translateBody = func(lo, hi int) {
+		f := rc.e.F
+		w := rc.w
+		for old := lo; old < hi; old++ {
+			newV := int(f.NewID[old])
+			copy(rc.out[old*w:old*w+w], rc.x[newV*w:newV*w+w])
+		}
+	}
+}
+
+// iterateMain executes the three Main-Phase steps of one iteration —
+// Scatter, Cache, Gather+Apply — and returns the summed convergence delta.
+// This is the zero-allocation hot path: prebuilt bodies, pooled scheduler
+// jobs, no buffers (asserted by TestMainPhaseIterationAllocatesNothing).
+func (rc *runCtx) iterateMain() float64 {
+	e := rc.e
+	sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
+	sched.ForRange(e.F.NumRegular*rc.w, rc.threads, 8192, rc.cacheBody)
+	sched.ForRange(e.P.B, rc.threads, 1, rc.gatherBody)
+	var total float64
+	for _, d := range rc.colDelta {
+		total += d
+	}
+	return total
+}

@@ -111,7 +111,7 @@ func allocPartition(a *arena, p *block.Partition) blockAddrs {
 		ba.srcs[i] = a.alloc(int64(len(sb.Srcs)) * szU)
 		ba.dstStart[i] = a.alloc(int64(len(sb.DstStart)) * szU)
 		ba.dstIdx[i] = a.alloc(int64(len(sb.DstIdx)) * szU)
-		ba.vals[i] = a.alloc(int64(len(sb.Vals)) * szF)
+		ba.vals[i] = a.alloc(int64(len(sb.Srcs)) * szF)
 	}
 	return ba
 }
@@ -144,6 +144,12 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 	cur := append([]float64(nil), x[:p.R]...)
 	next := make([]float64, p.R)
 	baseX, baseY := baseA, baseB
+	// The partition is read-only; the simulator keeps its own (serial)
+	// dynamic-bin values, one scalar slot per compressed entry.
+	vals := make([][]float64, len(p.Blocks))
+	for i, sb := range p.Blocks {
+		vals[i] = make([]float64, len(sb.Srcs))
+	}
 
 	for it := 0; it < iters; it++ {
 		// Scatter: per sub-block, read source ids + x, write vals.
@@ -153,7 +159,7 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 				h.Read(ba.srcs[i]+uint64(k)*szU, szU)
 				h.Read(baseX+uint64(s)*szF, szF)
 				h.Write(ba.vals[i]+uint64(k)*szF, szF)
-				sb.Vals[k] = cur[s]
+				vals[i][k] = cur[s]
 			}
 		}
 		// Cache (Mixen) or zero-init (GAS): stream the y segments.
@@ -183,7 +189,7 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 				for k := range sb.Srcs {
 					h.Read(ba.vals[i]+uint64(k)*szF, szF)
 					h.Read(ba.dstStart[i]+uint64(k)*szU, 2*szU)
-					v := sb.Vals[k]
+					v := vals[i][k]
 					for e := sb.DstStart[k]; e < sb.DstStart[k+1]; e++ {
 						d := sb.DstIdx[e]
 						h.Read(ba.dstIdx[i]+uint64(e)*szU, szU)
@@ -234,7 +240,6 @@ func TraceMixen(e *core.Engine, xNew []float64, h *Hierarchy) *TraceResult {
 func TraceMixenIters(e *core.Engine, xNew []float64, h *Hierarchy, iters int) *TraceResult {
 	f := e.F
 	p := e.P
-	p.SetWidth(1)
 	r := f.NumRegular
 	// Static bins: seed contributions (computed, not traced — the paper's
 	// Fig 5 instruments the iterative Main-Phase, and the Pre-Phase runs

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the persistent worker pool behind For/ForRange/
+// ForStatic. Historically every parallel loop spawned `threads` fresh
+// goroutines; a Mixen run issues thousands of parallel loops (three per
+// Main-Phase iteration), so loop launch cost — goroutine creation, stack
+// setup, scheduler churn — showed up directly in per-iteration time.
+//
+// The pool design:
+//
+//   - Workers are started lazily (first parallel loop) up to GOMAXPROCS-1
+//     and then park forever on a channel, so launching a loop costs a
+//     channel send (a wakeup), not a goroutine spawn.
+//   - The CALLER always participates in its own loop, pulling chunks off
+//     the shared cursor like any worker. Helpers are accelerators, never a
+//     requirement: if every pool worker is busy (or the pool is empty on a
+//     1-core host), the caller simply executes the whole iteration space
+//     itself. This is what makes nested parallel loops deadlock-free — an
+//     inner loop issued from inside a worker body never waits on workers.
+//   - Loop descriptors (loopJob) are recycled through a free list, so a
+//     steady-state loop launch performs zero heap allocations — required
+//     by the engine's zero-alloc Main-Phase contract.
+//
+// Completion uses a count of finished elements rather than a WaitGroup:
+// a helper that wakes up late (after the cursor is exhausted) must be able
+// to walk away without ever having registered, which Add/Wait cannot
+// express race-free.
+
+// tokenBacklog bounds queued wakeups. Sends are non-blocking: when the
+// backlog is full the loop just runs with fewer helpers.
+const tokenBacklog = 4096
+
+var pool = struct {
+	tokens  chan *loopJob
+	started atomic.Int32
+	freeMu  sync.Mutex
+	free    []*loopJob
+}{tokens: make(chan *loopJob, tokenBacklog)}
+
+// loopJob is one parallel loop in flight, shared by the caller and any
+// helpers that picked up its wakeup tokens.
+type loopJob struct {
+	n, chunk int64
+	body     func(lo, hi int)
+
+	cursor    atomic.Int64 // next unclaimed index
+	completed atomic.Int64 // finished elements; loop is done at n
+
+	mu   sync.Mutex // guards the caller's completion wait
+	cond sync.Cond  // signalled when completed reaches n
+
+	instrumented bool
+	busyNs       atomic.Int64 // Σ time spent inside body across participants
+	participants atomic.Int32 // workers that executed >= 1 chunk
+
+	// Lifecycle: refs counts outstanding wakeup tokens; the job may only
+	// return to the free list once the owner has released it AND every
+	// token has been consumed (a job on the free list must be unreachable,
+	// or a recycling owner would race with a late-waking helper).
+	refs     atomic.Int32
+	released atomic.Bool
+	recycled atomic.Bool
+}
+
+func getJob() *loopJob {
+	pool.freeMu.Lock()
+	var j *loopJob
+	if n := len(pool.free); n > 0 {
+		j = pool.free[n-1]
+		pool.free[n-1] = nil
+		pool.free = pool.free[:n-1]
+	}
+	pool.freeMu.Unlock()
+	if j == nil {
+		j = &loopJob{}
+		j.cond.L = &j.mu
+	}
+	return j
+}
+
+func putJob(j *loopJob) {
+	j.body = nil
+	pool.freeMu.Lock()
+	pool.free = append(pool.free, j)
+	pool.freeMu.Unlock()
+}
+
+// maxHelpers caps pool-side parallelism: the caller occupies one P, so at
+// most GOMAXPROCS-1 helpers can run simultaneously with it.
+func maxHelpers() int {
+	return runtime.GOMAXPROCS(0) - 1
+}
+
+// ensureWorkers lazily grows the pool to at least want parked workers.
+func ensureWorkers(want int32) {
+	for {
+		cur := pool.started.Load()
+		if cur >= want {
+			return
+		}
+		if pool.started.CompareAndSwap(cur, cur+1) {
+			go workerLoop()
+		}
+	}
+}
+
+// poolWorkers reports how many persistent workers have been started
+// (test hook: reuse means this stays flat across loops).
+func poolWorkers() int { return int(pool.started.Load()) }
+
+func workerLoop() {
+	for j := range pool.tokens {
+		j.run()
+		if j.refs.Add(-1) == 0 && j.released.Load() && j.recycled.CompareAndSwap(false, true) {
+			putJob(j)
+		}
+	}
+}
+
+// run pulls chunks off the job's cursor until the iteration space is
+// exhausted. Called by the owner and by any helper that received a token.
+func (j *loopJob) run() {
+	n, chunk := j.n, j.chunk
+	var busy int64
+	participated := false
+	for {
+		lo := j.cursor.Add(chunk) - chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if j.instrumented {
+			t0 := time.Now()
+			j.body(int(lo), int(hi))
+			busy += int64(time.Since(t0))
+		} else {
+			j.body(int(lo), int(hi))
+		}
+		participated = true
+		if j.completed.Add(hi-lo) == n {
+			// Empty critical section orders this signal against a waiter
+			// that checked `completed` and is about to Wait.
+			j.mu.Lock()
+			j.mu.Unlock() //nolint:staticcheck // intentional barrier
+			j.cond.Broadcast()
+		}
+	}
+	if participated && j.instrumented {
+		j.busyNs.Add(busy)
+		j.participants.Add(1)
+	}
+}
+
+// runParallel executes body over [0, n) with dynamic chunking on the
+// caller plus up to threads-1 pool helpers. It blocks until every element
+// has been processed.
+func runParallel(n, threads, chunk int, body func(lo, hi int), in *instr) {
+	j := getJob()
+	j.n, j.chunk = int64(n), int64(chunk)
+	j.body = body
+	j.cursor.Store(0)
+	j.completed.Store(0)
+	j.busyNs.Store(0)
+	j.participants.Store(0)
+	j.instrumented = in != nil
+	j.refs.Store(0)
+	j.released.Store(false)
+	j.recycled.Store(false)
+
+	var start time.Time
+	if in != nil {
+		start = time.Now()
+	}
+
+	helpers := threads - 1
+	if cap := maxHelpers(); helpers > cap {
+		helpers = cap
+	}
+	if helpers > 0 {
+		ensureWorkers(int32(helpers))
+		for i := 0; i < helpers; i++ {
+			j.refs.Add(1)
+			select {
+			case pool.tokens <- j:
+			default:
+				// Backlog full: stop recruiting, the caller will absorb
+				// the remaining work.
+				j.refs.Add(-1)
+				i = helpers
+			}
+		}
+	}
+
+	j.run()
+	if j.completed.Load() < int64(n) {
+		j.mu.Lock()
+		for j.completed.Load() < int64(n) {
+			j.cond.Wait()
+		}
+		j.mu.Unlock()
+	}
+
+	if in != nil {
+		wall := time.Since(start)
+		idle := time.Duration(int64(j.participants.Load()))*wall - time.Duration(j.busyNs.Load())
+		if idle < 0 {
+			idle = 0
+		}
+		in.record(int64((n+chunk-1)/chunk), wall, idle)
+	}
+
+	j.released.Store(true)
+	if j.refs.Load() == 0 && j.recycled.CompareAndSwap(false, true) {
+		putJob(j)
+	}
+}

@@ -11,7 +11,6 @@ package sched
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,30 +98,7 @@ func ForRange(n, threads, chunk int, body func(lo, hi int)) {
 		in.record(1, time.Since(start), 0)
 		return
 	}
-	if in != nil {
-		forRangeInstrumented(n, threads, chunk, body, in)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	runParallel(n, threads, chunk, body, in)
 }
 
 // record books one finished parallel loop.
@@ -133,50 +109,13 @@ func (in *instr) record(chunks int64, wall, idle time.Duration) {
 	in.idleNs.ObserveDuration(idle)
 }
 
-// forRangeInstrumented is the recording twin of ForRange's parallel path:
-// each worker accumulates its busy time, and idle time is the gap between
-// the pool's wall time and each worker's busy time (time spent waiting on
-// the cursor, descheduled, or parked after the work ran out).
-func forRangeInstrumented(n, threads, chunk int, body func(lo, hi int), in *instr) {
-	start := time.Now()
-	busy := make([]int64, threads)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(worker int) {
-			defer wg.Done()
-			var b int64
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					busy[worker] = b
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				t0 := time.Now()
-				body(lo, hi)
-				b += int64(time.Since(t0))
-			}
-		}(t)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-	var idle time.Duration
-	for _, b := range busy {
-		if d := wall - time.Duration(b); d > 0 {
-			idle += d
-		}
-	}
-	in.record(int64((n+chunk-1)/chunk), wall, idle)
-}
-
 // ForStatic splits [0, n) into exactly `threads` near-equal contiguous
 // ranges, one per worker, mirroring OpenMP's static schedule. Engines use it
 // where the per-range state (thread-private buffers) must map 1:1 to workers.
+//
+// The `threads` logical workers are scheduled as `threads` single-item jobs
+// on the shared pool, so every worker index in [0, threads) is invoked
+// exactly once even when fewer physical workers are available.
 func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -196,39 +135,12 @@ func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 		in.record(1, time.Since(start), 0)
 		return
 	}
-	start := time.Time{}
-	var busy []int64
-	if in != nil {
-		start = time.Now()
-		busy = make([]int64, threads)
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		lo := t * n / threads
-		hi := (t + 1) * n / threads
-		go func(worker, lo, hi int) {
-			defer wg.Done()
-			if busy != nil {
-				t0 := time.Now()
-				body(worker, lo, hi)
-				busy[worker] = int64(time.Since(t0))
-				return
-			}
-			body(worker, lo, hi)
-		}(t, lo, hi)
-	}
-	wg.Wait()
-	if in != nil {
-		wall := time.Since(start)
-		var idle time.Duration
-		for _, b := range busy {
-			if d := wall - time.Duration(b); d > 0 {
-				idle += d
-			}
+	nn, tt := n, threads
+	runParallel(threads, threads, 1, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			body(t, t*nn/tt, (t+1)*nn/tt)
 		}
-		in.record(int64(threads), wall, idle)
-	}
+	}, in)
 }
 
 // SumFloat64 computes a parallel reduction sum_{i in [0,n)} value(i).

@@ -34,6 +34,7 @@ func BenchmarkFormats(b *testing.B) {
 	}
 	for _, tc := range mats {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := tc.m.Mul(x, y); err != nil {
 					b.Fatal(err)
@@ -53,6 +54,7 @@ func BenchmarkFormats(b *testing.B) {
 	})
 	b.Run("csc-mulT", func(b *testing.B) {
 		csc := NewCSCFromCOO(coo)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := csc.MulT(x, y); err != nil {

@@ -9,7 +9,14 @@
 // Matrices are m×n with A[i][j] entries; Mul computes y = A·x (len(x) = n,
 // len(y) = m), MulT computes y = Aᵀ·x. A graph's adjacency matrix in this
 // package has A[u][v] = 1 per edge u→v, so InDegree's y = Aᵀx is MulT over
-// FromGraph.
+// FromGraph (Entries is the exception: it materializes a fresh slice).
+//
+// Concurrency and allocation: a matrix is read-only after construction,
+// so concurrent Mul/MulT calls on one matrix are safe as long as each
+// caller supplies its own y. The multiply kernels allocate nothing — the
+// caller owns x and y, and the parallel kernels run on the scheduler's
+// persistent worker pool with pooled job descriptors — so steady-state
+// benchmarks measure the kernels, not the allocator.
 package spmv
 
 import (

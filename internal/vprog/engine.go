@@ -3,6 +3,13 @@ package vprog
 // Engine is the contract every framework implementation (Mixen and the
 // four baselines) satisfies, so algorithms and the benchmark harness can
 // treat them interchangeably.
+//
+// Concurrency: an engine is immutable once constructed, and Run is safe
+// for concurrent callers on one shared engine instance — every run works
+// in its own (pooled) workspace and Result.Values never aliases pooled
+// state. Each call must still receive its own Program value: programs are
+// stateless per the Program contract, but sharing one across concurrent
+// runs is only safe if that particular implementation is.
 type Engine interface {
 	// Name identifies the framework ("mixen", "pull", "push", "polymer",
 	// "blockgas").

@@ -59,6 +59,11 @@ func (r Ring) Combine(a, b float64) float64 {
 // Program describes one algorithm. All node identifiers passed to Program
 // methods are ORIGINAL graph ids; engines translate from their internal
 // (possibly relabeled) id spaces.
+//
+// Concurrency: engines call Program methods from multiple worker
+// goroutines within one run, always on disjoint nodes — implementations
+// must not mutate shared state from Init/Scale/Apply. Converged and
+// MaxIter are called from the run's coordinating goroutine only.
 type Program interface {
 	// Width is the number of float64 lanes per node property (1 for scalar
 	// algorithms, K for collaborative filtering's latent vectors).

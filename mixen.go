@@ -18,6 +18,24 @@
 //
 // Baseline engines with identical semantics are available through
 // NewEngine("pull"|"push"|"polymer"|"blockgas", g) for comparative studies.
+//
+// # Concurrent serving
+//
+// Engines are immutable after construction: the filtered form and the 2-D
+// partition are read-only, and every run works in a private workspace
+// drawn from a per-engine pool. One preprocessed engine can therefore
+// serve many goroutines at once — the pattern for query serving:
+//
+//	eng, _ := mixen.New(g, mixen.Config{})
+//	for i := 0; i < workers; i++ {
+//		go func() {
+//			res, _ := eng.Run(mixen.NewPageRankProgram(g, 0.85, 1e-9, 100))
+//			serve(res)
+//		}()
+//	}
+//
+// Latency-sensitive callers can pin a Workspace per goroutine with
+// NewWorkspace/RunInWorkspace for a zero-allocation steady state.
 package mixen
 
 import (
@@ -142,8 +160,17 @@ func OutDegreeDistribution(g *Graph) *DegreeDistribution { return analyze.OutDeg
 // ApproxDiameter estimates the directed diameter by double-sweep BFS.
 func ApproxDiameter(g *Graph, start Node) int { return analyze.ApproxDiameter(g, start) }
 
-// MixenEngine is the preprocessed Mixen instance.
+// MixenEngine is the preprocessed Mixen instance. It is immutable after
+// New: Run and RunWithStats are safe for concurrent callers on one shared
+// engine (each run executes in its own pooled Workspace).
 type MixenEngine = core.Engine
+
+// Workspace owns the mutable per-run state of one MixenEngine run. Runs
+// acquire workspaces from a pool transparently; hold one explicitly via
+// MixenEngine.NewWorkspace and run with MixenEngine.RunInWorkspace to
+// reuse it across runs for a zero-allocation steady state. A Workspace
+// serves one run at a time.
+type Workspace = core.Workspace
 
 // New preprocesses g with Mixen's filtering and blocking.
 func New(g *Graph, cfg Config) (*MixenEngine, error) { return core.New(g, cfg) }

@@ -21,6 +21,7 @@ func benchPageRank(b *testing.B, col obs.Collector) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Run(algo.NewPageRank(g, 0.85, 0, benchIters)); err != nil {
