@@ -108,9 +108,20 @@ func main() {
 			rows, err := bench.ConcurrentStudy(o)
 			return bench.FormatConcurrentStudy(rows), err
 		},
+		"batch": func(o bench.Options) (string, error) {
+			rows, err := bench.BatchStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatBatchStudy(rows)
+			if err := bench.BatchTrafficMonotone(rows); err != nil {
+				out += "WARNING: " + err.Error() + "\n"
+			}
+			return out, nil
+		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

@@ -43,6 +43,7 @@ type algoFlags struct {
 var algoInfo = map[string]algoFlags{
 	"indegree":  {iters: true, engine: true},
 	"pagerank":  {iters: true, tol: true, engine: true},
+	"ppr":       {iters: true, tol: true, source: true, engine: true},
 	"cf":        {iters: true, k: true, engine: true},
 	"bfs":       {source: true, engine: true},
 	"cc":        {},
@@ -69,6 +70,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
 	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
 	parallel := flag.Int("parallel", 1, "after the reported run, issue N concurrent runs over the same engine and report runs/sec")
+	batch := flag.Int("batch", 1, "after the reported run, serve K concurrent queries through the batcher as one fused width-K pass and report queries/sec (mixen engine)")
 	flag.Parse()
 
 	info, ok := algoInfo[*algoName]
@@ -143,6 +145,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mixenrun: -parallel requires an engine-run algorithm; ignoring")
 		*parallel = 1
 	}
+	if *batch > 1 && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -batch requires an engine-run algorithm on the mixen engine; ignoring")
+		*batch = 1
+	}
 
 	fmt.Printf("graph: %v\n", g)
 	fmt.Println(report.FormatHeader())
@@ -154,6 +160,7 @@ func main() {
 		runEngineAlgo(g, report, reg, *algoName, *engine, engineOpts{
 			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
 			threads: *threads, top: *top, trace: *trace, parallel: *parallel,
+			batch: *batch,
 		})
 	} else {
 		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
@@ -174,6 +181,7 @@ type engineOpts struct {
 	source                 uint32
 	trace                  bool
 	parallel               int
+	batch                  int
 }
 
 // runEngineAlgo executes one of the vertex-program algorithms (indegree,
@@ -193,6 +201,8 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 			return mixen.NewInDegreeProgram(o.iters)
 		case "pagerank":
 			return mixen.NewPageRankProgram(g, 0.85, o.tol, o.iters)
+		case "ppr":
+			return mixen.NewPersonalizedPageRankProgram(g, o.source, 0.85, o.tol, o.iters)
 		case "cf":
 			return mixen.NewCFProgram(g, o.k, o.iters)
 		case "bfs":
@@ -255,6 +265,11 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 	if o.parallel > 1 {
 		runConcurrent(eng, newProg, res.Values, o.parallel)
 	}
+	if o.batch > 1 {
+		if ce, ok := eng.(*mixen.MixenEngine); ok {
+			runBatched(ce, newProg, res.Values, o.batch)
+		}
+	}
 
 	switch algoName {
 	case "indegree":
@@ -262,6 +277,9 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 	case "pagerank":
 		fmt.Printf("converged after %d iterations (delta %.3g)\n", res.Iterations, res.Delta)
 		printTop("pagerank", res.Values, o.top)
+	case "ppr":
+		fmt.Printf("converged after %d iterations (delta %.3g)\n", res.Iterations, res.Delta)
+		printTop(fmt.Sprintf("ppr(%d)", o.source), res.Values, o.top)
 	case "cf":
 		fmt.Printf("cf: %d iterations, %d latent values\n", res.Iterations, len(res.Values))
 	case "bfs":
@@ -317,6 +335,40 @@ func runConcurrent(e mixen.Engine, newProg func() mixen.Program, want []float64,
 	}
 	fmt.Printf("parallel: %d concurrent runs in %v (%.2f runs/sec), all identical to serial\n",
 		n, wall.Round(time.Millisecond), float64(n)/wall.Seconds())
+}
+
+// runBatched serves k concurrent queries through the batcher — ONE fused
+// width-k pass instead of k separate runs — cross-checks every demuxed
+// result against the serial reference, and reports throughput.
+func runBatched(e *mixen.MixenEngine, newProg func() mixen.Program, want []float64, k int) {
+	b := mixen.NewBatcher(e, mixen.BatcherConfig{MaxBatch: k, MaxWait: time.Second, Width: newProg().Width()})
+	defer b.Close()
+	futs := make([]*mixen.Future, k)
+	t0 := time.Now()
+	for i := range futs {
+		fut, err := b.Submit(newProg())
+		if err != nil {
+			fail(fmt.Errorf("batch submit %d: %w", i, err))
+		}
+		futs[i] = fut
+	}
+	mismatches, fusedAs := 0, 0
+	for i, fut := range futs {
+		res, err := fut.Wait()
+		if err != nil {
+			fail(fmt.Errorf("batch query %d: %w", i, err))
+		}
+		if !equalValues(res.Values, want) {
+			mismatches++
+		}
+		fusedAs = fut.BatchSize()
+	}
+	wall := time.Since(t0)
+	if mismatches > 0 {
+		fail(fmt.Errorf("batch: %d of %d fused queries differ from the serial result", mismatches, k))
+	}
+	fmt.Printf("batch: %d queries fused into width-%d passes (batch size %d) in %v (%.2f queries/sec), all identical to serial\n",
+		k, fusedAs*newProg().Width(), fusedAs, wall.Round(time.Millisecond), float64(k)/wall.Seconds())
 }
 
 func equalValues(a, b []float64) bool {

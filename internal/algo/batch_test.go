@@ -1,0 +1,157 @@
+package algo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+// skewedGraph builds a small power-law-ish graph: a few hubs receive and
+// emit most edges, the tail is sparse.
+func skewedGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		// Quadratic skew towards low ids.
+		src := graph.Node(float64(n) * rng.Float64() * rng.Float64())
+		dst := graph.Node(rng.Intn(n))
+		edges[i] = graph.Edge{Src: src, Dst: dst}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func identicalValues(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: value[%d] = %v, standalone run gives %v (batched results must be bit-identical)", name, v, got[v], want[v])
+		}
+	}
+}
+
+// TestBatchedPPRBitIdentical fuses K personalized PageRanks — point masses
+// and full teleport distributions — and demands every lane match its
+// standalone width-1 run bit-for-bit.
+func TestBatchedPPRBitIdentical(t *testing.T) {
+	g := skewedGraph(t, 400, 3000, 7)
+	e, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []uint32{0, 1, 17, 250}
+	progs := algo.PersonalizedPageRankSet(g, sources, 0.85, 0, 12)
+	// Give two lanes full teleport distributions so lanes are not all
+	// structurally alike.
+	rng := rand.New(rand.NewSource(3))
+	for _, li := range []int{1, 3} {
+		tp := make([]float64, g.NumNodes())
+		var sum float64
+		for i := range tp {
+			tp[i] = rng.Float64()
+			sum += tp[i]
+		}
+		for i := range tp {
+			tp[i] /= sum
+		}
+		progs[li].(*algo.PersonalizedPageRank).Teleport = tp
+	}
+
+	refs := make([]*vprog.Result, len(progs))
+	for i, p := range progs {
+		refs[i], err = e.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parts, err := algo.RunBatch(e, g.NumNodes(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		identicalValues(t, "ppr lane", parts[i].Values, refs[i].Values)
+		if parts[i].Iterations != refs[i].Iterations {
+			t.Errorf("lane %d ran %d iterations fused, %d standalone", i, parts[i].Iterations, refs[i].Iterations)
+		}
+	}
+}
+
+// TestBatchedMultiSourceBFSBitIdentical fuses K BFS queries on the tropical
+// ring and checks each against its standalone run.
+func TestBatchedMultiSourceBFSBitIdentical(t *testing.T) {
+	g := skewedGraph(t, 300, 1500, 11)
+	e, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []uint32{2, 99, 250}
+	refs := make([]*vprog.Result, len(sources))
+	for i, s := range sources {
+		refs[i], err = e.Run(algo.NewBFS(g, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, err := algo.MultiSourceBFS(e, g, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		identicalValues(t, "bfs lane", parts[i].Values, refs[i].Values)
+	}
+}
+
+// TestBatchedPerLaneEarlyConvergence fuses queries with different
+// convergence speeds (tolerance-driven) and checks each lane freezes at
+// exactly the iteration its standalone run converges at — early lanes must
+// not be dragged along by slow ones, and slow lanes must not stop early.
+func TestBatchedPerLaneEarlyConvergence(t *testing.T) {
+	g := skewedGraph(t, 500, 4000, 23)
+	e, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different dampings converge at different speeds; Scale (1/deg) is
+	// shared, so they are legal to fuse.
+	dampings := []float64{0.3, 0.85, 0.6}
+	progs := make([]vprog.Program, len(dampings))
+	refs := make([]*vprog.Result, len(dampings))
+	for i, d := range dampings {
+		p := algo.NewPersonalizedPageRank(g, uint32(i), d, 1e-6, 60)
+		progs[i] = p
+		refs[i], err = e.Run(algo.NewPersonalizedPageRank(g, uint32(i), d, 1e-6, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	iters := make([]int, len(refs))
+	for i, r := range refs {
+		iters[i] = r.Iterations
+	}
+	if iters[0] >= iters[1] {
+		t.Fatalf("test needs distinct convergence speeds, got %v", iters)
+	}
+
+	parts, err := algo.RunBatch(e, g.NumNodes(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		if parts[i].Iterations != refs[i].Iterations {
+			t.Errorf("lane %d froze after %d iterations fused, %d standalone", i, parts[i].Iterations, refs[i].Iterations)
+		}
+		identicalValues(t, "early-convergence lane", parts[i].Values, refs[i].Values)
+	}
+}

@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"math"
+
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+// PersonalizedPageRank is damped PageRank with a personalized teleport
+// distribution: x'_v = (1-d)·t_v + d·Σ x_u/deg(u), where t is a point
+// mass at Source (or an arbitrary distribution via Teleport). It is the
+// canonical batched-serving query: K personalizations share the ring and
+// the per-source Scale (1/deg), so K queries fuse into one width-K pass
+// (vprog.NewBatch / core.Batcher).
+type PersonalizedPageRank struct {
+	N       int
+	Source  uint32
+	Damping float64
+	Tol     float64
+	Iters   int
+	// Teleport optionally replaces the point mass at Source with a full
+	// distribution (len n). Entries should sum to 1.
+	Teleport []float64
+	deg      []float64
+}
+
+// NewPersonalizedPageRank builds the program for graph g with a point-mass
+// teleport at source. tol <= 0 disables the convergence test.
+func NewPersonalizedPageRank(g *graph.Graph, source uint32, damping, tol float64, iters int) *PersonalizedPageRank {
+	return &PersonalizedPageRank{
+		N:       g.NumNodes(),
+		Source:  source,
+		Damping: damping,
+		Tol:     tol,
+		Iters:   iters,
+		deg:     outDegrees(g),
+	}
+}
+
+// PersonalizedPageRankSet builds one program per source, all sharing a
+// single out-degree snapshot (so K queries cost one degree pass) — the
+// per-query inputs of a fused batch run.
+func PersonalizedPageRankSet(g *graph.Graph, sources []uint32, damping, tol float64, iters int) []vprog.Program {
+	deg := outDegrees(g)
+	progs := make([]vprog.Program, len(sources))
+	for i, s := range sources {
+		progs[i] = &PersonalizedPageRank{
+			N:       g.NumNodes(),
+			Source:  s,
+			Damping: damping,
+			Tol:     tol,
+			Iters:   iters,
+			deg:     deg,
+		}
+	}
+	return progs
+}
+
+func (p *PersonalizedPageRank) teleport(v uint32) float64 {
+	if p.Teleport != nil {
+		return p.Teleport[v]
+	}
+	if v == p.Source {
+		return 1
+	}
+	return 0
+}
+
+// Width implements vprog.Program.
+func (p *PersonalizedPageRank) Width() int { return 1 }
+
+// Ring implements vprog.Program.
+func (p *PersonalizedPageRank) Ring() vprog.Ring { return vprog.Sum }
+
+// Init implements vprog.Program: mass starts on the teleport distribution
+// (zero-in-degree nodes keep it, mirroring PageRank's engine contract).
+func (p *PersonalizedPageRank) Init(v uint32, out []float64) { out[0] = p.teleport(v) }
+
+// Scale implements vprog.Program: contributions are x_u/deg(u), identical
+// for every personalization — the property that makes PPR batchable.
+func (p *PersonalizedPageRank) Scale(u uint32) float64 {
+	if p.deg[u] == 0 {
+		return 0
+	}
+	return 1 / p.deg[u]
+}
+
+// Apply implements vprog.Program.
+func (p *PersonalizedPageRank) Apply(v uint32, sum, prev, out []float64) float64 {
+	next := (1-p.Damping)*p.teleport(v) + p.Damping*sum[0]
+	d := math.Abs(next - prev[0])
+	out[0] = next
+	return d
+}
+
+// Converged implements vprog.Program.
+func (p *PersonalizedPageRank) Converged(delta float64, iter int) bool {
+	return p.Tol > 0 && delta < p.Tol
+}
+
+// MaxIter implements vprog.Program.
+func (p *PersonalizedPageRank) MaxIter() int { return p.Iters }
+
+// RunBatch fuses progs into one width-ΣWᵢ program, executes it as a single
+// pass on e (any engine), and demuxes the per-query results in submission
+// order. n is the graph's node count.
+func RunBatch(e vprog.Engine, n int, progs ...vprog.Program) ([]*vprog.Result, error) {
+	b, err := vprog.NewBatch(n, progs...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(b)
+	if err != nil {
+		return nil, err
+	}
+	return b.Split(res)
+}
+
+// PersonalizedPageRankBatch answers K personalized-PageRank queries (one
+// per source) in a single fused width-K pass over e.
+func PersonalizedPageRankBatch(e vprog.Engine, g *graph.Graph, sources []uint32, damping, tol float64, iters int) ([]*vprog.Result, error) {
+	return RunBatch(e, g.NumNodes(), PersonalizedPageRankSet(g, sources, damping, tol, iters)...)
+}
+
+// MultiSourceBFS answers K BFS reachability queries (one per source) in a
+// single fused width-K pass over e, on the tropical ring.
+func MultiSourceBFS(e vprog.Engine, g *graph.Graph, sources []uint32) ([]*vprog.Result, error) {
+	progs := make([]vprog.Program, len(sources))
+	for i, s := range sources {
+		progs[i] = NewBFS(g, s)
+	}
+	return RunBatch(e, g.NumNodes(), progs...)
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mixen/internal/obs"
+	"mixen/internal/vprog"
+)
+
+// BatcherConfig tunes a Batcher.
+type BatcherConfig struct {
+	// MaxBatch is the most queries fused into one run (default 16). A
+	// queue reaching MaxBatch flushes immediately.
+	MaxBatch int
+	// MaxWait bounds how long the first queued request waits for
+	// companions before a partial batch flushes (default 500µs). Zero or
+	// negative flushes every submission immediately (batching only what
+	// is already queued).
+	MaxWait time.Duration
+	// Width is the per-query property width every submission must have
+	// (default 1, the scalar link-analysis queries).
+	Width int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 500 * time.Microsecond
+	}
+	if c.Width <= 0 {
+		c.Width = 1
+	}
+	return c
+}
+
+// Future is the pending result of a batched submission.
+type Future struct {
+	done      chan struct{}
+	res       *vprog.Result
+	err       error
+	batchSize int
+}
+
+// Wait blocks until the query's fused run completes and returns its
+// demuxed result (Values in original id order, per-query Iterations and
+// Delta). The result is the caller's to keep.
+func (f *Future) Wait() (*vprog.Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// BatchSize reports how many queries shared the fused run. Valid after
+// Wait returns.
+func (f *Future) BatchSize() int { return f.batchSize }
+
+type batchReq struct {
+	prog vprog.Program
+	fut  *Future
+	enq  time.Time
+}
+
+// batchQueue collects pending requests for one ring.
+type batchQueue struct {
+	reqs  []batchReq
+	timer *time.Timer
+	gen   uint64 // invalidates deadline callbacks for queues already taken
+}
+
+// batcherMetrics caches the collector handles so Submit/flush never do
+// name lookups.
+type batcherMetrics struct {
+	queries         *obs.Counter
+	flushes         *obs.Counter
+	flushesFull     *obs.Counter
+	flushesDeadline *obs.Counter
+	size            *obs.Histogram
+	queueWaitNs     *obs.Histogram
+	fusedTraffic    *obs.Counter
+	serialTraffic   *obs.Counter
+}
+
+// Batcher is the engine-level request collector for batched serving:
+// Submit hands in one scalar query and returns a Future; pending queries
+// are grouped — up to MaxBatch, or for at most MaxWait — fused with
+// vprog.NewBatch, executed as ONE wide pass over a pooled long-lived wide
+// workspace, and demuxed back into per-query results. Queries on
+// different rings (Sum vs Min) queue separately; queries in one batch
+// must share the per-node Scale function (vprog.Batch's contract — a
+// violation fails every future in the batch).
+//
+// A Batcher is safe for concurrent Submit callers. Metrics flow through
+// the engine's Collector at construction time: batch.size,
+// batch.queue_wait_ns (p50/p95/p99 via the histogram), flush cause
+// counters, and modeled fused vs serial-equivalent traffic.
+type Batcher struct {
+	e   *Engine
+	cfg BatcherConfig
+	m   batcherMetrics
+
+	mu     sync.Mutex
+	queues [2]batchQueue // indexed by vprog.Ring
+	closed bool
+}
+
+// NewBatcher wraps e for batched serving.
+func NewBatcher(e *Engine, cfg BatcherConfig) *Batcher {
+	col := e.Collector()
+	return &Batcher{
+		e:   e,
+		cfg: cfg.withDefaults(),
+		m: batcherMetrics{
+			queries:         col.Counter("batch.queries"),
+			flushes:         col.Counter("batch.flushes"),
+			flushesFull:     col.Counter("batch.flushes_full"),
+			flushesDeadline: col.Counter("batch.flushes_deadline"),
+			size:            col.Histogram("batch.size"),
+			queueWaitNs:     col.Histogram("batch.queue_wait_ns"),
+			fusedTraffic:    col.Counter("batch.fused_traffic_bytes"),
+			serialTraffic:   col.Counter("batch.serial_equiv_traffic_bytes"),
+		},
+	}
+}
+
+// Submit enqueues prog for the next fused run and returns its Future.
+// prog must have the Batcher's configured per-query width; mixed widths
+// are rejected here (fusing them would starve the width-keyed workspace
+// reuse the Batcher exists for).
+func (b *Batcher) Submit(prog vprog.Program) (*Future, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("core: batcher: nil program")
+	}
+	if w := prog.Width(); w != b.cfg.Width {
+		return nil, fmt.Errorf("core: batcher accepts width-%d programs, got width %d (mixed widths cannot share a batch; use a separate Batcher or run it directly)", b.cfg.Width, w)
+	}
+	ring := prog.Ring()
+	if int(ring) >= len(b.queues) {
+		return nil, fmt.Errorf("core: batcher: unknown ring %d", ring)
+	}
+	fut := &Future{done: make(chan struct{})}
+	req := batchReq{prog: prog, fut: fut, enq: time.Now()}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("core: batcher is closed")
+	}
+	q := &b.queues[ring]
+	q.reqs = append(q.reqs, req)
+	b.m.queries.Inc()
+	switch {
+	case len(q.reqs) >= b.cfg.MaxBatch:
+		batch := b.takeLocked(q)
+		b.mu.Unlock()
+		b.m.flushesFull.Inc()
+		go b.flush(batch)
+	case b.cfg.MaxWait <= 0:
+		batch := b.takeLocked(q)
+		b.mu.Unlock()
+		b.m.flushesDeadline.Inc()
+		go b.flush(batch)
+	case len(q.reqs) == 1:
+		gen := q.gen
+		q.timer = time.AfterFunc(b.cfg.MaxWait, func() { b.flushDeadline(ring, gen) })
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	return fut, nil
+}
+
+// takeLocked detaches the queue's pending batch. Callers hold b.mu.
+func (b *Batcher) takeLocked(q *batchQueue) []batchReq {
+	batch := q.reqs
+	q.reqs = nil
+	q.gen++
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	return batch
+}
+
+// flushDeadline is the MaxWait timer callback: flush whatever the queue
+// holds, unless a full flush (or Close) already took this queue.
+func (b *Batcher) flushDeadline(ring vprog.Ring, gen uint64) {
+	b.mu.Lock()
+	q := &b.queues[ring]
+	if q.gen != gen || len(q.reqs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked(q)
+	b.mu.Unlock()
+	b.m.flushesDeadline.Inc()
+	b.flush(batch)
+}
+
+// flush fuses one batch, runs it in a pooled wide workspace, and delivers
+// the demuxed results (or the shared error) to every future.
+func (b *Batcher) flush(reqs []batchReq) {
+	now := time.Now()
+	b.m.flushes.Inc()
+	b.m.size.Observe(int64(len(reqs)))
+	for _, r := range reqs {
+		b.m.queueWaitNs.Observe(now.Sub(r.enq).Nanoseconds())
+	}
+
+	progs := make([]vprog.Program, len(reqs))
+	for i, r := range reqs {
+		progs[i] = r.prog
+	}
+	bp, err := vprog.NewBatch(b.e.F.N(), progs...)
+	if err != nil {
+		b.failAll(reqs, err)
+		return
+	}
+	// The engine's width-keyed pool keeps a small set of long-lived wide
+	// workspaces alive across flushes, so steady-state serving reuses the
+	// fused run state instead of reallocating it.
+	pool := b.e.workspacePool(bp.Width())
+	ws := pool.Get().(*Workspace)
+	res, _, err := b.e.RunInWorkspace(bp, ws)
+	if err != nil {
+		pool.Put(ws)
+		b.failAll(reqs, err)
+		return
+	}
+	split, err := bp.Split(res) // copies values out of ws.out
+	pool.Put(ws)
+	if err != nil {
+		b.failAll(reqs, err)
+		return
+	}
+
+	// Modeled traffic: the fused pass vs what the same queries would have
+	// streamed as independent width-Width runs (each at its own lane
+	// iteration count).
+	withCache := !b.e.cfg.DisableCache
+	b.m.fusedTraffic.Add(b.e.P.TrafficPerIteration(bp.Width(), withCache) * int64(res.Iterations))
+	perQuery := b.e.P.TrafficPerIteration(b.cfg.Width, withCache)
+	var serial int64
+	for _, s := range split {
+		serial += perQuery * int64(s.Iterations)
+	}
+	b.m.serialTraffic.Add(serial)
+
+	for i, r := range reqs {
+		r.fut.res = split[i]
+		r.fut.batchSize = len(reqs)
+		close(r.fut.done)
+	}
+}
+
+func (b *Batcher) failAll(reqs []batchReq, err error) {
+	for _, r := range reqs {
+		r.fut.err = err
+		r.fut.batchSize = len(reqs)
+		close(r.fut.done)
+	}
+}
+
+// Close flushes any pending queries synchronously and rejects future
+// Submits. Outstanding futures complete normally.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	var batches [][]batchReq
+	for i := range b.queues {
+		if len(b.queues[i].reqs) > 0 {
+			batches = append(batches, b.takeLocked(&b.queues[i]))
+		}
+	}
+	b.mu.Unlock()
+	for _, batch := range batches {
+		b.m.flushesDeadline.Inc()
+		b.flush(batch)
+	}
+	return nil
+}

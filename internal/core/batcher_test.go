@@ -1,0 +1,258 @@
+package core
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mixen/internal/algo"
+	"mixen/internal/obs"
+	"mixen/internal/vprog"
+)
+
+// TestBatcherMaxWaitFlushesSingleRequest: a lone submission must not hang
+// waiting for companions — the MaxWait deadline flushes a batch of one,
+// and its result matches the standalone run bit-for-bit.
+func TestBatcherMaxWaitFlushesSingleRequest(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(algo.NewPersonalizedPageRank(g, 3, 0.85, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+	defer b.Close()
+	fut, err := b.Submit(algo.NewPersonalizedPageRank(g, 3, 0.85, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fut.BatchSize() != 1 {
+		t.Fatalf("batch size %d, want 1", fut.BatchSize())
+	}
+	if !sameValues(res.Values, want.Values) {
+		t.Fatal("deadline-flushed single query differs from standalone run")
+	}
+}
+
+// TestBatcherConcurrentSubmits races many Submit callers against full and
+// deadline flushes (the -race test for the queue/timer handoff). Every
+// future must resolve to its query's standalone result regardless of which
+// batch it landed in.
+func TestBatcherConcurrentSubmits(t *testing.T) {
+	old := runtime.GOMAXPROCS(4) // force real parallelism even on a 1-core host
+	defer runtime.GOMAXPROCS(old)
+
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq = 24
+	sources := make([]uint32, nq)
+	refs := make([][]float64, nq)
+	for i := range sources {
+		sources[i] = uint32((i * 37) % g.NumNodes())
+		res, err := e.Run(algo.NewPersonalizedPageRank(g, sources[i], 0.85, 0, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res.Values
+	}
+
+	// MaxBatch 4 with a short deadline: some flushes fill up, others fire
+	// on the timer, and Submits race both.
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 4, MaxWait: 100 * time.Microsecond})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, nq)
+	bad := make([]bool, nq)
+	for i := 0; i < nq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fut, err := b.Submit(algo.NewPersonalizedPageRank(g, sources[i], 0.85, 0, 8))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := fut.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !sameValues(res.Values, refs[i]) {
+				bad[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < nq; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if bad[i] {
+			t.Errorf("query %d: batched result differs from standalone run", i)
+		}
+	}
+}
+
+// TestBatcherRejectsMixedWidths: a Batcher serves one per-query width; a
+// program with a different width must be rejected with a clear error, not
+// silently queued into an incompatible batch.
+func TestBatcherRejectsMixedWidths(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{Width: 1, MaxWait: time.Second})
+	defer b.Close()
+	_, err = b.Submit(algo.NewCF(g, 4, 3)) // width-4 program into a width-1 batcher
+	if err == nil || !strings.Contains(err.Error(), "mixed widths") {
+		t.Fatalf("want mixed-width rejection, got %v", err)
+	}
+	if _, err := b.Submit(nil); err == nil {
+		t.Fatal("nil program must be rejected")
+	}
+}
+
+// TestBatcherClosedRejectsSubmit: Close drains pending queries, completes
+// their futures, and rejects later submissions.
+func TestBatcherClosedRejectsSubmit(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 16, MaxWait: time.Minute})
+	fut, err := b.Submit(algo.NewPersonalizedPageRank(g, 1, 0.85, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Wait(); err != nil {
+		t.Fatalf("pending future must complete on Close: %v", err)
+	}
+	if _, err := b.Submit(algo.NewPersonalizedPageRank(g, 2, 0.85, 0, 5)); err == nil {
+		t.Fatal("submit after Close must fail")
+	}
+}
+
+// TestBatcherImmediateFlushMode: MaxWait <= 0 flushes each submission
+// without waiting (batching only what was already queued).
+func TestBatcherImmediateFlushMode(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 16, MaxWait: -1})
+	defer b.Close()
+	fut, err := b.Submit(algo.NewPersonalizedPageRank(g, 0, 0.85, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fut.BatchSize() != 1 {
+		t.Fatalf("immediate mode batch size %d, want 1", fut.BatchSize())
+	}
+}
+
+// TestBatcherRecordsMetrics: the serving counters flow through the
+// engine's collector — query/flush counts, the size histogram, and the
+// fused vs serial-equivalent traffic model (fused must not exceed serial;
+// that gap is the whole point of batching).
+func TestBatcherRecordsMetrics(t *testing.T) {
+	g := skewedForConcurrency(t)
+	reg := obs.NewRegistry()
+	e, err := New(g, Config{Collector: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 4, MaxWait: time.Second})
+	defer b.Close()
+	const k = 4
+	futs := make([]*Future, k)
+	for i := 0; i < k; i++ {
+		futs[i], err = b.Submit(algo.NewPersonalizedPageRank(g, uint32(i), 0.85, 0, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fut := range futs {
+		if _, err := fut.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["batch.queries"]; got != k {
+		t.Errorf("batch.queries = %d, want %d", got, k)
+	}
+	if got := s.Counters["batch.flushes"]; got != 1 {
+		t.Errorf("batch.flushes = %d, want 1", got)
+	}
+	if got := s.Histograms["batch.size"].Sum; got != k {
+		t.Errorf("batch.size sum = %d, want %d", got, k)
+	}
+	if got := s.Histograms["batch.queue_wait_ns"].Count; got != k {
+		t.Errorf("batch.queue_wait_ns count = %d, want %d", got, k)
+	}
+	fused := s.Counters["batch.fused_traffic_bytes"]
+	serial := s.Counters["batch.serial_equiv_traffic_bytes"]
+	if fused <= 0 || serial <= 0 {
+		t.Fatalf("traffic counters must be positive: fused=%d serial=%d", fused, serial)
+	}
+	if fused >= serial {
+		t.Errorf("fused traffic %d should undercut the serial equivalent %d", fused, serial)
+	}
+}
+
+// TestBatchedMainPhaseAllocatesNothing asserts the fused run's
+// zero-allocation steady state: once a width-K batch is bound into a
+// pooled wide workspace, each Main-Phase iteration of the fused pass
+// performs zero heap allocations — long-lived serving loops reuse the wide
+// workspace instead of reallocating per flush.
+func TestBatchedMainPhaseAllocatesNothing(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	progs := make([]vprog.Program, k)
+	for i := range progs {
+		progs[i] = algo.NewPersonalizedPageRank(g, uint32(i), 0.85, 0, 8)
+	}
+	bp, err := vprog.NewBatch(g.NumNodes(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := e.workspacePool(k)
+	ws := pool.Get().(*Workspace)
+	defer pool.Put(ws)
+	// Warm up: bind the fused run into the workspace.
+	if _, _, err := e.RunInWorkspace(bp, ws); err != nil {
+		t.Fatal(err)
+	}
+	bp.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		ws.rc.iterateMain()
+	})
+	if allocs != 0 {
+		t.Fatalf("fused main-phase iteration allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -417,8 +417,13 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 	st.m.mainNs.Observe(int64(stats.MainTime))
 	st.m.skippedBlocks.Add(stats.SkippedBlocks)
 
-	// Post-Phase: sinks pull once from the final source values.
+	// Post-Phase: sinks pull once from the final source values. Stateful
+	// programs (vprog.Batch) are told the main loop is over so their Apply
+	// treats the deferred one-shot evaluation as such.
 	t2 := time.Now()
+	if pp, ok := prog.(vprog.PostPhaser); ok {
+		pp.EnterPostPhase()
+	}
 	e.postSinks(prog, rc.x, rc.scale, rc.ring, w, rc.threads)
 	stats.PostTime = time.Since(t2)
 	st.m.postNs.Observe(int64(stats.PostTime))

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func skewedForBench(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 20000, M: 200000,
+		RegularFrac: 0.4, SeedFrac: 0.3, SinkFrac: 0.2,
+		ZipfS: 1.3, ZipfV: 1, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchMainPhaseWidth times one Main-Phase iteration at the given property
+// width over a reused workspace — the inner loop batched serving makes hot.
+// Threads is pinned to 1 so the numbers isolate the scatter/gather kernels
+// from scheduler effects.
+func benchMainPhaseWidth(b *testing.B, w int) {
+	g := skewedForBench(b)
+	e, err := New(g, Config{Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := e.NewWorkspace(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := e.RunInWorkspace(algo.NewCF(g, w, 2), ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.rc.iterateMain()
+	}
+}
+
+func BenchmarkMainPhaseWidth1(b *testing.B) { benchMainPhaseWidth(b, 1) }
+func BenchmarkMainPhaseWidth8(b *testing.B) { benchMainPhaseWidth(b, 8) }

@@ -154,11 +154,17 @@ func (rc *runCtx) buildBodies() {
 					}
 					continue
 				}
+				// Hoisted per-source subslices: ranging over xb and
+				// indexing the same-length vb lets the compiler drop the
+				// bounds checks in the lane loop.
 				for k, s := range sb.Srcs {
 					sc := scale[s]
 					base := int(s) * w
-					for l := 0; l < w; l++ {
-						vals[k*w+l] = x[base+l] * sc
+					xb := x[base : base+w]
+					vb := vals[k*w : k*w+w]
+					vb = vb[:len(xb)]
+					for l, xv := range xb {
+						vb[l] = xv * sc
 					}
 				}
 				continue
@@ -166,8 +172,11 @@ func (rc *runCtx) buildBodies() {
 			for k, s := range sb.Srcs {
 				sc := scale[s]
 				base := int(s) * w
-				for l := 0; l < w; l++ {
-					vals[k*w+l] = x[base+l] + sc
+				xb := x[base : base+w]
+				vb := vals[k*w : k*w+w]
+				vb = vb[:len(xb)]
+				for l, xv := range xb {
+					vb[l] = xv + sc
 				}
 			}
 		}
@@ -194,16 +203,19 @@ func (rc *runCtx) buildBodies() {
 		r := f.NumRegular
 		x, y, w, ring := rc.x, rc.y, rc.w, rc.ring
 		prog := rc.prog
+		// Per-call staging buffer for one source's lanes (stack-allocated,
+		// so safe under concurrent body invocations).
+		var laneBuf [16]float64
 		for j := lo; j < hi; j++ {
 			// The first iteration must Apply everywhere (seed-only columns
 			// have no sub-blocks yet carry static contributions).
 			anyActive := rc.first
-			for _, sb := range p.Cols[j] {
-				if anyActive {
-					break
-				}
-				if rc.active[sb.BlockRow] {
-					anyActive = true
+			if !anyActive {
+				for _, sb := range p.Cols[j] {
+					if rc.active[sb.BlockRow] {
+						anyActive = true
+						break
+					}
 				}
 			}
 			if !anyActive {
@@ -230,12 +242,100 @@ func (rc *runCtx) buildBodies() {
 						}
 						continue
 					}
+					// Unrolled small widths: the source's lanes live in
+					// registers across the destination loop, and the
+					// constant-length reslice needs one bounds check per
+					// destination.
+					if w == 2 {
+						for k := range sb.Srcs {
+							v0, v1 := vals[k*2], vals[k*2+1]
+							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+								yb := y[int(d)*2:][:2]
+								yb[0] += v0
+								yb[1] += v1
+							}
+						}
+						continue
+					}
+					if w == 4 {
+						for k := range sb.Srcs {
+							v0, v1 := vals[k*4], vals[k*4+1]
+							v2, v3 := vals[k*4+2], vals[k*4+3]
+							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+								yb := y[int(d)*4:][:4]
+								yb[0] += v0
+								yb[1] += v1
+								yb[2] += v2
+								yb[3] += v3
+							}
+						}
+						continue
+					}
+					// Hoisted destination subslices: ranging over vb and
+					// indexing the same-length yb eliminates the bounds
+					// checks in the lane loop (the hot path of width-K
+					// batched serving). Small widths stage the source's
+					// lanes in a local buffer — the compiler cannot prove
+					// vals and y are disjoint, so reading vb directly would
+					// reload every lane from memory at every destination.
 					for k := range sb.Srcs {
 						vb := vals[k*w : k*w+w]
+						if w <= len(laneBuf) {
+							lanes := laneBuf[:w]
+							copy(lanes, vb)
+							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+								base := int(d) * w
+								yb := y[base : base+w]
+								yb = yb[:len(lanes)]
+								for l, vv := range lanes {
+									yb[l] += vv
+								}
+							}
+							continue
+						}
 						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 							base := int(d) * w
-							for l := 0; l < w; l++ {
-								y[base+l] += vb[l]
+							yb := y[base : base+w]
+							yb = yb[:len(vb)]
+							for l, vv := range vb {
+								yb[l] += vv
+							}
+						}
+					}
+					continue
+				}
+				if w == 2 {
+					for k := range sb.Srcs {
+						v0, v1 := vals[k*2], vals[k*2+1]
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							yb := y[int(d)*2:][:2]
+							if v0 < yb[0] {
+								yb[0] = v0
+							}
+							if v1 < yb[1] {
+								yb[1] = v1
+							}
+						}
+					}
+					continue
+				}
+				if w == 4 {
+					for k := range sb.Srcs {
+						v0, v1 := vals[k*4], vals[k*4+1]
+						v2, v3 := vals[k*4+2], vals[k*4+3]
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							yb := y[int(d)*4:][:4]
+							if v0 < yb[0] {
+								yb[0] = v0
+							}
+							if v1 < yb[1] {
+								yb[1] = v1
+							}
+							if v2 < yb[2] {
+								yb[2] = v2
+							}
+							if v3 < yb[3] {
+								yb[3] = v3
 							}
 						}
 					}
@@ -243,11 +343,28 @@ func (rc *runCtx) buildBodies() {
 				}
 				for k := range sb.Srcs {
 					vb := vals[k*w : k*w+w]
+					if w <= len(laneBuf) {
+						lanes := laneBuf[:w]
+						copy(lanes, vb)
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							base := int(d) * w
+							yb := y[base : base+w]
+							yb = yb[:len(lanes)]
+							for l, vv := range lanes {
+								if vv < yb[l] {
+									yb[l] = vv
+								}
+							}
+						}
+						continue
+					}
 					for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 						base := int(d) * w
-						for l := 0; l < w; l++ {
-							if vb[l] < y[base+l] {
-								y[base+l] = vb[l]
+						yb := y[base : base+w]
+						yb = yb[:len(vb)]
+						for l, vv := range vb {
+							if vv < yb[l] {
+								yb[l] = vv
 							}
 						}
 					}

@@ -100,7 +100,7 @@ type blockAddrs struct {
 	srcs, dstStart, dstIdx, vals []uint64
 }
 
-func allocPartition(a *arena, p *block.Partition) blockAddrs {
+func allocPartitionW(a *arena, p *block.Partition, w int) blockAddrs {
 	ba := blockAddrs{
 		srcs:     make([]uint64, len(p.Blocks)),
 		dstStart: make([]uint64, len(p.Blocks)),
@@ -111,7 +111,7 @@ func allocPartition(a *arena, p *block.Partition) blockAddrs {
 		ba.srcs[i] = a.alloc(int64(len(sb.Srcs)) * szU)
 		ba.dstStart[i] = a.alloc(int64(len(sb.DstStart)) * szU)
 		ba.dstIdx[i] = a.alloc(int64(len(sb.DstIdx)) * szU)
-		ba.vals[i] = a.alloc(int64(len(sb.Srcs)) * szF)
+		ba.vals[i] = a.alloc(int64(len(sb.Srcs)) * szF * int64(w))
 	}
 	return ba
 }
@@ -130,14 +130,23 @@ func blockIndexOf(p *block.Partition) map[*block.SubBlock]int {
 // <- sta) replaces zero initialisation, reproducing Mixen's SCGA;
 // otherwise plain GAS semantics are traced. Returns the final x over
 // [0, p.R).
-func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarchy, iters int) []float64 {
+//
+// w is the property width: every float access (x, y, sta, bins) covers w
+// lanes — w·szF bytes at a w-scaled address — while the index arrays
+// (srcs, dstStart, dstIdx, CSR pointers) are read once regardless of w.
+// That asymmetry is exactly the amortization a fused width-w batch of w
+// scalar queries exploits. The simulated arithmetic stays scalar (lanes of
+// a fused batch of one query are identical), so the returned vector still
+// cross-checks the trace against the real engines.
+func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarchy, iters, w int) []float64 {
 	a := newArena()
-	ba := allocPartition(a, p)
-	baseA := a.alloc(int64(p.R) * szF)
-	baseB := a.alloc(int64(p.R) * szF)
+	ba := allocPartitionW(a, p, w)
+	wF := uint64(w) * szF
+	baseA := a.alloc(int64(p.R) * szF * int64(w))
+	baseB := a.alloc(int64(p.R) * szF * int64(w))
 	baseSta := uint64(0)
 	if sta != nil {
-		baseSta = a.alloc(int64(p.R) * szF)
+		baseSta = a.alloc(int64(p.R) * szF * int64(w))
 	}
 	basePtr := a.alloc(int64(p.R+1) * szP)
 	bi := blockIndexOf(p)
@@ -157,16 +166,16 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 			i := bi[sb]
 			for k, s := range sb.Srcs {
 				h.Read(ba.srcs[i]+uint64(k)*szU, szU)
-				h.Read(baseX+uint64(s)*szF, szF)
-				h.Write(ba.vals[i]+uint64(k)*szF, szF)
+				h.Read(baseX+uint64(s)*wF, w*szF)
+				h.Write(ba.vals[i]+uint64(k)*wF, w*szF)
 				vals[i][k] = cur[s]
 			}
 		}
 		// Cache (Mixen) or zero-init (GAS): stream the y segments.
 		if sta != nil {
 			for v := 0; v < p.R; v++ {
-				h.Read(baseSta+uint64(v)*szF, szF)
-				h.Write(baseY+uint64(v)*szF, szF)
+				h.Read(baseSta+uint64(v)*wF, w*szF)
+				h.Write(baseY+uint64(v)*wF, w*szF)
 				next[v] = sta[v]
 			}
 		} else {
@@ -175,7 +184,7 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 			for v := 0; v < p.R; v++ {
 				h.Read(basePtr+uint64(v)*szP, 2*szP)
 				if receivers == nil || receivers[v] {
-					h.Write(baseY+uint64(v)*szF, szF)
+					h.Write(baseY+uint64(v)*wF, w*szF)
 					next[v] = 0
 				} else {
 					next[v] = cur[v]
@@ -187,14 +196,14 @@ func traceGAS(p *block.Partition, x, sta []float64, receivers []bool, h *Hierarc
 			for _, sb := range p.Cols[j] {
 				i := bi[sb]
 				for k := range sb.Srcs {
-					h.Read(ba.vals[i]+uint64(k)*szF, szF)
+					h.Read(ba.vals[i]+uint64(k)*wF, w*szF)
 					h.Read(ba.dstStart[i]+uint64(k)*szU, 2*szU)
 					v := vals[i][k]
 					for e := sb.DstStart[k]; e < sb.DstStart[k+1]; e++ {
 						d := sb.DstIdx[e]
 						h.Read(ba.dstIdx[i]+uint64(e)*szU, szU)
-						h.Read(baseY+uint64(d)*szF, szF)
-						h.Write(baseY+uint64(d)*szF, szF)
+						h.Read(baseY+uint64(d)*wF, w*szF)
+						h.Write(baseY+uint64(d)*wF, w*szF)
 						next[d] += v
 					}
 				}
@@ -223,7 +232,7 @@ func TraceBlockGASIters(g *graph.Graph, x []float64, side int, h *Hierarchy, ite
 	for v := 0; v < n; v++ {
 		receivers[v] = g.InDegree(graph.Node(v)) > 0
 	}
-	y := traceGAS(p, x, nil, receivers, h, iters)
+	y := traceGAS(p, x, nil, receivers, h, iters, 1)
 	return finish(h, y), nil
 }
 
@@ -251,6 +260,34 @@ func TraceMixenIters(e *core.Engine, xNew []float64, h *Hierarchy, iters int) *T
 			sta[d] += xNew[u]
 		}
 	}
-	y := traceGAS(p, xNew[:r], sta, nil, h, iters)
+	y := traceGAS(p, xNew[:r], sta, nil, h, iters, 1)
+	return finish(h, y)
+}
+
+// TraceMixenWidth replays one width-w Mixen Main-Phase iteration — the
+// reference stream of a fused batch of w scalar queries sharing one SCGA
+// pass.
+func TraceMixenWidth(e *core.Engine, xNew []float64, w int, h *Hierarchy) *TraceResult {
+	return TraceMixenWidthIters(e, xNew, w, h, 1)
+}
+
+// TraceMixenWidthIters replays iters width-w Main-Phase iterations with
+// persistent cache state. The stream is TraceMixenIters with every
+// property access widened to w lanes while index traffic stays constant;
+// dividing the resulting TrafficBytes by w gives the per-query cost of a
+// width-w batch, which falls monotonically in w — the memory-system case
+// for batched serving.
+func TraceMixenWidthIters(e *core.Engine, xNew []float64, w int, h *Hierarchy, iters int) *TraceResult {
+	f := e.F
+	p := e.P
+	r := f.NumRegular
+	sta := make([]float64, r)
+	for i := 0; i < f.NumSeed; i++ {
+		u := f.NumRegular + i
+		for _, d := range f.SeedIdx[f.SeedPtr[i]:f.SeedPtr[i+1]] {
+			sta[d] += xNew[u]
+		}
+	}
+	y := traceGAS(p, xNew[:r], sta, nil, h, iters, w)
 	return finish(h, y)
 }

@@ -1,0 +1,241 @@
+package vprog
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeProg is a minimal configurable Program for exercising Batch.
+type fakeProg struct {
+	width   int
+	ring    Ring
+	maxIter int
+	scale   float64
+	// convergeAt makes Converged report true once iter reaches it (0 =
+	// never).
+	convergeAt int
+	// delta is what Apply reports per node.
+	delta float64
+}
+
+func (f *fakeProg) Width() int   { return f.width }
+func (f *fakeProg) Ring() Ring   { return f.ring }
+func (f *fakeProg) MaxIter() int { return f.maxIter }
+func (f *fakeProg) Init(v uint32, out []float64) {
+	for i := range out {
+		out[i] = float64(v)
+	}
+}
+func (f *fakeProg) Scale(u uint32) float64 { return f.scale }
+func (f *fakeProg) Apply(v uint32, sum, prev, out []float64) float64 {
+	copy(out, sum)
+	return f.delta
+}
+func (f *fakeProg) Converged(delta float64, iter int) bool {
+	return f.convergeAt > 0 && iter >= f.convergeAt
+}
+
+func TestNewBatchValidation(t *testing.T) {
+	ok := &fakeProg{width: 1, maxIter: 5, scale: 1}
+	cases := []struct {
+		name  string
+		n     int
+		progs []Program
+		want  string
+	}{
+		{"empty", 4, nil, "at least one"},
+		{"badN", 0, []Program{ok}, "must be positive"},
+		{"nilLane", 4, []Program{ok, nil}, "lane 1 is nil"},
+		{"badWidth", 4, []Program{&fakeProg{width: 0, maxIter: 1}}, "non-positive width"},
+		{"ringMismatch", 4, []Program{ok, &fakeProg{width: 1, ring: Min, maxIter: 1}}, "ring"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewBatch(c.n, c.progs...)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	b, err := NewBatch(3,
+		&fakeProg{width: 1, maxIter: 5, scale: 2},
+		&fakeProg{width: 4, maxIter: 9, scale: 2},
+		&fakeProg{width: 2, maxIter: 1, scale: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lanes() != 3 || b.Width() != 7 || b.MaxIter() != 9 || b.Ring() != Sum {
+		t.Fatalf("shape: lanes=%d width=%d maxIter=%d ring=%d", b.Lanes(), b.Width(), b.MaxIter(), b.Ring())
+	}
+	// Init routes each lane to its own slice.
+	out := make([]float64, 7)
+	b.Init(5, out)
+	for i, v := range out {
+		if v != 5 {
+			t.Fatalf("init lane slot %d = %v", i, v)
+		}
+	}
+	if b.Scale(1) != 2 {
+		t.Fatal("scale must delegate to lane 0")
+	}
+}
+
+func TestBatchScaleMismatchSurfacesAtSplit(t *testing.T) {
+	b, err := NewBatch(2,
+		&fakeProg{width: 1, maxIter: 1, scale: 1},
+		&fakeProg{width: 1, maxIter: 1, scale: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Scale(1) // records the disagreement
+	_, err = b.Split(&Result{Values: make([]float64, 4)})
+	if err == nil || !strings.Contains(err.Error(), "disagree on Scale(1)") {
+		t.Fatalf("want scale-mismatch error, got %v", err)
+	}
+	// Reset clears the mismatch.
+	b.Reset()
+	if _, err := b.Split(&Result{Values: make([]float64, 4)}); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+func TestBatchSplitValidation(t *testing.T) {
+	b, _ := NewBatch(2, &fakeProg{width: 1, maxIter: 1, scale: 1})
+	if _, err := b.Split(nil); err == nil {
+		t.Fatal("nil result must error")
+	}
+	if _, err := b.Split(&Result{Values: make([]float64, 3)}); err == nil {
+		t.Fatal("wrong length must error")
+	}
+}
+
+func TestBatchSplitDemuxesLanes(t *testing.T) {
+	b, err := NewBatch(2,
+		&fakeProg{width: 1, maxIter: 3, scale: 1},
+		&fakeProg{width: 2, maxIter: 3, scale: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fused layout: node-major, width 3 (lane0 | lane1a lane1b).
+	res := &Result{Values: []float64{
+		10, 20, 21,
+		30, 40, 41,
+	}, Iterations: 3, Delta: 0.5}
+	parts, err := b.Split(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parts[0].Values; got[0] != 10 || got[1] != 30 {
+		t.Fatalf("lane 0 values: %v", got)
+	}
+	if got := parts[1].Values; got[0] != 20 || got[1] != 21 || got[2] != 40 || got[3] != 41 {
+		t.Fatalf("lane 1 values: %v", got)
+	}
+	// Unfrozen lanes inherit the fused run's iteration count and delta.
+	if parts[0].Iterations != 3 || parts[0].Delta != 0.5 {
+		t.Fatalf("lane 0 meta: %+v", parts[0])
+	}
+}
+
+func TestBatchPerLaneFreeze(t *testing.T) {
+	n := 4
+	early := &fakeProg{width: 1, maxIter: 10, scale: 1, convergeAt: 2, delta: 1}
+	late := &fakeProg{width: 1, maxIter: 10, scale: 1, convergeAt: 5, delta: 1}
+	b, err := NewBatch(n, early, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := []float64{1, 1}
+	prev := []float64{7, 8}
+	out := make([]float64, 2)
+	iter := 0
+	for {
+		iter++
+		for v := 0; v < n; v++ {
+			b.Apply(uint32(v), sum, prev, out)
+		}
+		if b.Converged(0, iter) {
+			break
+		}
+	}
+	if iter != 5 {
+		t.Fatalf("fused run must end when the last lane converges: iter=%d", iter)
+	}
+	// After lane 0 froze (iter 2), its Apply must copy prev through.
+	vals := make([]float64, n*2)
+	for v := 0; v < n; v++ {
+		copy(vals[v*2:v*2+2], []float64{7, 8})
+	}
+	res := &Result{Values: vals, Iterations: 5, Delta: 0}
+	parts, err := b.Split(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Iterations != 2 {
+		t.Fatalf("early lane froze at %d, want 2", parts[0].Iterations)
+	}
+	if parts[1].Iterations != 5 {
+		t.Fatalf("late lane froze at %d, want 5", parts[1].Iterations)
+	}
+	// Per-lane deltas are folded per lane: 4 nodes x delta 1, but lane 0's
+	// frozen iterations contribute nothing after the freeze.
+	if parts[0].Delta != 4 || parts[1].Delta != 4 {
+		t.Fatalf("per-lane deltas: %v %v", parts[0].Delta, parts[1].Delta)
+	}
+}
+
+func TestBatchFrozenLaneCopiesPrev(t *testing.T) {
+	p := &fakeProg{width: 1, maxIter: 10, scale: 1, convergeAt: 1, delta: 0}
+	b, _ := NewBatch(1, p, &fakeProg{width: 1, maxIter: 10, scale: 1, convergeAt: 3, delta: 1})
+	sum := []float64{100, 100}
+	prev := []float64{7, 8}
+	out := []float64{math.NaN(), math.NaN()}
+	b.Apply(0, sum, prev, out)
+	b.Converged(0, 1) // freezes lane 0
+	b.Apply(0, sum, prev, out)
+	if out[0] != 7 {
+		t.Fatalf("frozen lane must copy prev, got %v", out[0])
+	}
+	if out[1] != 100 {
+		t.Fatalf("live lane must apply, got %v", out[1])
+	}
+	// Post-phase: every lane applies (deferred nodes are evaluated once).
+	b.EnterPostPhase()
+	out[0], out[1] = math.NaN(), math.NaN()
+	b.Apply(0, sum, prev, out)
+	if out[0] != 100 || out[1] != 100 {
+		t.Fatalf("post-phase must apply all lanes, got %v", out)
+	}
+}
+
+func TestBatchMaxIterFreezesLane(t *testing.T) {
+	short := &fakeProg{width: 1, maxIter: 2, scale: 1, delta: 1}
+	long := &fakeProg{width: 1, maxIter: 4, scale: 1, delta: 1}
+	b, _ := NewBatch(1, short, long)
+	sum, prev, out := []float64{1, 1}, []float64{0, 0}, make([]float64, 2)
+	iter := 0
+	for {
+		iter++
+		b.Apply(0, sum, prev, out)
+		if b.Converged(0, iter) {
+			break
+		}
+	}
+	if iter != 4 {
+		t.Fatalf("fused run must run to the longest lane's cap, got %d", iter)
+	}
+	parts, err := b.Split(&Result{Values: make([]float64, 2), Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Iterations != 2 || parts[1].Iterations != 4 {
+		t.Fatalf("per-lane caps: %d %d", parts[0].Iterations, parts[1].Iterations)
+	}
+}

@@ -210,6 +210,80 @@ func NewCFProgram(g *Graph, k, iters int) Program { return algo.NewCF(g, k, iter
 // NewBFSProgram returns the tropical-ring BFS program.
 func NewBFSProgram(g *Graph, source uint32) Program { return algo.NewBFS(g, source) }
 
+// NewPersonalizedPageRankProgram returns damped PageRank with a point-mass
+// teleport at source — the canonical batchable query. tol <= 0 disables
+// the convergence test (fixed maxIter iterations).
+func NewPersonalizedPageRankProgram(g *Graph, source uint32, damping, tol float64, maxIter int) Program {
+	return algo.NewPersonalizedPageRank(g, source, damping, tol, maxIter)
+}
+
+// BatchProgram fuses K independent same-ring programs into one width-ΣWᵢ
+// program with per-lane convergence tracking; Split demuxes the fused
+// result. See NewBatchProgram.
+type BatchProgram = vprog.Batch
+
+// NewBatchProgram fuses progs (same ring, same per-node Scale) into one
+// wide program over a graph of n nodes: the engine streams the topology
+// ONCE for all K queries. Run the result on any engine, then call Split
+// on the fused Result to get one Result per query, each bit-identical to
+// the query run alone.
+func NewBatchProgram(n int, progs ...Program) (*BatchProgram, error) {
+	return vprog.NewBatch(n, progs...)
+}
+
+// Batcher groups concurrently submitted queries (up to MaxBatch, or for
+// at most MaxWait) and executes each group as one fused wide pass over
+// the Mixen engine. See core.Batcher.
+type Batcher = core.Batcher
+
+// BatcherConfig tunes a Batcher: MaxBatch (default 16), MaxWait (default
+// 500µs) and the per-query property width (default 1).
+type BatcherConfig = core.BatcherConfig
+
+// Future is a pending batched query; Wait returns its demuxed result.
+type Future = core.Future
+
+// NewBatcher wraps a Mixen engine for batched serving.
+func NewBatcher(e *MixenEngine, cfg BatcherConfig) *Batcher { return core.NewBatcher(e, cfg) }
+
+// PersonalizedPageRanks answers one personalized-PageRank query per source
+// in a single fused width-K pass on Mixen, returning one value slice per
+// source. Each slice is bit-identical to running that query alone.
+func PersonalizedPageRanks(g *Graph, sources []uint32, damping, tol float64, maxIter int) ([][]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	results, err := algo.PersonalizedPageRankBatch(e, g, sources, damping, tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([][]float64, len(results))
+	for i, r := range results {
+		vals[i] = r.Values
+	}
+	return vals, nil
+}
+
+// MultiSourceBFS answers one BFS reachability query per source in a single
+// fused width-K pass on Mixen, returning per-node hop counts per source
+// (+Inf when unreachable).
+func MultiSourceBFS(g *Graph, sources []uint32) ([][]float64, error) {
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	results, err := algo.MultiSourceBFS(e, g, sources)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([][]float64, len(results))
+	for i, r := range results {
+		vals[i] = r.Values
+	}
+	return vals, nil
+}
+
 // InDegree runs one InDegree iteration on Mixen and returns each node's
 // in-degree-weighted score.
 func InDegree(g *Graph) ([]float64, error) {

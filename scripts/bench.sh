@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — PR-level benchmark snapshot.
+#
+# Runs the width-sweep microbenchmarks (benchstat-comparable raw output)
+# and the batched-serving study, then bundles both into BENCH_PR3.json.
+# Artifacts:
+#   BENCH_PR3.bench.txt  raw `go test -bench` lines; feed two of these to
+#                        benchstat to compare commits
+#   BENCH_PR3.json       parsed numbers + the raw lines, for dashboards
+#
+# Usage: scripts/bench.sh [outdir]   (default: repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+mkdir -p "$outdir"
+
+count="${BENCH_COUNT:-5}"
+benchtxt="$outdir/BENCH_PR3.bench.txt"
+json="$outdir/BENCH_PR3.json"
+
+echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
+go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
+    ./internal/core/ | tee "$benchtxt" >&2
+
+echo ">> batched-serving study (mixenbench -experiment batch)" >&2
+batchtxt="$(mktemp)"
+trap 'rm -f "$batchtxt"' EXIT
+go run ./cmd/mixenbench -experiment batch -graphs "${BENCH_GRAPHS:-weibo,wiki}" \
+    -shrink "${BENCH_SHRINK:-8}" | tee "$batchtxt" >&2
+
+{
+  echo '{'
+  echo '  "bench": "PR3 batched multi-query execution",'
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+
+  # Parsed go-bench lines: name, ns/op, B/op, allocs/op.
+  echo '  "microbench": ['
+  awk '/^Benchmark/ {
+    line = $0
+    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", sep, $1, $2, $3
+    for (i = 4; i < NF; i++) {
+      if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
+      if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+    }
+    printf "}"
+    sep = ",\n"
+  } END { print "" }' "$benchtxt"
+  echo '  ],'
+
+  # Parsed batch-study rows: Graph K par_qps batch_qps speedup model sim identical.
+  echo '  "batch_study": ['
+  awk '$2 ~ /^[0-9]+$/ && $1 != "Graph" && NF >= 8 {
+    sp = $5; sub(/x$/, "", sp)
+    printf "%s    {\"graph\": \"%s\", \"k\": %s, \"parallel_qps\": %s, \"batch_qps\": %s, \"speedup\": %s, \"model_bytes_per_query\": %s, \"sim_bytes_per_query\": %s, \"identical\": %s}", sep, $1, $2, $3, $4, sp, $6, $7, $8
+    sep = ",\n"
+  } END { print "" }' "$batchtxt"
+  echo '  ],'
+
+  # Raw bench lines, verbatim, for benchstat-style tooling downstream.
+  echo '  "raw_bench": ['
+  awk '/^Benchmark/ {
+    gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
+    printf "%s    \"%s\"", sep, $0
+    sep = ",\n"
+  } END { print "" }' "$benchtxt"
+  echo '  ]'
+  echo '}'
+} > "$json"
+
+echo ">> wrote $benchtxt and $json" >&2
