@@ -119,9 +119,20 @@ func main() {
 			}
 			return out, nil
 		},
+		"frontier": func(o bench.Options) (string, error) {
+			rows, err := bench.FrontierStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatFrontierStudy(rows)
+			if err := bench.FrontierWorkReduced(rows); err != nil {
+				out += "WARNING: " + err.Error() + "\n"
+			}
+			return out, nil
+		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

@@ -68,6 +68,7 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads (0 = all cores)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
+	sparse := flag.Bool("sparse", true, "allow sparsity-aware Scatter on quiet block-rows (mixen engine); -sparse=false forces every active row dense")
 	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
 	parallel := flag.Int("parallel", 1, "after the reported run, issue N concurrent runs over the same engine and report runs/sec")
 	batch := flag.Int("batch", 1, "after the reported run, serve K concurrent queries through the batcher as one fused width-K pass and report queries/sec (mixen engine)")
@@ -137,6 +138,9 @@ func main() {
 			ignored = append(ignored, "-engine")
 		}
 	}
+	if isFlagSet("sparse") && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -sparse applies only to the mixen engine; ignoring")
+	}
 	if *trace && !(info.engine && *engine == "mixen") {
 		fmt.Fprintln(os.Stderr, "mixenrun: -trace requires an engine-run algorithm on the mixen engine; ignoring")
 		*trace = false
@@ -160,7 +164,7 @@ func main() {
 		runEngineAlgo(g, report, reg, *algoName, *engine, engineOpts{
 			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
 			threads: *threads, top: *top, trace: *trace, parallel: *parallel,
-			batch: *batch,
+			batch: *batch, sparse: *sparse,
 		})
 	} else {
 		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
@@ -182,6 +186,7 @@ type engineOpts struct {
 	trace                  bool
 	parallel               int
 	batch                  int
+	sparse                 bool
 }
 
 // runEngineAlgo executes one of the vertex-program algorithms (indegree,
@@ -224,7 +229,7 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		if reg != nil {
 			col = reg
 		}
-		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col})
+		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col, DisableSparse: !o.sparse})
 		if nerr != nil {
 			fail(nerr)
 		}

@@ -70,19 +70,33 @@ type PageRank struct {
 	Damping float64
 	Tol     float64
 	Iters   int
+	// NodeTol is the per-node quiescence threshold (Ligra's PageRankDelta
+	// filter): a node whose update would move it by less than NodeTol
+	// keeps its previous value EXACTLY and reports a zero delta, letting
+	// frontier-tracking engines retire it from the active set. 0 disables
+	// the clamp (every sub-ulp wiggle keeps the node active, so
+	// tolerance-converged runs see little frontier decay). The final
+	// values differ from the unclamped iteration by at most
+	// NodeTol/(1-damping) per node.
+	NodeTol float64
 	deg     []float64
 }
 
 // NewPageRank builds the program for graph g. tol <= 0 disables the
-// convergence test (fixed iters iterations).
+// convergence test (fixed iters iterations); tol > 0 also enables the
+// per-node quiescence clamp at tol/n (set NodeTol directly to override).
 func NewPageRank(g *graph.Graph, damping, tol float64, iters int) *PageRank {
-	return &PageRank{
+	p := &PageRank{
 		N:       g.NumNodes(),
 		Damping: damping,
 		Tol:     tol,
 		Iters:   iters,
 		deg:     outDegrees(g),
 	}
+	if tol > 0 {
+		p.NodeTol = tol / float64(p.N)
+	}
+	return p
 }
 
 // Width implements vprog.Program.
@@ -102,10 +116,16 @@ func (p *PageRank) Scale(u uint32) float64 {
 	return 1 / p.deg[u]
 }
 
-// Apply implements vprog.Program.
+// Apply implements vprog.Program. Sub-NodeTol movements keep the previous
+// value bit-for-bit and return 0, satisfying the quiescence contract while
+// giving frontier-tracking engines real per-node convergence to exploit.
 func (p *PageRank) Apply(v uint32, sum, prev, out []float64) float64 {
 	next := (1-p.Damping)/float64(p.N) + p.Damping*sum[0]
 	d := math.Abs(next - prev[0])
+	if d < p.NodeTol {
+		out[0] = prev[0]
+		return 0
+	}
 	out[0] = next
 	return d
 }

@@ -22,13 +22,18 @@ type PersonalizedPageRank struct {
 	// Teleport optionally replaces the point mass at Source with a full
 	// distribution (len n). Entries should sum to 1.
 	Teleport []float64
-	deg      []float64
+	// NodeTol is the per-node quiescence threshold (see algo.PageRank):
+	// sub-NodeTol updates keep the previous value exactly and report a
+	// zero delta. 0 disables the clamp.
+	NodeTol float64
+	deg     []float64
 }
 
 // NewPersonalizedPageRank builds the program for graph g with a point-mass
-// teleport at source. tol <= 0 disables the convergence test.
+// teleport at source. tol <= 0 disables the convergence test; tol > 0 also
+// enables the per-node quiescence clamp at tol/n.
 func NewPersonalizedPageRank(g *graph.Graph, source uint32, damping, tol float64, iters int) *PersonalizedPageRank {
-	return &PersonalizedPageRank{
+	p := &PersonalizedPageRank{
 		N:       g.NumNodes(),
 		Source:  source,
 		Damping: damping,
@@ -36,6 +41,10 @@ func NewPersonalizedPageRank(g *graph.Graph, source uint32, damping, tol float64
 		Iters:   iters,
 		deg:     outDegrees(g),
 	}
+	if tol > 0 {
+		p.NodeTol = tol / float64(p.N)
+	}
+	return p
 }
 
 // PersonalizedPageRankSet builds one program per source, all sharing a
@@ -45,7 +54,7 @@ func PersonalizedPageRankSet(g *graph.Graph, sources []uint32, damping, tol floa
 	deg := outDegrees(g)
 	progs := make([]vprog.Program, len(sources))
 	for i, s := range sources {
-		progs[i] = &PersonalizedPageRank{
+		pp := &PersonalizedPageRank{
 			N:       g.NumNodes(),
 			Source:  s,
 			Damping: damping,
@@ -53,6 +62,10 @@ func PersonalizedPageRankSet(g *graph.Graph, sources []uint32, damping, tol floa
 			Iters:   iters,
 			deg:     deg,
 		}
+		if tol > 0 {
+			pp.NodeTol = tol / float64(pp.N)
+		}
+		progs[i] = pp
 	}
 	return progs
 }
@@ -86,10 +99,15 @@ func (p *PersonalizedPageRank) Scale(u uint32) float64 {
 	return 1 / p.deg[u]
 }
 
-// Apply implements vprog.Program.
+// Apply implements vprog.Program. Sub-NodeTol movements keep the previous
+// value bit-for-bit and return 0 (per-node quiescence, see algo.PageRank).
 func (p *PersonalizedPageRank) Apply(v uint32, sum, prev, out []float64) float64 {
 	next := (1-p.Damping)*p.teleport(v) + p.Damping*sum[0]
 	d := math.Abs(next - prev[0])
+	if d < p.NodeTol {
+		out[0] = prev[0]
+		return 0
+	}
 	out[0] = next
 	return d
 }

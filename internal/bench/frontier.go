@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+	"mixen/internal/graph"
+)
+
+// frontierDamping/frontierTol/frontierMaxIters fix the frontier workload:
+// tolerance-converged PageRank, the regime where per-node quiescence
+// accumulates across iterations and the sparse Scatter has something to
+// skip (fixed-iteration runs with tol=0 keep every node active to the
+// last iteration). NodeTol is set to the tolerance itself — the Ligra
+// PageRankDelta epsilon — so convergence is the per-node criterion "no
+// node moved by tol or more" and the frontier decays all the way to
+// empty; the default tol/n filter quiesces nodes only as the global sum
+// converges, leaving little tail for the sparse mode to harvest.
+const (
+	frontierDamping  = 0.85
+	frontierTol      = 1e-9
+	frontierMaxIters = 200
+)
+
+// frontierTrials is how many alternating timed trials each execution mode
+// gets per graph; the fastest is reported.
+const frontierTrials = 3
+
+// FrontierRow is one graph's dense-vs-sparse comparison: the same
+// tolerance-converged PageRank on the default (frontier-tracking, adaptive
+// dense/sparse) engine and on an always-dense engine, with the work
+// actually done by each.
+type FrontierRow struct {
+	Graph      string
+	Iterations int
+	// Wall seconds of the full run, fastest of the timed trials.
+	DenseSec  float64
+	SparseSec float64
+	// Total Scatter bin-entry writes and Gather edge replays over the run.
+	DenseEntries  int64
+	SparseEntries int64
+	DenseEdges    int64
+	SparseEdges   int64
+	// PerIterEntries/PerIterEdges is the always-dense per-iteration work
+	// (CompressedEntries / Nnz), the yardstick for the late-iteration
+	// numbers below.
+	PerIterEntries int64
+	PerIterEdges   int64
+	// LastIterEntries/LastIterEdges is the adaptive engine's work in the
+	// final iteration — how far the frontier had decayed by convergence.
+	LastIterEntries int64
+	LastIterEdges   int64
+	// FirstSparseIter is the first iteration that ran any block-row in
+	// sparse mode (0 = the run never went sparse); SparseRowIters totals
+	// the per-iteration sparse-mode row decisions.
+	FirstSparseIter int
+	SparseRowIters  int64
+	// Identical reports whether the adaptive run's values matched the
+	// always-dense run bit for bit.
+	Identical bool
+}
+
+// Speedup is the adaptive engine's wall-clock advantage.
+func (r FrontierRow) Speedup() float64 {
+	if r.SparseSec == 0 {
+		return 0
+	}
+	return r.DenseSec / r.SparseSec
+}
+
+// frontierGraphs is the default graph set: the skewed presets, where
+// hub rows keep block-row tracking saturated and node-granularity
+// frontiers are the only effective work-skipping.
+var frontierGraphs = []string{"weibo", "track", "wiki", "pld", "rmat", "kron"}
+
+// FrontierStudy runs the dense-vs-sparse experiment for each selected
+// graph (default: the skewed presets).
+func FrontierStudy(o Options) ([]FrontierRow, error) {
+	o = o.withDefaults()
+	if len(o.Graphs) == 0 {
+		o.Graphs = frontierGraphs
+	}
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []FrontierRow
+	for _, gname := range order {
+		row, err := frontierPoint(graphs[gname], gname, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func frontierPoint(g *graph.Graph, gname string, o Options) (FrontierRow, error) {
+	sparseE, err := core.New(g, core.Config{Threads: o.Threads})
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	denseE, err := core.New(g, core.Config{Threads: o.Threads, DisableSparse: true})
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	prog := func() *algo.PageRank {
+		pr := algo.NewPageRank(g, frontierDamping, frontierTol, frontierMaxIters)
+		pr.NodeTol = frontierTol
+		return pr
+	}
+
+	// Work accounting + bit-identity from one untimed run per mode
+	// (RunStats carries the entry/edge totals in every path).
+	sparseRes, sparseStats, err := sparseE.RunWithStats(prog())
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	denseRes, denseStats, err := denseE.RunWithStats(prog())
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	row := FrontierRow{
+		Graph:          gname,
+		Iterations:     sparseRes.Iterations,
+		DenseEntries:   denseStats.ScatterEntries,
+		SparseEntries:  sparseStats.ScatterEntries,
+		DenseEdges:     denseStats.GatherEdges,
+		SparseEdges:    sparseStats.GatherEdges,
+		PerIterEntries: sparseE.P.CompressedEntries,
+		PerIterEdges:   sparseE.P.Nnz,
+		SparseRowIters: sparseStats.SparseRowIterations,
+		Identical:      equalF64(sparseRes.Values, denseRes.Values) && sparseRes.Iterations == denseRes.Iterations,
+	}
+
+	// Per-iteration profile from a traced run on a separate engine so the
+	// timed runs below stay untraced.
+	tracedE, err := core.New(g, core.Config{Threads: o.Threads, Trace: true})
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	_, tracedStats, err := tracedE.RunWithStats(prog())
+	if err != nil {
+		return FrontierRow{}, err
+	}
+	if n := len(tracedStats.Trace); n > 0 {
+		last := tracedStats.Trace[n-1]
+		row.LastIterEntries = last.ScatterEntries
+		row.LastIterEdges = last.GatherEdges
+		for _, it := range tracedStats.Trace {
+			if it.SparseRows > 0 {
+				row.FirstSparseIter = it.Iter
+				break
+			}
+		}
+	}
+
+	// Alternating timed trials, fastest per mode.
+	for trial := 0; trial < frontierTrials; trial++ {
+		runtime.GC()
+		t0 := time.Now()
+		if _, err := denseE.Run(prog()); err != nil {
+			return FrontierRow{}, err
+		}
+		dd := time.Since(t0).Seconds()
+		runtime.GC()
+		t0 = time.Now()
+		if _, err := sparseE.Run(prog()); err != nil {
+			return FrontierRow{}, err
+		}
+		sd := time.Since(t0).Seconds()
+		if trial == 0 || dd < row.DenseSec {
+			row.DenseSec = dd
+		}
+		if trial == 0 || sd < row.SparseSec {
+			row.SparseSec = sd
+		}
+	}
+	return row, nil
+}
+
+// FormatFrontierStudy renders the study: per-graph wall time and total
+// Scatter work (bin-entry writes, the node-granular measure — each entry
+// stands for one source's edges into one block) for the two modes, plus
+// how small the final iteration's frontier had become relative to one
+// dense iteration.
+func FormatFrontierStudy(rows []FrontierRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %5s %10s %10s %8s %11s %11s %10s %9s %10s %10s\n",
+		"Graph", "iter", "dense ms", "sparse ms", "speedup",
+		"entries", "entries(sp)", "last-iter", "1st-sp", "sp-rows", "identical")
+	for _, r := range rows {
+		lastFrac := 0.0
+		if r.PerIterEntries > 0 {
+			lastFrac = float64(r.LastIterEntries) / float64(r.PerIterEntries)
+		}
+		fmt.Fprintf(&b, "%-8s %5d %10.2f %10.2f %7.2fx %11d %11d %9.1f%% %9d %10d %10v\n",
+			r.Graph, r.Iterations, r.DenseSec*1e3, r.SparseSec*1e3, r.Speedup(),
+			r.DenseEntries, r.SparseEntries, 100*lastFrac,
+			r.FirstSparseIter, r.SparseRowIters, r.Identical)
+	}
+	return b.String()
+}
+
+// FrontierWorkReduced verifies the study's central claims on its own rows:
+// bit-identity everywhere, and on every graph that converged before the
+// iteration cap, strictly less total Gather work and a final iteration
+// touching fewer edges than a dense one.
+func FrontierWorkReduced(rows []FrontierRow) error {
+	for _, r := range rows {
+		if !r.Identical {
+			return fmt.Errorf("bench: %s: sparse values differ from dense", r.Graph)
+		}
+		if r.SparseEntries > r.DenseEntries || r.SparseEdges > r.DenseEdges {
+			return fmt.Errorf("bench: %s: sparse did more work than dense (entries %d/%d, edges %d/%d)",
+				r.Graph, r.SparseEntries, r.DenseEntries, r.SparseEdges, r.DenseEdges)
+		}
+		// Node-granularity decay is asserted on Scatter entries; Gather
+		// edge decay is column-granular and vanishes when the graph is
+		// small enough to fit in one block-column, so it is reported in
+		// the table but not enforced here.
+		if r.Iterations < frontierMaxIters && r.LastIterEntries >= r.PerIterEntries {
+			return fmt.Errorf("bench: %s: final iteration still rescattered every bin entry (%d of %d)",
+				r.Graph, r.LastIterEntries, r.PerIterEntries)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+func TestFrontierStudyStructure(t *testing.T) {
+	rows, err := FrontierStudy(Options{Shrink: 64, Graphs: []string{"wiki"}, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Graph != "wiki" || r.Iterations <= 0 {
+		t.Fatalf("malformed row: %+v", r)
+	}
+	if !r.Identical {
+		t.Fatal("sparse run not bit-identical to dense")
+	}
+	if r.DenseSec <= 0 || r.SparseSec <= 0 {
+		t.Fatalf("non-positive timings: dense %v sparse %v", r.DenseSec, r.SparseSec)
+	}
+	// The dense baseline still skips fully-quiescent block-rows (coarse
+	// pre-existing tracking), so it can do less than iters×entries — but
+	// never more, and never less than the node-granular sparse run.
+	if upper := int64(r.Iterations) * r.PerIterEntries; r.DenseEntries > upper {
+		t.Errorf("dense scatter entries %d exceed iters×entries = %d", r.DenseEntries, upper)
+	}
+	if r.SparseEntries > r.DenseEntries {
+		t.Errorf("sparse scatter entries %d exceed dense %d", r.SparseEntries, r.DenseEntries)
+	}
+	if err := FrontierWorkReduced(rows); err != nil {
+		t.Error(err)
+	}
+	if out := FormatFrontierStudy(rows); len(out) == 0 {
+		t.Error("empty formatted study")
+	}
+}

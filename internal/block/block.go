@@ -11,6 +11,7 @@ package block
 
 import (
 	"fmt"
+	"math"
 
 	"mixen/internal/graph"
 	"mixen/internal/obs"
@@ -109,6 +110,30 @@ type Partition struct {
 	// Splits counts sub-blocks created beyond one per non-empty grid cell
 	// by the load-balance splitting of overloaded cells.
 	Splits int64
+
+	// SrcEntryPtr/SrcEntryIdx/SrcEntryCol form the per-source compressed-
+	// entry index that sparse (frontier-driven) Scatter walks: for a source
+	// u, the half-open range SrcEntryPtr[u]..SrcEntryPtr[u+1] of
+	// SrcEntryIdx lists — ascending — the global bin-entry slots u feeds
+	// (a workspace with w lanes keeps slot e's values at [e*w, e*w+w)),
+	// and SrcEntryCol gives each slot's destination block-column, so a
+	// sparse Scatter can mark exactly the columns a changed source dirties.
+	//
+	// SrcEntryPtr is always built (it also serves as the per-source entry
+	// count used by frontier density accounting). SrcEntryIdx/SrcEntryCol
+	// are nil when CompressedEntries does not fit in uint32 — engines must
+	// then fall back to dense row streaming.
+	SrcEntryPtr []int64
+	SrcEntryIdx []uint32
+	SrcEntryCol []int32
+
+	// RowEntries/RowEdges aggregate each block-row's compressed entries and
+	// edges; ColEdges aggregates each block-column's edges. They price the
+	// dense alternatives the sparse mode decision and the skipped-work
+	// telemetry compare against.
+	RowEntries []int64
+	RowEdges   []int64
+	ColEdges   []int64
 }
 
 // CompressionRatio returns edges per bin entry (≥ 1; 1 with compression
@@ -141,6 +166,7 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 		p.B = 0
 		p.Rows = nil
 		p.Cols = nil
+		p.buildSourceIndex(cfg.Threads)
 		return p, nil
 	}
 	p.B = (r + cfg.Side - 1) / cfg.Side
@@ -158,8 +184,20 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 
 	// Build each block-row independently in parallel: scan its source rows
 	// once, splitting each sorted adjacency row into per-column-block runs.
-	sched.For(p.B, cfg.Threads, 1, func(i int) {
-		p.Rows[i] = buildBlockRow(ptr, idx, r, i, cfg, maxEdges)
+	// Chunking is weighted by each block-row's edge count, so a skewed grid
+	// (hub-heavy rows next to near-empty ones) still load-balances.
+	rowWeight := make([]int64, p.B+1)
+	for i := 0; i < p.B; i++ {
+		hi := (i + 1) * cfg.Side
+		if hi > r {
+			hi = r
+		}
+		rowWeight[i+1] = rowWeight[i] + (ptr[hi] - ptr[i*cfg.Side])
+	}
+	sched.ForWeighted(rowWeight, cfg.Threads, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.Rows[i] = buildBlockRow(ptr, idx, r, i, cfg, maxEdges)
+		}
 	})
 
 	for _, row := range p.Rows {
@@ -179,6 +217,7 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 	for _, sb := range p.Blocks {
 		p.Cols[sb.BlockCol] = append(p.Cols[sb.BlockCol], sb)
 	}
+	p.buildSourceIndex(cfg.Threads)
 	if col := obs.Default(cfg.Collector); col.Enabled() {
 		col.Counter("block.partitions").Inc()
 		col.Gauge("block.side").Set(int64(p.Side))
@@ -191,6 +230,52 @@ func NewPartition(ptr []int64, idx []graph.Node, r int, cfg Config) (*Partition,
 		col.Gauge("block.compression_ratio_permille").Set(int64(p.CompressionRatio() * 1000))
 	}
 	return p, nil
+}
+
+// buildSourceIndex derives the per-source entry index and the per-row/
+// per-column aggregates from the finished block list. Every source belongs
+// to exactly one block-row, so block-rows fill disjoint SrcEntryPtr ranges
+// and the fill parallelizes without synchronisation. Within one source the
+// listed slots are ascending: blocks are visited in EntryOff order.
+func (p *Partition) buildSourceIndex(threads int) {
+	r := p.R
+	p.RowEntries = make([]int64, p.B)
+	p.RowEdges = make([]int64, p.B)
+	p.ColEdges = make([]int64, p.B)
+	for _, sb := range p.Blocks {
+		p.RowEntries[sb.BlockRow] += int64(len(sb.Srcs))
+		p.RowEdges[sb.BlockRow] += sb.NumEdges()
+		p.ColEdges[sb.BlockCol] += sb.NumEdges()
+	}
+	p.SrcEntryPtr = make([]int64, r+1)
+	for _, sb := range p.Blocks {
+		for _, s := range sb.Srcs {
+			p.SrcEntryPtr[s+1]++
+		}
+	}
+	for u := 0; u < r; u++ {
+		p.SrcEntryPtr[u+1] += p.SrcEntryPtr[u]
+	}
+	if p.CompressedEntries > math.MaxUint32 {
+		// Slot ids would overflow the packed index; sparse Scatter is
+		// gated off and engines stream dense rows (see field docs).
+		return
+	}
+	p.SrcEntryIdx = make([]uint32, p.CompressedEntries)
+	p.SrcEntryCol = make([]int32, p.CompressedEntries)
+	next := make([]int64, r)
+	copy(next, p.SrcEntryPtr[:r])
+	sched.For(p.B, threads, 1, func(i int) {
+		for _, sb := range p.Rows[i] {
+			col := int32(sb.BlockCol)
+			for k, s := range sb.Srcs {
+				pos := next[s]
+				next[s] = pos + 1
+				p.SrcEntryIdx[pos] = uint32(sb.EntryOff + int64(k))
+				p.SrcEntryCol[pos] = col
+			}
+		}
+	})
 }
 
 // builder accumulates one (block-row, block-col) cell before splitting.
@@ -338,6 +423,61 @@ func (p *Partition) Validate() error {
 	}
 	if rowCount != len(p.Blocks) || colCount != len(p.Blocks) {
 		return fmt.Errorf("block: row/col grouping mismatch (%d, %d, %d)", rowCount, colCount, len(p.Blocks))
+	}
+	return p.validateSourceIndex()
+}
+
+// validateSourceIndex cross-checks the per-source entry index and the
+// row/column aggregates against the blocks themselves.
+func (p *Partition) validateSourceIndex() error {
+	if len(p.SrcEntryPtr) != p.R+1 {
+		return fmt.Errorf("block: SrcEntryPtr len %d, want %d", len(p.SrcEntryPtr), p.R+1)
+	}
+	if p.SrcEntryPtr[p.R] != p.CompressedEntries {
+		return fmt.Errorf("block: SrcEntryPtr tail %d, want %d entries", p.SrcEntryPtr[p.R], p.CompressedEntries)
+	}
+	var rowEnt, rowEdg, colEdg int64
+	for i := 0; i < p.B; i++ {
+		rowEnt += p.RowEntries[i]
+		rowEdg += p.RowEdges[i]
+		colEdg += p.ColEdges[i]
+	}
+	if rowEnt != p.CompressedEntries || rowEdg != p.Nnz || colEdg != p.Nnz {
+		return fmt.Errorf("block: aggregate mismatch entries=%d/%d rowEdges=%d colEdges=%d nnz=%d",
+			rowEnt, p.CompressedEntries, rowEdg, colEdg, p.Nnz)
+	}
+	if p.SrcEntryIdx == nil {
+		if p.CompressedEntries <= math.MaxUint32 && p.CompressedEntries > 0 {
+			return fmt.Errorf("block: source index missing despite %d entries fitting uint32", p.CompressedEntries)
+		}
+		return nil
+	}
+	// Replay every block entry through the index: source u's cursor must
+	// yield exactly (EntryOff+k, BlockCol) in block order.
+	cursor := make([]int64, p.R)
+	copy(cursor, p.SrcEntryPtr[:p.R])
+	for _, row := range p.Rows {
+		for _, sb := range row {
+			for k, s := range sb.Srcs {
+				pos := cursor[s]
+				if pos >= p.SrcEntryPtr[s+1] {
+					return fmt.Errorf("block: source %d has more entries than indexed", s)
+				}
+				if got, want := p.SrcEntryIdx[pos], uint32(sb.EntryOff+int64(k)); got != want {
+					return fmt.Errorf("block: source %d index slot %d = %d, want %d", s, pos, got, want)
+				}
+				if got := p.SrcEntryCol[pos]; got != int32(sb.BlockCol) {
+					return fmt.Errorf("block: source %d slot %d column %d, want %d", s, pos, got, sb.BlockCol)
+				}
+				cursor[s] = pos + 1
+			}
+		}
+	}
+	for u := 0; u < p.R; u++ {
+		if cursor[u] != p.SrcEntryPtr[u+1] {
+			return fmt.Errorf("block: source %d indexed %d entries, blocks hold %d",
+				u, p.SrcEntryPtr[u+1]-p.SrcEntryPtr[u], cursor[u]-p.SrcEntryPtr[u])
+		}
 	}
 	return nil
 }

@@ -324,3 +324,77 @@ func TestEntryOffsetsIndexFlatBins(t *testing.T) {
 		t.Fatalf("traffic should grow with width: w=1 %d, w=4 %d", t1, t4)
 	}
 }
+
+func TestSourceEntryIndexReplaysBlocks(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(9, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(g.OutPtr, g.OutIdx, g.NumNodes(), Config{Side: 64, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate already replays the index; this test pins the semantics a
+	// reader of the fields relies on directly.
+	if got, want := len(p.SrcEntryPtr), g.NumNodes()+1; got != want {
+		t.Fatalf("len(SrcEntryPtr) = %d, want %d", got, want)
+	}
+	if p.SrcEntryPtr[len(p.SrcEntryPtr)-1] != p.CompressedEntries {
+		t.Fatalf("SrcEntryPtr tail = %d, want CompressedEntries %d",
+			p.SrcEntryPtr[len(p.SrcEntryPtr)-1], p.CompressedEntries)
+	}
+	if p.SrcEntryIdx == nil || p.SrcEntryCol == nil {
+		t.Fatal("per-source entry index not built")
+	}
+	// Every slot listed for source u must be an entry whose sub-block
+	// contains u, in the recorded block-column.
+	owner := make(map[int64]*SubBlock)
+	entrySrc := make(map[int64]graph.Node)
+	for _, sb := range p.Blocks {
+		for k, s := range sb.Srcs {
+			slot := sb.EntryOff + int64(k)
+			owner[slot] = sb
+			entrySrc[slot] = s
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for pos := p.SrcEntryPtr[u]; pos < p.SrcEntryPtr[u+1]; pos++ {
+			slot := int64(p.SrcEntryIdx[pos])
+			sb := owner[slot]
+			if sb == nil {
+				t.Fatalf("source %d: slot %d owned by no sub-block", u, slot)
+			}
+			if int(entrySrc[slot]) != u {
+				t.Fatalf("source %d: slot %d belongs to source %d", u, slot, entrySrc[slot])
+			}
+			if int(p.SrcEntryCol[pos]) != sb.BlockCol {
+				t.Fatalf("source %d slot %d: column %d, sub-block says %d",
+					u, slot, p.SrcEntryCol[pos], sb.BlockCol)
+			}
+		}
+	}
+	// Aggregates must tile the partition.
+	var re, rw, cw int64
+	for i := 0; i < p.B; i++ {
+		re += p.RowEntries[i]
+		rw += p.RowEdges[i]
+		cw += p.ColEdges[i]
+	}
+	if re != p.CompressedEntries || rw != p.Nnz || cw != p.Nnz {
+		t.Fatalf("aggregates: entries %d/%d, row edges %d/%d, col edges %d/%d",
+			re, p.CompressedEntries, rw, p.Nnz, cw, p.Nnz)
+	}
+}
+
+func TestSourceEntryIndexEmptyPartition(t *testing.T) {
+	p, err := NewPartition([]int64{0}, nil, 0, Config{Side: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SrcEntryPtr) != 1 || p.SrcEntryPtr[0] != 0 {
+		t.Fatalf("empty partition SrcEntryPtr = %v, want [0]", p.SrcEntryPtr)
+	}
+}

@@ -53,13 +53,29 @@ type Config struct {
 	// instead of the two-group hub-first policy (the "degree sort"
 	// reordering baseline). Overrides DisableHubOrder.
 	DegreeSortOrder bool
-	// DisableActiveTracking turns off the per-segment activity mask (the
-	// bit mask §5 sets aside): with tracking on, Scatter skips any
+	// DisableActiveTracking turns off node-granularity activity tracking
+	// (the bit mask §5 sets aside, refined to per-node frontiers): with
+	// tracking on, Gather records which nodes changed, Scatter skips any
 	// block-row whose source segment produced no value change in the
 	// previous iteration — the dynamic bins still hold those sources'
-	// (unchanged) messages, so Gather stays exact. Sparse iterations such
-	// as BFS skip most of the matrix once the frontier has passed.
+	// (unchanged) messages, so Gather stays exact — and Gather itself
+	// skips block-columns none of whose input sources changed. Sparse
+	// iterations such as BFS skip most of the matrix once the frontier has
+	// passed. Disabling this also disables the sparse Scatter.
 	DisableActiveTracking bool
+	// DisableSparse forces every non-quiescent block-row through the dense
+	// row stream, turning off the frontier-driven sparse Scatter (the
+	// always-dense baseline the frontier experiment compares against).
+	// Row-level skipping of fully quiescent rows (see
+	// DisableActiveTracking) is unaffected.
+	DisableSparse bool
+	// SparseDensity is the frontier-density threshold of the dense/sparse
+	// Scatter decision: a block-row whose changed sources cover less than
+	// this fraction of the row's compressed bin entries switches to the
+	// sparse frontier walk, and switches back to dense above 2× the
+	// threshold (hysteresis). 0 picks DefaultSparseDensity; negative
+	// disables sparse execution like DisableSparse.
+	SparseDensity float64
 	// Collector receives engine telemetry (phase spans, iteration counts,
 	// skipped-block counters) from preprocessing and every run. Nil means
 	// the zero-cost no-op collector.
@@ -91,8 +107,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxLoadFactor < 0 {
 		c.MaxLoadFactor = 0
 	}
+	if c.SparseDensity == 0 {
+		c.SparseDensity = DefaultSparseDensity
+	}
 	return c
 }
+
+// DefaultSparseDensity is the default Config.SparseDensity: a block-row
+// goes sparse when its frontier covers less than 1/20 of the row's bin
+// entries. Ligra-style thresholds trade redundant dense streaming against
+// the sparse walk's indirection; the entry-index walk touches ~3× the
+// bytes per entry of the dense stream, so 0.05 leaves a wide margin while
+// still engaging well before rows fully quiesce.
+const DefaultSparseDensity = 0.05
 
 // PrepStats records preprocessing cost (Table 4).
 type PrepStats struct {
@@ -121,12 +148,13 @@ type Engine struct {
 	P    *block.Partition
 	Prep PrepStats
 
-	// SkippedBlocks counts sub-blocks whose Scatter was skipped by the
-	// activity mask during the most recent Run (observability/testing).
-	// Reset at the start of every run; safe to read concurrently (e.g.
-	// from a metrics poller) while a run is in flight. With multiple
-	// concurrent runs the value interleaves their counts — use
-	// RunStats.SkippedBlocks for a per-run exact figure.
+	// SkippedBlocks counts sub-blocks (always sub-blocks, the unit of
+	// block.Partition.Rows — never block-rows) whose Scatter was skipped
+	// by the activity mask during the most recent Run
+	// (observability/testing). Reset at the start of every run; safe to
+	// read concurrently (e.g. from a metrics poller) while a run is in
+	// flight. With multiple concurrent runs the value interleaves their
+	// counts — use RunStats.SkippedBlocks for a per-run exact figure.
 	SkippedBlocks atomic.Int64
 
 	// state bundles the collector with its cached instrument handles so a
@@ -147,32 +175,42 @@ type engineState struct {
 // never performs name lookups. All handles are nil under the no-op
 // collector, making every update a single branch.
 type engineMetrics struct {
-	runs          *obs.Counter
-	iterations    *obs.Counter
-	skippedBlocks *obs.Counter
-	activeRows    *obs.Gauge
-	preNs         *obs.Histogram
-	mainNs        *obs.Histogram
-	postNs        *obs.Histogram
-	scatterNs     *obs.Histogram
-	cacheNs       *obs.Histogram
-	gatherNs      *obs.Histogram
-	iterNs        *obs.Histogram
+	runs            *obs.Counter
+	iterations      *obs.Counter
+	skippedBlocks   *obs.Counter
+	denseRows       *obs.Counter
+	sparseRows      *obs.Counter
+	scatterEntries  *obs.Counter
+	gatherEdges     *obs.Counter
+	activeRows      *obs.Gauge
+	frontierDensity *obs.Gauge
+	preNs           *obs.Histogram
+	mainNs          *obs.Histogram
+	postNs          *obs.Histogram
+	scatterNs       *obs.Histogram
+	cacheNs         *obs.Histogram
+	gatherNs        *obs.Histogram
+	iterNs          *obs.Histogram
 }
 
 func newEngineMetrics(c obs.Collector) engineMetrics {
 	return engineMetrics{
-		runs:          c.Counter("core.runs"),
-		iterations:    c.Counter("core.iterations"),
-		skippedBlocks: c.Counter("core.skipped_blocks"),
-		activeRows:    c.Gauge("core.active_block_rows"),
-		preNs:         c.Histogram("core.pre_ns"),
-		mainNs:        c.Histogram("core.main_ns"),
-		postNs:        c.Histogram("core.post_ns"),
-		scatterNs:     c.Histogram("core.scatter_ns"),
-		cacheNs:       c.Histogram("core.cache_ns"),
-		gatherNs:      c.Histogram("core.gather_apply_ns"),
-		iterNs:        c.Histogram("core.iteration_ns"),
+		runs:            c.Counter("core.runs"),
+		iterations:      c.Counter("core.iterations"),
+		skippedBlocks:   c.Counter("core.skipped_blocks"),
+		denseRows:       c.Counter("core.dense_rows"),
+		sparseRows:      c.Counter("core.sparse_rows"),
+		scatterEntries:  c.Counter("core.scatter_entries"),
+		gatherEdges:     c.Counter("core.gather_edges"),
+		activeRows:      c.Gauge("core.active_block_rows"),
+		frontierDensity: c.Gauge("core.frontier_density_permille"),
+		preNs:           c.Histogram("core.pre_ns"),
+		mainNs:          c.Histogram("core.main_ns"),
+		postNs:          c.Histogram("core.post_ns"),
+		scatterNs:       c.Histogram("core.scatter_ns"),
+		cacheNs:         c.Histogram("core.cache_ns"),
+		gatherNs:        c.Histogram("core.gather_apply_ns"),
+		iterNs:          c.Histogram("core.iteration_ns"),
 	}
 }
 
@@ -247,8 +285,24 @@ type RunStats struct {
 	// MainIterations equals Result.Iterations.
 	MainIterations int
 	// SkippedBlocks is the run's total count of sub-blocks whose Scatter
-	// was skipped by the activity mask.
+	// was skipped outright because their block-row had no changed source.
+	// The unit is sub-blocks (block.Partition.Rows entries), never
+	// block-rows, in every path — traced and untraced alike.
 	SkippedBlocks int64
+	// ScatterEntries totals the dynamic-bin entries (re)written by Scatter
+	// across iterations: a dense-mode row contributes all its entries, a
+	// sparse-mode row only its frontier's, a skipped row none. The
+	// always-dense figure is MainIterations × Partition.CompressedEntries.
+	ScatterEntries int64
+	// GatherEdges totals the edges Gather replayed across iterations
+	// (skipped block-columns contribute nothing). The always-dense figure
+	// is MainIterations × Partition.Nnz.
+	GatherEdges int64
+	// DenseRowIterations / SparseRowIterations count per-iteration
+	// block-row mode decisions: one dense-mode row for one iteration adds
+	// one to DenseRowIterations.
+	DenseRowIterations  int64
+	SparseRowIterations int64
 	// Trace is the per-iteration timeline, populated when Config.Trace is
 	// set (nil otherwise).
 	Trace []obs.IterationTrace
@@ -318,8 +372,18 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 	rc.x, rc.y = ws.x, ws.y
 	rc.out = out
 	rc.skipped.Store(0)
-	for i := range rc.active {
-		rc.active[i] = true
+	rc.track = !e.cfg.DisableActiveTracking
+	rc.canSparse = rc.track && !e.cfg.DisableSparse &&
+		e.cfg.SparseDensity > 0 && e.P.SrcEntryIdx != nil
+	rc.sparseEnter = e.cfg.SparseDensity
+	rc.sparseExit = 2 * e.cfg.SparseDensity
+	// Pooled workspaces carry the previous run's frontier state; reset the
+	// hysteresis and worklists (the first iteration forces all-dense
+	// regardless, so this is hygiene plus deterministic mode decisions).
+	for i := range rc.rowSticky {
+		rc.rowSticky[i] = modeDense
+		rc.workLen[i] = 0
+		rc.workEnt[i] = 0
 	}
 
 	// x and y are full property arrays in NEW id space. Both carry the seed
@@ -342,32 +406,34 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 	delta := math.Inf(1)
 	e.SkippedBlocks.Store(0)
 	var lastSkipped int64
-	track := !e.cfg.DisableActiveTracking
 	// Per-iteration tracing is on when explicitly requested or when a
 	// recording collector is attached; the timeline slice itself is only
 	// kept when Config.Trace asks for it.
 	traced := e.cfg.Trace || st.col.Enabled()
 	for iter < prog.MaxIter() {
 		rc.first = iter == 0
-		var it obs.IterationTrace
-		if traced {
-			it.Iter = iter + 1
-			it.TotalBlockRows = e.P.B
-			for _, a := range rc.active {
-				if a {
-					it.ActiveBlockRows++
-				}
-			}
-		}
 		if e.cfg.DisableCache {
 			// Ablation: redo the seed propagation every iteration.
 			fillIdentity(rc.sta, rc.ring)
 			e.pushSeeds(rc.x, rc.scale, rc.sta, rc.ring, w)
 		}
+		var it obs.IterationTrace
 		var d float64
 		if traced {
+			rc.planIteration()
+			it.Iter = iter + 1
+			it.TotalBlockRows = e.P.B
+			it.ActiveBlockRows = e.P.B - rc.emptyRows
+			it.FrontierNodes = rc.frontierNodes
+			it.FrontierEntries = rc.frontierEntries
+			it.DenseRows = rc.denseRows
+			it.SparseRows = rc.sparseRows
+			it.ScatterEntries = rc.scatterEntries
 			mark := time.Now()
 			sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
+			if rc.sparseTotal > 0 {
+				sched.ForRange(int(rc.sparseTotal), rc.threads, 0, rc.sparseScatterBody)
+			}
 			now := time.Now()
 			it.ScatterNs = now.Sub(mark).Nanoseconds()
 			st.m.scatterNs.Observe(it.ScatterNs)
@@ -386,6 +452,11 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 		} else {
 			d = rc.iterateMain()
 		}
+		ge := rc.drainedEdges()
+		stats.ScatterEntries += rc.scatterEntries
+		stats.GatherEdges += ge
+		stats.DenseRowIterations += int64(rc.denseRows)
+		stats.SparseRowIterations += int64(rc.sparseRows)
 		// Per-iteration skip accounting: rc.skipped is cumulative over the
 		// run, the engine counter mirrors it for live observation.
 		cur := rc.skipped.Load()
@@ -396,9 +467,17 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 		iter++
 		delta = d
 		if traced {
+			it.GatherEdges = ge
 			it.Delta = d
 			st.m.iterations.Inc()
 			st.m.activeRows.Set(int64(it.ActiveBlockRows))
+			st.m.denseRows.Add(int64(rc.denseRows))
+			st.m.sparseRows.Add(int64(rc.sparseRows))
+			st.m.scatterEntries.Add(rc.scatterEntries)
+			st.m.gatherEdges.Add(ge)
+			if ce := e.P.CompressedEntries; ce > 0 {
+				st.m.frontierDensity.Set(1000 * rc.frontierEntries / ce)
+			}
 			st.m.iterNs.Observe(it.TotalNs())
 			if e.cfg.Trace {
 				stats.Trace = append(stats.Trace, it)
@@ -406,9 +485,6 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 		}
 		if prog.Converged(delta, iter) {
 			break
-		}
-		if track {
-			rc.active, rc.nextActive = rc.nextActive, rc.active
 		}
 	}
 	stats.MainTime = time.Since(t1)
@@ -450,6 +526,11 @@ func (e *Engine) EffectiveConfig() map[string]string {
 	}
 	if e.cfg.DisableActiveTracking {
 		cfg["active_tracking"] = "off"
+	}
+	if e.cfg.DisableSparse || e.cfg.SparseDensity < 0 || e.cfg.DisableActiveTracking {
+		cfg["sparse"] = "off"
+	} else if e.cfg.SparseDensity != DefaultSparseDensity {
+		cfg["sparse_density"] = strconv.FormatFloat(e.cfg.SparseDensity, 'g', -1, 64)
 	}
 	switch {
 	case e.cfg.DegreeSortOrder:

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,7 +14,8 @@ import (
 // Workspace owns every piece of mutable per-run state for one engine run:
 // the x/y property arrays, per-node scale factors, the static (seed) bins,
 // the flat dynamic-bin array addressed through block.SubBlock.EntryOff, the
-// per-block-column delta accumulators, and the activity masks. The engine
+// per-block-column delta accumulators, and the frontier state (per-column
+// worklists, per-row mode decisions, per-column dirty flags). The engine
 // and its partition stay read-only during Run, which is what makes one
 // engine safe for concurrent callers — each run works entirely inside its
 // own workspace.
@@ -37,9 +40,23 @@ type Workspace struct {
 // Width returns the property width this workspace serves.
 func (ws *Workspace) Width() int { return ws.width }
 
+// Per-iteration execution mode of one block-row (see planIteration).
+const (
+	// modeDense streams every sub-block of the row, rewriting all bin
+	// entries (the classic SCGA Scatter).
+	modeDense uint8 = iota
+	// modeSparse walks only the row's frontier worklist through the
+	// partition's per-source entry index, rewriting just the changed
+	// sources' bin entries.
+	modeSparse
+	// modeEmpty skips the row entirely: no source changed, so every bin
+	// entry still holds its (valid) previous message.
+	modeEmpty
+)
+
 // runCtx is the per-run execution context embedded in a Workspace. Its
 // loop bodies are built ONCE at workspace construction and capture only the
-// runCtx pointer, so the Main-Phase hot loop — three sched.ForRange calls
+// runCtx pointer, so the Main-Phase hot loop — the sched.ForRange calls
 // per iteration — performs zero heap allocations when the workspace is
 // reused: no closures, no goroutines, no buffers.
 type runCtx struct {
@@ -50,26 +67,74 @@ type runCtx struct {
 	threads int
 	first   bool // current iteration is the first (Apply everywhere)
 
+	// track: per-node activity tracking is on (Config.DisableActiveTracking
+	// unset). canSparse: the sparse Scatter is available for this run
+	// (tracking on, sparse mode enabled, partition index built).
+	track     bool
+	canSparse bool
+	// markDirty: the current iteration's Scatter must record per-column
+	// dirty flags (track && !first; the first iteration recomputes every
+	// column unconditionally).
+	markDirty bool
+	// sparseEnter/sparseExit are the frontier-density thresholds of the
+	// dense→sparse/sparse→dense decisions (hysteresis: exit = 2×enter).
+	sparseEnter, sparseExit float64
+
 	x, y, out []float64 // x/y swap every iteration; out is the result sink
 	scale     []float64 // per-node Scale factors (len n)
 	sta       []float64 // static bins (len r*w)
 	bins      []float64 // flat dynamic bins (len CompressedEntries*w)
 	colDelta  []float64 // per-block-column convergence delta (len B)
 
-	// active[i]: block-row i's sources changed last iteration and must be
-	// re-scattered. nextActive doubles as the per-column changed flag the
-	// gather writes; the pair swaps between iterations when tracking is on.
-	active, nextActive []bool
+	// Frontier state. Gather records, per block-column j, the nodes whose
+	// Apply changed their value — exactly the sources block-row j must
+	// re-send next iteration (the grid is square, so column j's node range
+	// IS row j's source range). work is strided: column j's worklist lives
+	// at work[j*Side : j*Side+workLen[j]] (node ids, ascending). workEnt
+	// accumulates those nodes' compressed-entry counts for the density
+	// decision. colDirty[j] != 0 means some input source of column j
+	// changed this iteration (written by Scatter with atomic stores,
+	// consumed by Gather after the phase barrier).
+	work     []int32
+	workLen  []int32
+	workEnt  []int64
+	colDirty []uint32
 
-	// skipped counts sub-blocks skipped by the activity mask, cumulative
-	// over the run (exact even when other runs share the engine).
+	// Per-row mode state: rowMode is this iteration's execution mode,
+	// rowSticky the dense/sparse hysteresis state that persists across
+	// iterations (quiet rows keep their last preference).
+	rowMode   []uint8
+	rowSticky []uint8
+
+	// Compacted sparse-scatter domain, rebuilt by planIteration each
+	// iteration: the frontier nodes of all sparse-mode rows (ascending)
+	// with cumulative entry counts, so the sparse Scatter parallelizes
+	// over [0, sparseTotal) in ENTRY units — worklist-sized grains that
+	// split hub sources across workers instead of under-parallelizing on
+	// the (often tiny) node count.
+	sparseNodes []int32
+	sparseOff   []int64
+	sparseN     int
+	sparseTotal int64
+
+	// Plan outputs for the current iteration (coordinator-owned).
+	frontierNodes   int
+	frontierEntries int64
+	denseRows       int
+	sparseRows      int
+	emptyRows       int
+	scatterEntries  int64
+
+	// skipped counts sub-blocks skipped outright by the activity mask
+	// (their block-row had no changed source), cumulative over the run.
 	skipped atomic.Int64
 
-	initBody      func(lo, hi int)
-	scatterBody   func(lo, hi int)
-	cacheBody     func(lo, hi int)
-	gatherBody    func(lo, hi int)
-	translateBody func(lo, hi int)
+	initBody          func(lo, hi int)
+	scatterBody       func(lo, hi int)
+	sparseScatterBody func(lo, hi int)
+	cacheBody         func(lo, hi int)
+	gatherBody        func(lo, hi int)
+	translateBody     func(lo, hi int)
 }
 
 // NewWorkspace allocates a workspace for programs of the given property
@@ -100,8 +165,16 @@ func (e *Engine) newWorkspace(w int) *Workspace {
 	rc.sta = make([]float64, r*w)
 	rc.bins = make([]float64, e.P.CompressedEntries*int64(w))
 	rc.colDelta = make([]float64, e.P.B)
-	rc.active = make([]bool, e.P.B)
-	rc.nextActive = make([]bool, e.P.B)
+	// Worklist writes for column j land in [j*Side, j*Side+count) which is
+	// always within [0, r), so one r-sized array serves every column.
+	rc.work = make([]int32, r)
+	rc.workLen = make([]int32, e.P.B)
+	rc.workEnt = make([]int64, e.P.B)
+	rc.colDirty = make([]uint32, e.P.B)
+	rc.rowMode = make([]uint8, e.P.B)
+	rc.rowSticky = make([]uint8, e.P.B)
+	rc.sparseNodes = make([]int32, r)
+	rc.sparseOff = make([]int64, r+1)
 	rc.buildBodies()
 	return ws
 }
@@ -113,6 +186,107 @@ func (e *Engine) workspacePool(w int) *sync.Pool {
 	}
 	p, _ := e.wsPools.LoadOrStore(w, &sync.Pool{New: func() any { return e.newWorkspace(w) }})
 	return p.(*sync.Pool)
+}
+
+// planIteration is the per-iteration coordinator step that turns last
+// iteration's per-column worklists into this iteration's scatter plan:
+// each block-row is classified empty (skip — bins still valid), sparse
+// (walk the frontier through the source index) or dense (stream the row),
+// with a Ligra-style density threshold plus hysteresis deciding between
+// the two scatter bodies. Sparse rows' worklists are compacted into the
+// flat entry-weighted domain the sparse body parallelizes over. O(B +
+// frontier) on the coordinating goroutine, allocation-free.
+func (rc *runCtx) planIteration() {
+	p := rc.e.P
+	b := p.B
+	for j := range rc.colDirty {
+		rc.colDirty[j] = 0
+	}
+	rc.sparseN, rc.sparseTotal = 0, 0
+	rc.frontierNodes, rc.frontierEntries = 0, 0
+	rc.denseRows, rc.sparseRows, rc.emptyRows = 0, 0, 0
+	rc.scatterEntries = 0
+	rc.markDirty = rc.track && !rc.first
+	if rc.first || !rc.track {
+		// Everything is (potentially) changed: stream every row densely.
+		for i := range rc.rowMode {
+			rc.rowMode[i] = modeDense
+		}
+		rc.denseRows = b
+		rc.frontierNodes = p.R
+		rc.frontierEntries = p.CompressedEntries
+		rc.scatterEntries = p.CompressedEntries
+		return
+	}
+	sep := p.SrcEntryPtr
+	side := p.Side
+	var skipped int64
+	for i := 0; i < b; i++ {
+		cnt := int(rc.workLen[i])
+		rc.frontierNodes += cnt
+		if cnt == 0 || p.RowEntries[i] == 0 {
+			// No changed source (or the row feeds no blocks at all): the
+			// bins keep their previous, still-valid messages.
+			rc.rowMode[i] = modeEmpty
+			rc.emptyRows++
+			skipped += int64(len(p.Rows[i]))
+			continue
+		}
+		fe := rc.workEnt[i]
+		rc.frontierEntries += fe
+		sticky := rc.rowSticky[i]
+		if rc.canSparse {
+			d := float64(fe) / float64(p.RowEntries[i])
+			if sticky == modeSparse {
+				if d >= rc.sparseExit {
+					sticky = modeDense
+				}
+			} else if d < rc.sparseEnter {
+				sticky = modeSparse
+			}
+			rc.rowSticky[i] = sticky
+		} else {
+			sticky = modeDense
+		}
+		if sticky == modeSparse {
+			rc.rowMode[i] = modeSparse
+			rc.sparseRows++
+			rc.scatterEntries += fe
+			base := rc.sparseN
+			copy(rc.sparseNodes[base:base+cnt], rc.work[i*side:i*side+cnt])
+			cum := rc.sparseOff[base]
+			for k := 0; k < cnt; k++ {
+				u := int(rc.sparseNodes[base+k])
+				cum += sep[u+1] - sep[u]
+				rc.sparseOff[base+k+1] = cum
+			}
+			rc.sparseN = base + cnt
+		} else {
+			rc.rowMode[i] = modeDense
+			rc.denseRows++
+			rc.scatterEntries += p.RowEntries[i]
+		}
+	}
+	rc.sparseTotal = rc.sparseOff[rc.sparseN]
+	if skipped != 0 {
+		rc.skipped.Add(skipped)
+	}
+}
+
+// drainedEdges returns the edges Gather replayed this iteration: the edge
+// total of every recomputed block-column. O(B), coordinator-only.
+func (rc *runCtx) drainedEdges() int64 {
+	p := rc.e.P
+	if rc.first || !rc.track {
+		return p.Nnz
+	}
+	var ge int64
+	for j := 0; j < p.B; j++ {
+		if atomic.LoadUint32(&rc.colDirty[j]) != 0 {
+			ge += p.ColEdges[j]
+		}
+	}
+	return ge
 }
 
 // buildBodies constructs the prebuilt loop bodies. Each closure captures
@@ -131,33 +305,47 @@ func (rc *runCtx) buildBodies() {
 		}
 	}
 
-	// Scatter (SCGA): fill each active sub-block's dynamic bin with the
-	// compressed source values. Bins are disjoint per sub-block, so no
-	// synchronisation is needed; inactive block-rows keep their previous
-	// (still valid) bin contents.
+	// Scatter, dense body (SCGA): stream each dense-mode sub-block,
+	// rewriting its full dynamic bin with the compressed source values.
+	// Bins are disjoint per sub-block, so no synchronisation is needed;
+	// empty rows keep their previous (still valid) bin contents and
+	// sparse rows are handled by sparseScatterBody.
 	rc.scatterBody = func(lo, hi int) {
 		blocks := rc.e.P.Blocks
 		x, scale, w, ring := rc.x, rc.scale, rc.w, rc.ring
-		var skipped int64
+		mark := rc.markDirty
 		for bi := lo; bi < hi; bi++ {
 			sb := blocks[bi]
-			if !rc.active[sb.BlockRow] {
-				skipped++
+			if rc.rowMode[sb.BlockRow] != modeDense {
 				continue
 			}
+			if mark {
+				atomic.StoreUint32(&rc.colDirty[sb.BlockCol], 1)
+			}
 			off := int(sb.EntryOff) * w
-			vals := rc.bins[off : off+len(sb.Srcs)*w]
-			if ring == vprog.Sum {
-				if w == 1 {
-					for k, s := range sb.Srcs {
+			srcs := sb.Srcs
+			if w == 1 {
+				// Reslicing to len(srcs) lets the compiler drop the
+				// bounds check on vals[k] (k ranges over srcs).
+				vals := rc.bins[off : off+len(srcs)]
+				vals = vals[:len(srcs)]
+				if ring == vprog.Sum {
+					for k, s := range srcs {
 						vals[k] = x[s] * scale[s]
 					}
-					continue
+				} else {
+					for k, s := range srcs {
+						vals[k] = x[s] + scale[s]
+					}
 				}
+				continue
+			}
+			vals := rc.bins[off : off+len(srcs)*w]
+			if ring == vprog.Sum {
 				// Hoisted per-source subslices: ranging over xb and
 				// indexing the same-length vb lets the compiler drop the
 				// bounds checks in the lane loop.
-				for k, s := range sb.Srcs {
+				for k, s := range srcs {
 					sc := scale[s]
 					base := int(s) * w
 					xb := x[base : base+w]
@@ -169,7 +357,7 @@ func (rc *runCtx) buildBodies() {
 				}
 				continue
 			}
-			for k, s := range sb.Srcs {
+			for k, s := range srcs {
 				sc := scale[s]
 				base := int(s) * w
 				xb := x[base : base+w]
@@ -180,8 +368,72 @@ func (rc *runCtx) buildBodies() {
 				}
 			}
 		}
-		if skipped != 0 {
-			rc.skipped.Add(skipped)
+	}
+
+	// Scatter, sparse body: walk the compacted frontier through the
+	// partition's per-source entry index, rewriting only the changed
+	// sources' bin entries and marking their destination columns dirty.
+	// The iteration domain is [0, sparseTotal) in ENTRY units; a chunk
+	// [lo, hi) maps back to worklist items via the cumulative sparseOff,
+	// so a hub source's entries split cleanly across workers (bin slots
+	// are per-source disjoint, and two workers never share a slot).
+	rc.sparseScatterBody = func(lo, hi int) {
+		p := rc.e.P
+		x, scale, w, ring, bins := rc.x, rc.scale, rc.w, rc.ring, rc.bins
+		nodes := rc.sparseNodes[:rc.sparseN]
+		off := rc.sparseOff[: rc.sparseN+1 : rc.sparseN+1]
+		sep := p.SrcEntryPtr
+		lo64, hi64 := int64(lo), int64(hi)
+		it := sort.Search(len(nodes), func(i int) bool { return off[i+1] > lo64 })
+		for ; it < len(nodes) && off[it] < hi64; it++ {
+			u := int(nodes[it])
+			s, t := sep[u], sep[u+1]
+			if d := lo64 - off[it]; d > 0 {
+				s += d
+			}
+			if over := off[it] + (sep[u+1] - sep[u]) - hi64; over > 0 {
+				t -= over
+			}
+			ents := p.SrcEntryIdx[s:t]
+			cols := p.SrcEntryCol[s:t]
+			cols = cols[:len(ents)]
+			if w == 1 {
+				var v float64
+				if ring == vprog.Sum {
+					v = x[u] * scale[u]
+				} else {
+					v = x[u] + scale[u]
+				}
+				for k, ei := range ents {
+					bins[ei] = v
+					atomic.StoreUint32(&rc.colDirty[cols[k]], 1)
+				}
+				continue
+			}
+			sc := scale[u]
+			base := u * w
+			xb := x[base : base+w]
+			if ring == vprog.Sum {
+				for k, ei := range ents {
+					eb := int(ei) * w
+					vb := bins[eb : eb+w]
+					vb = vb[:len(xb)]
+					for l, xv := range xb {
+						vb[l] = xv * sc
+					}
+					atomic.StoreUint32(&rc.colDirty[cols[k]], 1)
+				}
+				continue
+			}
+			for k, ei := range ents {
+				eb := int(ei) * w
+				vb := bins[eb : eb+w]
+				vb = vb[:len(xb)]
+				for l, xv := range xb {
+					vb[l] = xv + sc
+				}
+				atomic.StoreUint32(&rc.colDirty[cols[k]], 1)
+			}
 		}
 	}
 
@@ -192,62 +444,75 @@ func (rc *runCtx) buildBodies() {
 	}
 
 	// Gather+Apply (SCGA): drain the dynamic bins column-by-column, then
-	// apply the user function over the column's node range. When every
-	// block-row feeding a column was inactive, the column's inputs are
-	// unchanged — copy the previous values forward and skip the gather
-	// (valid because Apply is a pure function of the gathered sum, the same
-	// contract the deferred sink Post-Phase requires).
+	// apply the user function over the column's node range, recording the
+	// changed nodes as next iteration's frontier. When no input source of
+	// a column changed this iteration, its inputs are unchanged — copy the
+	// previous values forward and skip the gather (valid because Apply is
+	// a pure function of the gathered sum, the same contract the deferred
+	// sink Post-Phase requires).
 	rc.gatherBody = func(lo, hi int) {
 		p := rc.e.P
 		f := rc.e.F
 		r := f.NumRegular
 		x, y, w, ring := rc.x, rc.y, rc.w, rc.ring
 		prog := rc.prog
+		track := rc.track
+		sep := p.SrcEntryPtr
+		side := p.Side
 		// Per-call staging buffer for one source's lanes (stack-allocated,
 		// so safe under concurrent body invocations).
 		var laneBuf [16]float64
 		for j := lo; j < hi; j++ {
 			// The first iteration must Apply everywhere (seed-only columns
-			// have no sub-blocks yet carry static contributions).
-			anyActive := rc.first
-			if !anyActive {
-				for _, sb := range p.Cols[j] {
-					if rc.active[sb.BlockRow] {
-						anyActive = true
-						break
-					}
-				}
-			}
-			if !anyActive {
-				clo := j * p.Side * w
-				chi := clo + p.Side*w
+			// have no sub-blocks yet carry static contributions); with
+			// tracking off every column recomputes every iteration.
+			dirty := rc.first || !track || atomic.LoadUint32(&rc.colDirty[j]) != 0
+			if !dirty {
+				clo := j * side * w
+				chi := clo + side*w
 				if chi > r*w {
 					chi = r * w
 				}
 				copy(y[clo:chi], x[clo:chi])
 				rc.colDelta[j] = 0
-				rc.nextActive[j] = false
+				rc.workLen[j] = 0
+				rc.workEnt[j] = 0
 				continue
 			}
 			for _, sb := range p.Cols[j] {
 				off := int(sb.EntryOff) * w
-				vals := rc.bins[off : off+len(sb.Srcs)*w]
-				if ring == vprog.Sum {
-					if w == 1 {
-						for k := range sb.Srcs {
+				srcs := sb.Srcs
+				if w == 1 {
+					vals := rc.bins[off : off+len(srcs)]
+					vals = vals[:len(srcs)]
+					ds := sb.DstStart[: len(srcs)+1 : len(srcs)+1]
+					if ring == vprog.Sum {
+						for k := range srcs {
 							v := vals[k]
-							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							for _, d := range sb.DstIdx[ds[k]:ds[k+1]] {
 								y[d] += v
 							}
 						}
-						continue
+					} else {
+						for k := range srcs {
+							v := vals[k]
+							for _, d := range sb.DstIdx[ds[k]:ds[k+1]] {
+								if v < y[d] {
+									y[d] = v
+								}
+							}
+						}
 					}
+					continue
+				}
+				vals := rc.bins[off : off+len(srcs)*w]
+				if ring == vprog.Sum {
 					// Unrolled small widths: the source's lanes live in
 					// registers across the destination loop, and the
 					// constant-length reslice needs one bounds check per
 					// destination.
 					if w == 2 {
-						for k := range sb.Srcs {
+						for k := range srcs {
 							v0, v1 := vals[k*2], vals[k*2+1]
 							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 								yb := y[int(d)*2:][:2]
@@ -258,7 +523,7 @@ func (rc *runCtx) buildBodies() {
 						continue
 					}
 					if w == 4 {
-						for k := range sb.Srcs {
+						for k := range srcs {
 							v0, v1 := vals[k*4], vals[k*4+1]
 							v2, v3 := vals[k*4+2], vals[k*4+3]
 							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
@@ -278,7 +543,7 @@ func (rc *runCtx) buildBodies() {
 					// lanes in a local buffer — the compiler cannot prove
 					// vals and y are disjoint, so reading vb directly would
 					// reload every lane from memory at every destination.
-					for k := range sb.Srcs {
+					for k := range srcs {
 						vb := vals[k*w : k*w+w]
 						if w <= len(laneBuf) {
 							lanes := laneBuf[:w]
@@ -305,7 +570,7 @@ func (rc *runCtx) buildBodies() {
 					continue
 				}
 				if w == 2 {
-					for k := range sb.Srcs {
+					for k := range srcs {
 						v0, v1 := vals[k*2], vals[k*2+1]
 						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
 							yb := y[int(d)*2:][:2]
@@ -320,7 +585,7 @@ func (rc *runCtx) buildBodies() {
 					continue
 				}
 				if w == 4 {
-					for k := range sb.Srcs {
+					for k := range srcs {
 						v0, v1 := vals[k*4], vals[k*4+1]
 						v2, v3 := vals[k*4+2], vals[k*4+3]
 						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
@@ -341,7 +606,7 @@ func (rc *runCtx) buildBodies() {
 					}
 					continue
 				}
-				for k := range sb.Srcs {
+				for k := range srcs {
 					vb := vals[k*w : k*w+w]
 					if w <= len(laneBuf) {
 						lanes := laneBuf[:w]
@@ -370,24 +635,71 @@ func (rc *runCtx) buildBodies() {
 					}
 				}
 			}
-			// Apply over this block-column's node range.
-			clo := j * p.Side
-			chi := clo + p.Side
+			// Apply over this block-column's node range. With tracking on,
+			// changed nodes become block-row j's frontier worklist for the
+			// next iteration (per-node quiescence: a zero Apply delta means
+			// out == prev, the vprog.Program contract).
+			clo := j * side
+			chi := clo + side
 			if chi > r {
 				chi = r
 			}
 			var d float64
-			changed := false
 			for v := clo; v < chi; v++ {
 				old := uint32(f.OldID[v])
-				dv := prog.Apply(old, y[v*w:v*w+w], x[v*w:v*w+w], y[v*w:v*w+w])
-				d += dv
-				if dv != 0 {
-					changed = true
-				}
+				d += prog.Apply(old, y[v*w:v*w+w], x[v*w:v*w+w], y[v*w:v*w+w])
 			}
 			rc.colDelta[j] = d
-			rc.nextActive[j] = changed
+			if track {
+				// Frontier recording is a separate bitwise x-vs-y compare
+				// pass, NOT folded into the Apply loop: keeping the worklist
+				// counters live across the opaque Apply call costs far more
+				// in spilled registers than this second (branch-light,
+				// cache-hot) sweep. Bit-equality is also the exact criterion
+				// the skip machinery needs — a source must re-send iff its
+				// output bits changed — independent of the delta the program
+				// reports.
+				wl := rc.work[clo:chi]
+				sl := sep[clo : chi+1 : chi+1]
+				cnt := 0
+				var fe int64
+				if w == 1 {
+					xb := x[clo:chi]
+					yb := y[clo:chi]
+					yb = yb[:len(xb)]
+					for k, xv := range xb {
+						// Branchless: the worklist slot is written
+						// unconditionally (cnt only advances on a change, so
+						// a non-change's write lands on a slot the next
+						// change overwrites) and the counters advance by
+						// conditional moves, so a mixed changed/quiet column
+						// costs no mispredictions.
+						wl[cnt] = int32(clo + k)
+						e := sl[k+1] - sl[k]
+						if math.Float64bits(yb[k]) != math.Float64bits(xv) {
+							cnt++
+							fe += e
+						}
+					}
+				} else {
+					for v := clo; v < chi; v++ {
+						xb := x[v*w : v*w+w]
+						yb := y[v*w : v*w+w]
+						yb = yb[:len(xb)]
+						for l, xv := range xb {
+							if math.Float64bits(yb[l]) != math.Float64bits(xv) {
+								k := v - clo
+								wl[cnt] = int32(v)
+								cnt++
+								fe += sl[k+1] - sl[k]
+								break
+							}
+						}
+					}
+				}
+				rc.workLen[j] = int32(cnt)
+				rc.workEnt[j] = fe
+			}
 		}
 	}
 
@@ -402,13 +714,18 @@ func (rc *runCtx) buildBodies() {
 	}
 }
 
-// iterateMain executes the three Main-Phase steps of one iteration —
-// Scatter, Cache, Gather+Apply — and returns the summed convergence delta.
-// This is the zero-allocation hot path: prebuilt bodies, pooled scheduler
-// jobs, no buffers (asserted by TestMainPhaseIterationAllocatesNothing).
+// iterateMain executes one full Main-Phase iteration — the coordinator
+// plan step, Scatter (dense rows + sparse worklists), Cache, Gather+Apply
+// — and returns the summed convergence delta. This is the zero-allocation
+// hot path: prebuilt bodies, pooled scheduler jobs, no buffers (asserted
+// by TestMainPhaseIterationAllocatesNothing).
 func (rc *runCtx) iterateMain() float64 {
 	e := rc.e
+	rc.planIteration()
 	sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
+	if rc.sparseTotal > 0 {
+		sched.ForRange(int(rc.sparseTotal), rc.threads, 0, rc.sparseScatterBody)
+	}
 	sched.ForRange(e.F.NumRegular*rc.w, rc.threads, 8192, rc.cacheBody)
 	sched.ForRange(e.P.B, rc.threads, 1, rc.gatherBody)
 	var total float64

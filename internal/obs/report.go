@@ -42,8 +42,23 @@ type IterationTrace struct {
 	// iteration: how many block-rows had to be re-scattered.
 	ActiveBlockRows int `json:"active_block_rows"`
 	TotalBlockRows  int `json:"total_block_rows"`
-	// SkippedBlocks counts sub-blocks whose Scatter was skipped.
+	// SkippedBlocks counts sub-blocks whose Scatter was skipped. The unit
+	// is sub-blocks in every engine path.
 	SkippedBlocks int64 `json:"skipped_blocks"`
+	// FrontierNodes / FrontierEntries size the iteration's frontier: the
+	// nodes whose value changed last iteration and the dynamic-bin entries
+	// those nodes own. On the first iteration (or with tracking off) the
+	// frontier is the whole regular set.
+	FrontierNodes   int   `json:"frontier_nodes,omitempty"`
+	FrontierEntries int64 `json:"frontier_entries,omitempty"`
+	// DenseRows / SparseRows count the iteration's per-block-row mode
+	// decisions (skipped rows are ActiveBlockRows' complement).
+	DenseRows  int `json:"dense_rows,omitempty"`
+	SparseRows int `json:"sparse_rows,omitempty"`
+	// ScatterEntries / GatherEdges measure the work actually done: bin
+	// entries (re)written by Scatter and edges replayed by Gather.
+	ScatterEntries int64 `json:"scatter_entries,omitempty"`
+	GatherEdges    int64 `json:"gather_edges,omitempty"`
 }
 
 // TotalNs returns the iteration's traced time.
@@ -147,33 +162,41 @@ func (r *RunReport) FormatSummary() string {
 
 // FormatTimeline renders the per-iteration trace as a table:
 //
-//	iter   scatter     cache    gather       delta   active  skipped
-//	   1   1.21ms    0.18ms    3.02ms   1.4e-01     12/12        0
+//	iter   scatter     cache    gather       delta   active  dn/sp     front      entries    edges  skipped
+//	   1   1.21ms    0.18ms    3.02ms   1.4e-01     12/12   12/0       4096       131072   911842        0
+//
+// dn/sp are the iteration's dense/sparse block-row mode decisions, front
+// the frontier node count, entries the bin entries Scatter rewrote, edges
+// the edges Gather replayed.
 func FormatTimeline(trace []IterationTrace) string {
 	if len(trace) == 0 {
 		return "trace: (empty)"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s %11s %11s %11s %12s %11s %9s\n",
-		"iter", "scatter", "cache", "gather", "delta", "active", "skipped")
-	var scatter, cache, gather, skipped int64
+	fmt.Fprintf(&b, "%5s %11s %11s %11s %12s %11s %9s %9s %12s %12s %9s\n",
+		"iter", "scatter", "cache", "gather", "delta", "active", "dn/sp", "front", "entries", "edges", "skipped")
+	var scatter, cache, gather, skipped, entries, edges int64
 	for _, it := range trace {
-		fmt.Fprintf(&b, "%5d %11s %11s %11s %12.4g %5d/%-5d %9d\n",
+		fmt.Fprintf(&b, "%5d %11s %11s %11s %12.4g %5d/%-5d %4d/%-4d %9d %12d %12d %9d\n",
 			it.Iter,
 			time.Duration(it.ScatterNs).Round(time.Microsecond),
 			time.Duration(it.CacheNs).Round(time.Microsecond),
 			time.Duration(it.GatherNs).Round(time.Microsecond),
-			it.Delta, it.ActiveBlockRows, it.TotalBlockRows, it.SkippedBlocks)
+			it.Delta, it.ActiveBlockRows, it.TotalBlockRows,
+			it.DenseRows, it.SparseRows, it.FrontierNodes,
+			it.ScatterEntries, it.GatherEdges, it.SkippedBlocks)
 		scatter += it.ScatterNs
 		cache += it.CacheNs
 		gather += it.GatherNs
 		skipped += it.SkippedBlocks
+		entries += it.ScatterEntries
+		edges += it.GatherEdges
 	}
-	fmt.Fprintf(&b, "%5s %11s %11s %11s %12s %11s %9d\n",
+	fmt.Fprintf(&b, "%5s %11s %11s %11s %12s %11s %9s %9s %12d %12d %9d\n",
 		"total",
 		time.Duration(scatter).Round(time.Microsecond),
 		time.Duration(cache).Round(time.Microsecond),
 		time.Duration(gather).Round(time.Microsecond),
-		"", "", skipped)
+		"", "", "", "", entries, edges, skipped)
 	return b.String()
 }

@@ -143,6 +143,53 @@ func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 	}, in)
 }
 
+// ForWeighted runs body over item ranges of [0, n) where item i carries
+// cost off[i+1]-off[i] (off is a length n+1 cumulative cost array, as in a
+// CSR pointer array). Chunks are cut along ITEM boundaries but sized by
+// COST, targeting roughly 16 cost-balanced chunks per worker, so a skewed
+// cost distribution (hub rows, frontier worklists) does not reduce to a
+// handful of item-counted chunks that under-parallelize the loop.
+//
+// minGrain <= 0 selects the automatic grain total/(threads*16). A single
+// item whose cost exceeds the grain forms its own chunk (items are never
+// split; callers that can subdivide an item should iterate the cost domain
+// directly with ForRange).
+func ForWeighted(off []int64, threads int, minGrain int64, body func(itemLo, itemHi int)) {
+	n := len(off) - 1
+	if n <= 0 {
+		return
+	}
+	total := off[n] - off[0]
+	threads = normalize(threads)
+	if minGrain <= 0 {
+		minGrain = total / int64(threads*16)
+		if minGrain < 1 {
+			minGrain = 1
+		}
+	}
+	// Pre-cut the item space into cost-balanced chunks, then schedule the
+	// chunks dynamically like any other loop.
+	chunkEnd := make([]int, 0, threads*16+1)
+	start := 0
+	for start < n {
+		end := start + 1
+		for end < n && off[end+1]-off[start] <= minGrain {
+			end++
+		}
+		chunkEnd = append(chunkEnd, end)
+		start = end
+	}
+	ForRange(len(chunkEnd), threads, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ilo := 0
+			if c > 0 {
+				ilo = chunkEnd[c-1]
+			}
+			body(ilo, chunkEnd[c])
+		}
+	})
+}
+
 // SumFloat64 computes a parallel reduction sum_{i in [0,n)} value(i).
 // Partial sums are accumulated per worker and combined once, so no atomics
 // are needed on the hot path.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -148,4 +149,69 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestForWeightedCoversAllItems(t *testing.T) {
+	// Skewed cost profile: one hub item dominating, many cheap items.
+	n := 500
+	off := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		c := int64(1)
+		if i == 37 {
+			c = 100000
+		}
+		off[i+1] = off[i] + c
+	}
+	for _, threads := range []int{1, 3, 8} {
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		ForWeighted(off, threads, 0, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: item %d visited %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestForWeightedChunksAreCostBalanced(t *testing.T) {
+	// Uniform cost 10 per item, grain 25: every chunk must stop within one
+	// item of the grain (items are never split).
+	n := 100
+	off := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + 10
+	}
+	var mu sync.Mutex
+	var chunkCosts []int64
+	ForWeighted(off, 4, 25, func(lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		chunkCosts = append(chunkCosts, off[hi]-off[lo])
+	})
+	var total int64
+	for _, c := range chunkCosts {
+		if c > 30 { // grain 25 rounded up to the next item boundary
+			t.Fatalf("chunk cost %d exceeds grain+item", c)
+		}
+		total += c
+	}
+	if total != off[n] {
+		t.Fatalf("chunk costs sum to %d, want %d", total, off[n])
+	}
+}
+
+func TestForWeightedEmpty(t *testing.T) {
+	called := false
+	ForWeighted([]int64{0}, 4, 0, func(lo, hi int) { called = true })
+	ForWeighted(nil, 4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty item set")
+	}
 }

@@ -147,6 +147,12 @@ func (b *Batch) Scale(u uint32) float64 {
 // during an engine's deferred post-phase, where every lane applies —
 // deferred nodes are evaluated exactly once, from sources the freeze kept
 // at the lane's own convergence point.
+//
+// The fused return value is the sum of the lanes' (non-negative) deltas,
+// so it satisfies the Program quiescence contract as the OR of the lane
+// frontiers: zero exactly when no lane changed the node, which is what
+// lets a frontier-tracking engine treat the whole width-K property as one
+// activation unit.
 func (b *Batch) Apply(v uint32, sum, prev, out []float64) float64 {
 	var total float64
 	k := len(b.progs)

@@ -79,6 +79,20 @@ type Program interface {
 	// Apply computes the new property of node v from the gathered sum and
 	// the previous property, writing it to out (which may alias sum). It
 	// returns this node's contribution to the convergence delta.
+	//
+	// Quiescence contract: the return value doubles as a per-node
+	// activation signal. A return of exactly 0 asserts out == prev
+	// bit-for-bit (the node is quiescent this iteration); any change to
+	// the node's property must return a nonzero delta. Engines rely on
+	// this to build frontiers — a zero-delta node's neighbours may skip
+	// re-reading it — so an implementation that damps its delta below
+	// the contract (e.g. rounding tiny changes to 0) silently freezes
+	// propagation. Apply must also be a pure function of (v, sum, prev):
+	// engines with activity tracking skip Apply entirely for nodes whose
+	// gathered sum is unchanged and carry the previous value forward,
+	// and Mixen's Post-Phase defers sink evaluation on the same grounds.
+	// Width>1 programs (vprog.Batch) OR their lanes: the fused delta is
+	// nonzero iff any lane's property changed.
 	Apply(v uint32, sum, prev, out []float64) float64
 	// Converged reports whether iteration may stop after iter full
 	// iterations produced the given total delta.

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — PR-level benchmark snapshot.
 #
-# Runs the width-sweep microbenchmarks (benchstat-comparable raw output)
-# and the batched-serving study, then bundles both into BENCH_PR3.json.
+# Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
+# entry), the engine-level BenchmarkPageRank, and the sparse-frontier
+# study, then bundles everything into BENCH_PR4.json. When a committed
+# BENCH_PR3.bench.txt exists and benchstat is installed, it also emits a
+# benchstat comparison of BenchmarkMainPhaseWidth* against that baseline.
 # Artifacts:
-#   BENCH_PR3.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR4.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR3.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR4.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -16,22 +19,41 @@ outdir="${1:-.}"
 mkdir -p "$outdir"
 
 count="${BENCH_COUNT:-5}"
-benchtxt="$outdir/BENCH_PR3.bench.txt"
-json="$outdir/BENCH_PR3.json"
+benchtxt="$outdir/BENCH_PR4.bench.txt"
+json="$outdir/BENCH_PR4.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
     ./internal/core/ | tee "$benchtxt" >&2
 
-echo ">> batched-serving study (mixenbench -experiment batch)" >&2
-batchtxt="$(mktemp)"
-trap 'rm -f "$batchtxt"' EXIT
-go run ./cmd/mixenbench -experiment batch -graphs "${BENCH_GRAPHS:-weibo,wiki}" \
-    -shrink "${BENCH_SHRINK:-8}" | tee "$batchtxt" >&2
+echo ">> microbenchmarks: engine-level PageRank (count=$count)" >&2
+go test -run=NONE -bench 'BenchmarkPageRank' -benchmem -count="$count" \
+    . | tee -a "$benchtxt" >&2
+
+echo ">> sparse-frontier study (mixenbench -experiment frontier)" >&2
+fronttxt="$(mktemp)"
+benchstattxt="$(mktemp)"
+trap 'rm -f "$fronttxt" "$benchstattxt"' EXIT
+go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
+    -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
+
+# benchstat vs the committed PR3 baseline (width-sweep lines only; the
+# PR3 snapshot carries no BenchmarkPageRank entries). Informational —
+# missing benchstat or a missing baseline must not fail the snapshot.
+benchstat_ok=false
+if [ -f BENCH_PR3.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR3.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+    benchstat_ok=true
+    echo ">> benchstat vs BENCH_PR3.bench.txt" >&2
+    cat "$benchstattxt" >&2
+  fi
+else
+  echo ">> benchstat or BENCH_PR3.bench.txt unavailable; skipping comparison" >&2
+fi
 
 {
   echo '{'
-  echo '  "bench": "PR3 batched multi-query execution",'
+  echo '  "bench": "PR4 sparsity-aware SCGA execution",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -49,14 +71,28 @@ go run ./cmd/mixenbench -experiment batch -graphs "${BENCH_GRAPHS:-weibo,wiki}" 
   } END { print "" }' "$benchtxt"
   echo '  ],'
 
-  # Parsed batch-study rows: Graph K par_qps batch_qps speedup model sim identical.
-  echo '  "batch_study": ['
-  awk '$2 ~ /^[0-9]+$/ && $1 != "Graph" && NF >= 8 {
+  # Parsed frontier-study rows:
+  # Graph iter dense_ms sparse_ms speedup entries entries(sp) last-iter 1st-sp sp-rows identical.
+  echo '  "frontier_study": ['
+  awk '$2 ~ /^[0-9]+$/ && $1 != "Graph" && NF >= 11 {
     sp = $5; sub(/x$/, "", sp)
-    printf "%s    {\"graph\": \"%s\", \"k\": %s, \"parallel_qps\": %s, \"batch_qps\": %s, \"speedup\": %s, \"model_bytes_per_query\": %s, \"sim_bytes_per_query\": %s, \"identical\": %s}", sep, $1, $2, $3, $4, sp, $6, $7, $8
+    lf = $8; sub(/%$/, "", lf)
+    printf "%s    {\"graph\": \"%s\", \"iterations\": %s, \"dense_ms\": %s, \"sparse_ms\": %s, \"speedup\": %s, \"dense_entries\": %s, \"sparse_entries\": %s, \"last_iter_entry_pct\": %s, \"first_sparse_iter\": %s, \"sparse_row_iters\": %s, \"identical\": %s}", \
+      sep, $1, $2, $3, $4, sp, $6, $7, lf, $9, $10, $11
     sep = ",\n"
-  } END { print "" }' "$batchtxt"
+  } END { print "" }' "$fronttxt"
   echo '  ],'
+
+  # benchstat output vs the committed PR3 width-sweep baseline, when available.
+  if $benchstat_ok; then
+    echo '  "benchstat_vs_pr3": ['
+    awk 'NF {
+      gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
+      printf "%s    \"%s\"", sep, $0
+      sep = ",\n"
+    } END { print "" }' "$benchstattxt"
+    echo '  ],'
+  fi
 
   # Raw bench lines, verbatim, for benchstat-style tooling downstream.
   echo '  "raw_bench": ['
