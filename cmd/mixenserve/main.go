@@ -1,0 +1,124 @@
+// mixenserve answers link-analysis queries over one preprocessed graph via
+// HTTP. The graph is loaded and partitioned once at startup; every query
+// then runs against the shared immutable engine, batchable queries fusing
+// through the Batcher into wide passes. Admission control bounds work in
+// flight (excess load is shed with 429 + Retry-After), per-request
+// deadlines cancel engine runs cooperatively, and SIGINT/SIGTERM drains
+// in-flight queries before exit.
+//
+//	mixenserve -preset web-skew -addr :8080
+//	curl 'localhost:8080/v1/query?algo=pagerank&top=5'
+//	curl 'localhost:8080/v1/query?algo=ppr&sources=1,2,3&timeout=500ms'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mixen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		preset   = flag.String("preset", "", "named dataset (see mixenrun -list)")
+		shrink   = flag.Int("shrink", 0, "shrink factor for -preset (0 = full size)")
+		edgelist = flag.String("edgelist", "", "path to a whitespace edge-list file")
+		threads  = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+
+		maxConc    = flag.Int("max-concurrent", 4, "queries executing at once")
+		maxQueue   = flag.Int("max-queue", 16, "queries waiting behind the executing ones before shedding with 429")
+		timeout    = flag.Duration("timeout", 2*time.Second, "default per-query deadline (requests may override with timeout=)")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Second, "upper bound on any request's deadline")
+		maxIters   = flag.Int("max-iters", 1000, "upper bound on any request's iteration budget")
+		iters      = flag.Int("iters", 100, "default iteration budget")
+
+		batch     = flag.Int("batch", 8, "batcher max fused width (0 disables batching)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "batcher window: how long a query waits for companions")
+
+		grace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget for in-flight queries on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*preset, *shrink, *edgelist)
+	if err != nil {
+		fail(err)
+	}
+	reg := mixen.NewMetricsRegistry()
+	eng, err := mixen.New(g, mixen.Config{Threads: *threads, Collector: reg})
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := serverConfig{
+		maxConcurrent:  *maxConc,
+		maxQueue:       *maxQueue,
+		defaultTimeout: *timeout,
+		maxTimeout:     *maxTimeout,
+		maxIters:       *maxIters,
+		defaultIters:   *iters,
+		useBatcher:     *batch > 0,
+	}
+	bcfg := mixen.BatcherConfig{MaxBatch: *batch, MaxWait: *batchWait}
+	s := newServer(g, eng, reg, cfg, bcfg)
+	mixen.PublishExpvar("mixen", reg)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mixenserve: serving %d nodes / %d edges on %s (max-concurrent=%d max-queue=%d)",
+		g.NumNodes(), g.NumEdges(), *addr, cfg.maxConcurrent, cfg.maxQueue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err) // listener died before any signal
+	case <-ctx.Done():
+	}
+	stop() // second signal kills immediately
+
+	log.Printf("mixenserve: draining (grace %s)", *grace)
+	dctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener first so no new connections land, then drain the
+	// queries already past admission.
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("mixenserve: listener shutdown: %v", err)
+	}
+	if err := s.Shutdown(dctx); err != nil {
+		log.Printf("mixenserve: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("mixenserve: drained cleanly")
+}
+
+func loadGraph(preset string, shrink int, edgelist string) (*mixen.Graph, error) {
+	switch {
+	case preset != "" && edgelist != "":
+		return nil, fmt.Errorf("specify only one of -preset, -edgelist")
+	case preset != "":
+		return mixen.Dataset(preset, shrink)
+	case edgelist != "":
+		f, err := os.Open(edgelist)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mixen.ReadEdgeList(f, 0)
+	default:
+		return nil, fmt.Errorf("specify -preset or -edgelist")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mixenserve:", err)
+	os.Exit(1)
+}

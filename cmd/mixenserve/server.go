@@ -1,0 +1,619 @@
+// Server core for cmd/mixenserve: request decoding, admission control,
+// query execution over a shared engine + batcher, and the HTTP handler
+// set. main.go owns flags, the listener and signal-driven shutdown; this
+// file owns everything a test can drive without a real socket.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixen"
+	"mixen/internal/obs"
+)
+
+// serverConfig bounds what a single request may ask for and how much
+// concurrent work the process admits.
+type serverConfig struct {
+	// maxConcurrent is the number of queries executing at once (engine
+	// runs). Clamped to >= 1.
+	maxConcurrent int
+	// maxQueue bounds how many admitted-but-waiting requests may queue
+	// behind the executing ones; request maxQueue+1 is shed with 429.
+	maxQueue int
+	// defaultTimeout applies when a request carries no timeout parameter;
+	// maxTimeout caps what a request may ask for.
+	defaultTimeout, maxTimeout time.Duration
+	// maxIters caps the per-request iteration budget; defaultIters applies
+	// when the request leaves iters unset.
+	maxIters, defaultIters int
+	// maxTop caps the top-K result size; maxSources caps the number of
+	// sources one request may fan into.
+	maxTop, maxSources int
+	// useBatcher routes batchable queries through the shared Batcher; when
+	// false every query runs directly on the engine.
+	useBatcher bool
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.maxConcurrent <= 0 {
+		c.maxConcurrent = 4
+	}
+	if c.maxQueue < 0 {
+		c.maxQueue = 0
+	}
+	if c.defaultTimeout <= 0 {
+		c.defaultTimeout = 2 * time.Second
+	}
+	if c.maxTimeout <= 0 {
+		c.maxTimeout = 30 * time.Second
+	}
+	if c.maxIters <= 0 {
+		c.maxIters = 1000
+	}
+	if c.defaultIters <= 0 {
+		c.defaultIters = 100
+	}
+	if c.maxTop <= 0 {
+		c.maxTop = 100
+	}
+	if c.maxSources <= 0 {
+		c.maxSources = 64
+	}
+	return c
+}
+
+// errShed marks a request rejected by admission control (429); errDraining
+// marks one rejected because shutdown has begun (503).
+var (
+	errShed     = errors.New("mixenserve: saturated, request shed")
+	errDraining = errors.New("mixenserve: draining, not accepting queries")
+)
+
+// server is one serving process: an immutable preprocessed engine, the
+// shared batcher, the admission state and the metrics registry. Safe for
+// concurrent requests; constructed once by newServer.
+type server struct {
+	g   *mixen.Graph
+	eng *mixen.MixenEngine
+	bat *mixen.Batcher
+	deg []float64 // out-degree snapshot shared by every pagerank/ppr program
+	reg *mixen.MetricsRegistry
+	cfg serverConfig
+
+	// Admission: sem holds one token per executing query; queued counts
+	// requests waiting for a token (bounded by cfg.maxQueue).
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// draining flips once at shutdown: /readyz turns 503 and new queries
+	// are rejected while in-flight ones finish (tracked by wg). drainMu
+	// orders request registration against the flip so wg.Add never races
+	// wg.Wait: a handler registers (Add) and checks draining under the
+	// lock, Shutdown sets draining under the lock before waiting.
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	wg       sync.WaitGroup
+
+	mux *http.ServeMux
+
+	requests   *obs.Counter
+	shed       *obs.Counter
+	deadlines  *obs.Counter
+	cancels    *obs.Counter
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+	latencyNs  *obs.Histogram
+}
+
+// newServer preprocesses nothing itself — it wires an already-built
+// engine, graph and registry into a serving surface.
+func newServer(g *mixen.Graph, eng *mixen.MixenEngine, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		g:   g,
+		eng: eng,
+		bat: mixen.NewBatcher(eng, bcfg),
+		deg: mixen.OutDegrees(g),
+		reg: reg,
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.maxConcurrent),
+
+		requests:   reg.Counter("server.requests_total"),
+		shed:       reg.Counter("server.shed_total"),
+		deadlines:  reg.Counter("server.deadline_total"),
+		cancels:    reg.Counter("server.cancel_total"),
+		queueDepth: reg.Gauge("server.queue_depth"),
+		inflight:   reg.Gauge("server.inflight"),
+		latencyNs:  reg.Histogram("server.latency_ns"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mixen.RegisterDebugHandlers(mux, reg)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler (queries, health, debug).
+func (s *server) Handler() http.Handler { return s.mux }
+
+// Shutdown begins the drain: readiness flips to 503, queries already past
+// admission run to completion (bounded by ctx), then the batcher flushes
+// its pending queue and closes. The HTTP listener itself is main's to
+// stop; tests drive Shutdown directly.
+func (s *server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		_ = s.bat.Close()
+		return ctx.Err()
+	}
+	return s.bat.Close()
+}
+
+// querySpec is one decoded /v1/query request.
+type querySpec struct {
+	algo    string
+	sources []uint32
+	damping float64
+	tol     float64
+	iters   int
+	// itersSet records whether the request named iters explicitly;
+	// indegree defaults to a single SpMV pass (the actual in-degree)
+	// rather than the generic iteration default.
+	itersSet bool
+	top      int
+	nodes    []uint32
+	timeout  time.Duration
+}
+
+// algoNeedsSource lists the supported algorithms and whether they take
+// source nodes.
+var algoNeedsSource = map[string]bool{
+	"pagerank": false,
+	"indegree": false,
+	"ppr":      true,
+	"bfs":      true,
+}
+
+// parseQuery decodes and validates one request against the server bounds.
+// n is the graph's node count (source/node ids must be below it). It is
+// deliberately side-effect free — FuzzServeQuery drives it with arbitrary
+// inputs and it must only ever return (spec, nil) or (zero, error).
+func parseQuery(v url.Values, n int, cfg serverConfig) (querySpec, error) {
+	q := querySpec{
+		algo:    v.Get("algo"),
+		damping: 0.85,
+		tol:     1e-9,
+		iters:   cfg.defaultIters,
+		top:     10,
+		timeout: cfg.defaultTimeout,
+	}
+	needsSource, ok := algoNeedsSource[q.algo]
+	if !ok {
+		return querySpec{}, fmt.Errorf("unknown algo %q (want pagerank, ppr, bfs or indegree)", q.algo)
+	}
+	var err error
+	if q.sources, err = parseNodeList(v, "source", "sources", n, cfg.maxSources); err != nil {
+		return querySpec{}, err
+	}
+	if needsSource && len(q.sources) == 0 {
+		return querySpec{}, fmt.Errorf("algo %q requires source= or sources=", q.algo)
+	}
+	if !needsSource && len(q.sources) > 0 {
+		return querySpec{}, fmt.Errorf("algo %q takes no source parameter", q.algo)
+	}
+	if raw := v.Get("damping"); raw != "" {
+		q.damping, err = strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(q.damping) || q.damping <= 0 || q.damping >= 1 {
+			return querySpec{}, fmt.Errorf("damping must be in (0, 1), got %q", raw)
+		}
+	}
+	if raw := v.Get("tol"); raw != "" {
+		q.tol, err = strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(q.tol) || q.tol < 0 {
+			return querySpec{}, fmt.Errorf("tol must be >= 0, got %q", raw)
+		}
+	}
+	if raw := v.Get("iters"); raw != "" {
+		q.iters, err = strconv.Atoi(raw)
+		if err != nil || q.iters < 1 || q.iters > cfg.maxIters {
+			return querySpec{}, fmt.Errorf("iters must be in [1, %d], got %q", cfg.maxIters, raw)
+		}
+		q.itersSet = true
+	}
+	if raw := v.Get("top"); raw != "" {
+		q.top, err = strconv.Atoi(raw)
+		if err != nil || q.top < 0 || q.top > cfg.maxTop {
+			return querySpec{}, fmt.Errorf("top must be in [0, %d], got %q", cfg.maxTop, raw)
+		}
+	}
+	if q.nodes, err = parseNodeList(v, "nodes", "", n, cfg.maxTop); err != nil {
+		return querySpec{}, err
+	}
+	if raw := v.Get("timeout"); raw != "" {
+		q.timeout, err = time.ParseDuration(raw)
+		if err != nil || q.timeout <= 0 {
+			return querySpec{}, fmt.Errorf("timeout must be a positive duration, got %q", raw)
+		}
+		if q.timeout > cfg.maxTimeout {
+			q.timeout = cfg.maxTimeout
+		}
+	}
+	return q, nil
+}
+
+// parseNodeList reads a comma-separated node-id list from key (and, when
+// altKey is set, merges the singular alternative), validating each id
+// against n and capping the count.
+func parseNodeList(v url.Values, key, altKey string, n, maxLen int) ([]uint32, error) {
+	raw := v.Get(key)
+	if altKey != "" {
+		if alt := v.Get(altKey); alt != "" {
+			if raw != "" {
+				raw += "," + alt
+			} else {
+				raw = alt
+			}
+		}
+	}
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > maxLen {
+		return nil, fmt.Errorf("%s: at most %d ids per request, got %d", key, maxLen, len(parts))
+	}
+	ids := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad node id %q", key, p)
+		}
+		if n > 0 && id >= uint64(n) {
+			return nil, fmt.Errorf("%s: node %d out of range (graph has %d nodes)", key, id, n)
+		}
+		ids = append(ids, uint32(id))
+	}
+	return ids, nil
+}
+
+// admit acquires an execution slot: the fast path takes a free token, the
+// slow path queues (bounded) until a token frees or ctx expires. The
+// returned release must be called exactly once when ok.
+func (s *server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return s.release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.maxQueue) {
+		s.queueDepth.Set(s.queued.Add(-1))
+		return nil, errShed
+	}
+	s.queueDepth.Set(s.queued.Load())
+	select {
+	case s.sem <- struct{}{}:
+		s.queueDepth.Set(s.queued.Add(-1))
+		s.inflight.Add(1)
+		return s.release, nil
+	case <-ctx.Done():
+		s.queueDepth.Set(s.queued.Add(-1))
+		return nil, ctx.Err()
+	}
+}
+
+func (s *server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// nodeValue is one (node, value) pair in a response.
+type nodeValue struct {
+	Node  uint32  `json:"node"`
+	Value float64 `json:"value"`
+}
+
+// sourceResult is one query's outcome (one per source for ppr/bfs).
+type sourceResult struct {
+	Source     *uint32     `json:"source,omitempty"`
+	Iterations int         `json:"iterations"`
+	Delta      float64     `json:"delta"`
+	BatchSize  int         `json:"batch_size,omitempty"`
+	Top        []nodeValue `json:"top,omitempty"`
+	Values     []nodeValue `json:"values,omitempty"`
+}
+
+// queryResponse is the /v1/query response body.
+type queryResponse struct {
+	Algo      string         `json:"algo"`
+	Nodes     int            `json:"graph_nodes"`
+	Edges     int64          `json:"graph_edges"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	Results   []sourceResult `json:"results"`
+}
+
+// errorResponse is any non-2xx response body.
+type errorResponse struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Inc()
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errDraining.Error(), 1)
+		return
+	}
+	s.wg.Add(1)
+	s.drainMu.Unlock()
+	defer s.wg.Done()
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST", 0)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	spec, err := parseQuery(r.Form, s.g.NumNodes(), s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	// The request deadline covers queueing AND execution: a query that
+	// spent its whole budget waiting for a slot is not run at all.
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.shed.Inc()
+			writeError(w, http.StatusTooManyRequests, err.Error(), 1)
+			return
+		}
+		s.writeCtxError(w, err) // deadline or client disconnect while queued
+		return
+	}
+	defer release()
+
+	resp, err := s.execute(ctx, spec)
+	s.latencyNs.ObserveDuration(time.Since(start))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			s.writeCtxError(w, ctxErr)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 for a client that
+// went away; there is no standard code for "you cancelled it yourself".
+const statusClientClosedRequest = 499
+
+func (s *server) writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.deadlines.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded", 0)
+		return
+	}
+	s.cancels.Inc()
+	writeError(w, statusClientClosedRequest, "request cancelled", 0)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, RetryAfter: retryAfter})
+}
+
+// execute runs one decoded query under ctx and shapes the response.
+func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, error) {
+	resp := &queryResponse{
+		Algo:  q.algo,
+		Nodes: s.g.NumNodes(),
+		Edges: s.g.NumEdges(),
+	}
+	n := s.g.NumNodes()
+	switch q.algo {
+	case "indegree":
+		// InDegree's Scale (1) differs from the PageRank family's (1/deg),
+		// so it must not share a fused batch — it runs directly. One SpMV
+		// pass IS the in-degree; more iterations compute matrix powers, so
+		// the generic default does not apply.
+		iters := 1
+		if q.itersSet {
+			iters = q.iters
+		}
+		res, err := s.eng.RunCtx(ctx, mixen.NewInDegreeProgram(iters))
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = []sourceResult{s.shape(nil, res, 0, q, false)}
+		return resp, nil
+	case "pagerank":
+		prog := mixen.NewPageRankProgramShared(n, s.deg, q.damping, q.tol, q.iters)
+		res, size, err := s.runOne(ctx, prog)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = []sourceResult{s.shape(nil, res, size, q, false)}
+		return resp, nil
+	case "ppr", "bfs":
+		progs := make([]mixen.Program, len(q.sources))
+		for i, src := range q.sources {
+			if q.algo == "ppr" {
+				progs[i] = mixen.NewPersonalizedPageRankProgramShared(n, s.deg, src, q.damping, q.tol, q.iters)
+			} else {
+				progs[i] = mixen.NewBFSProgram(s.g, src)
+			}
+		}
+		results, sizes, err := s.runMany(ctx, progs)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = make([]sourceResult, len(results))
+		for i := range results {
+			src := q.sources[i]
+			resp.Results[i] = s.shape(&src, results[i], sizes[i], q, q.algo == "bfs")
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("unreachable algo %q", q.algo) // parseQuery validated
+}
+
+// runOne executes a single width-1 program, through the batcher when
+// enabled (returning the fused batch size) or directly.
+func (s *server) runOne(ctx context.Context, prog mixen.Program) (*mixen.Result, int, error) {
+	if !s.cfg.useBatcher {
+		res, err := s.eng.RunCtx(ctx, prog)
+		return res, 0, err
+	}
+	fut, err := s.bat.SubmitCtx(ctx, prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := fut.WaitCtx(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, fut.BatchSize(), nil
+}
+
+// runMany executes K same-ring programs: submitted together they normally
+// fuse into one width-K pass through the batcher.
+func (s *server) runMany(ctx context.Context, progs []mixen.Program) ([]*mixen.Result, []int, error) {
+	results := make([]*mixen.Result, len(progs))
+	sizes := make([]int, len(progs))
+	if !s.cfg.useBatcher {
+		for i, p := range progs {
+			res, err := s.eng.RunCtx(ctx, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			results[i] = res
+		}
+		return results, sizes, nil
+	}
+	futs := make([]*mixen.Future, len(progs))
+	for i, p := range progs {
+		fut, err := s.bat.SubmitCtx(ctx, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		res, err := fut.WaitCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i] = res
+		sizes[i] = fut.BatchSize()
+	}
+	return results, sizes, nil
+}
+
+// shape projects one run result into the response: requested nodes, then
+// the top-K (highest value for link analysis, closest for BFS hops).
+func (s *server) shape(src *uint32, res *mixen.Result, batchSize int, q querySpec, ascending bool) sourceResult {
+	out := sourceResult{
+		Source:     src,
+		Iterations: res.Iterations,
+		Delta:      res.Delta,
+		BatchSize:  batchSize,
+	}
+	for _, id := range q.nodes {
+		out.Values = append(out.Values, nodeValue{Node: id, Value: res.Values[id]})
+	}
+	if q.top > 0 {
+		out.Top = topK(res.Values, q.top, ascending)
+	}
+	return out
+}
+
+// topK selects the K extreme (node, value) pairs by linear insertion —
+// O(nK) with K capped small by serverConfig.maxTop, no allocation beyond
+// the result. Ascending selects smallest-first (BFS hop counts; +Inf
+// unreachable nodes are skipped), descending selects largest-first.
+func topK(values []float64, k int, ascending bool) []nodeValue {
+	if k > len(values) {
+		k = len(values)
+	}
+	out := make([]nodeValue, 0, k)
+	better := func(a, b float64) bool {
+		if ascending {
+			return a < b
+		}
+		return a > b
+	}
+	for i, v := range values {
+		if ascending && math.IsInf(v, 1) {
+			continue // unreachable
+		}
+		if len(out) == k && !better(v, out[k-1].Value) {
+			continue
+		}
+		j := len(out)
+		if j < k {
+			out = append(out, nodeValue{})
+		} else {
+			j = k - 1
+		}
+		for j > 0 && better(v, out[j-1].Value) {
+			out[j] = out[j-1]
+			j--
+		}
+		out[j] = nodeValue{Node: uint32(i), Value: v}
+	}
+	return out
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}

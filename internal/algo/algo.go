@@ -25,6 +25,30 @@ func outDegrees(g *graph.Graph) []float64 {
 	return deg
 }
 
+// OutDegrees snapshots every node's out-degree. Serving paths that build
+// many programs over one long-lived graph should take the snapshot once
+// and hand it to the *Shared constructors, instead of paying an O(n)
+// degree pass per request.
+func OutDegrees(g *graph.Graph) []float64 { return outDegrees(g) }
+
+// NewPageRankShared is NewPageRank with a caller-provided out-degree
+// snapshot (from OutDegrees) over a graph of n nodes. The snapshot is
+// shared, not copied: callers must treat it as immutable for the
+// program's lifetime.
+func NewPageRankShared(n int, deg []float64, damping, tol float64, iters int) *PageRank {
+	p := &PageRank{
+		N:       n,
+		Damping: damping,
+		Tol:     tol,
+		Iters:   iters,
+		deg:     deg,
+	}
+	if tol > 0 {
+		p.NodeTol = tol / float64(n)
+	}
+	return p
+}
+
 // InDegree is the iterated InDegree/SpMV kernel y = Aᵀx of §2.2: every node
 // starts at 1 and each iteration replaces a receiver's value with the sum of
 // its in-neighbours' values. One iteration computes exactly the in-degree.

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 
 	"mixen/internal/graph"
@@ -43,6 +44,25 @@ func NewPersonalizedPageRank(g *graph.Graph, source uint32, damping, tol float64
 	}
 	if tol > 0 {
 		p.NodeTol = tol / float64(p.N)
+	}
+	return p
+}
+
+// NewPersonalizedPageRankShared is NewPersonalizedPageRank with a
+// caller-provided out-degree snapshot (from OutDegrees) over a graph of n
+// nodes, for serving paths that build one program per request. The
+// snapshot is shared, not copied.
+func NewPersonalizedPageRankShared(n int, deg []float64, source uint32, damping, tol float64, iters int) *PersonalizedPageRank {
+	p := &PersonalizedPageRank{
+		N:       n,
+		Source:  source,
+		Damping: damping,
+		Tol:     tol,
+		Iters:   iters,
+		deg:     deg,
+	}
+	if tol > 0 {
+		p.NodeTol = tol / float64(n)
 	}
 	return p
 }
@@ -124,11 +144,18 @@ func (p *PersonalizedPageRank) MaxIter() int { return p.Iters }
 // pass on e (any engine), and demuxes the per-query results in submission
 // order. n is the graph's node count.
 func RunBatch(e vprog.Engine, n int, progs ...vprog.Program) ([]*vprog.Result, error) {
+	return RunBatchCtx(context.Background(), e, n, progs...)
+}
+
+// RunBatchCtx is RunBatch under a context: the fused pass is cancelled
+// cooperatively when e implements vprog.ContextRunner (the Mixen engine),
+// and the ctx is checked at entry otherwise.
+func RunBatchCtx(ctx context.Context, e vprog.Engine, n int, progs ...vprog.Program) ([]*vprog.Result, error) {
 	b, err := vprog.NewBatch(n, progs...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Run(b)
+	res, err := vprog.RunCtx(ctx, e, b)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mixen/internal/obs"
@@ -53,6 +55,21 @@ func (f *Future) Wait() (*vprog.Result, error) {
 	return f.res, f.err
 }
 
+// WaitCtx is Wait with a deadline: it returns ctx.Err() as soon as ctx is
+// done, WITHOUT blocking or cancelling the fused run — companions in the
+// same batch still get their results, and this query's (discarded) lanes
+// ride along. The abandoning caller contributes to the batch's automatic
+// cancellation only once every other member has abandoned too (see
+// SubmitCtx).
+func (f *Future) WaitCtx(ctx context.Context) (*vprog.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // BatchSize reports how many queries shared the fused run. Valid after
 // Wait returns.
 func (f *Future) BatchSize() int { return f.batchSize }
@@ -60,6 +77,7 @@ func (f *Future) BatchSize() int { return f.batchSize }
 type batchReq struct {
 	prog vprog.Program
 	fut  *Future
+	ctx  context.Context
 	enq  time.Time
 }
 
@@ -81,6 +99,8 @@ type batcherMetrics struct {
 	queueWaitNs     *obs.Histogram
 	fusedTraffic    *obs.Counter
 	serialTraffic   *obs.Counter
+	rejectedExpired *obs.Counter
+	cancelledRuns   *obs.Counter
 }
 
 // Batcher is the engine-level request collector for batched serving:
@@ -121,6 +141,8 @@ func NewBatcher(e *Engine, cfg BatcherConfig) *Batcher {
 			queueWaitNs:     col.Histogram("batch.queue_wait_ns"),
 			fusedTraffic:    col.Counter("batch.fused_traffic_bytes"),
 			serialTraffic:   col.Counter("batch.serial_equiv_traffic_bytes"),
+			rejectedExpired: col.Counter("batch.rejected_expired"),
+			cancelledRuns:   col.Counter("batch.cancelled_runs"),
 		},
 	}
 }
@@ -130,6 +152,22 @@ func NewBatcher(e *Engine, cfg BatcherConfig) *Batcher {
 // are rejected here (fusing them would starve the width-keyed workspace
 // reuse the Batcher exists for).
 func (b *Batcher) Submit(prog vprog.Program) (*Future, error) {
+	return b.SubmitCtx(context.Background(), prog)
+}
+
+// SubmitCtx is Submit with a per-query context. A context that is already
+// done is rejected synchronously — an expired query never joins (or
+// delays) a batch. After admission the context governs only this query's
+// stake in the fused run: the run executes under a context that is
+// cancelled when EVERY member's context is done, so one abandoned query
+// never cancels its companions' work, while a batch nobody is waiting for
+// stops within one engine iteration and frees its pooled workspace.
+// Callers bound by ctx should pair SubmitCtx with Future.WaitCtx.
+func (b *Batcher) SubmitCtx(ctx context.Context, prog vprog.Program) (*Future, error) {
+	if err := ctx.Err(); err != nil {
+		b.m.rejectedExpired.Inc()
+		return nil, err
+	}
 	if prog == nil {
 		return nil, fmt.Errorf("core: batcher: nil program")
 	}
@@ -141,7 +179,7 @@ func (b *Batcher) Submit(prog vprog.Program) (*Future, error) {
 		return nil, fmt.Errorf("core: batcher: unknown ring %d", ring)
 	}
 	fut := &Future{done: make(chan struct{})}
-	req := batchReq{prog: prog, fut: fut, enq: time.Now()}
+	req := batchReq{prog: prog, fut: fut, ctx: ctx, enq: time.Now()}
 
 	b.mu.Lock()
 	if b.closed {
@@ -218,13 +256,24 @@ func (b *Batcher) flush(reqs []batchReq) {
 		b.failAll(reqs, err)
 		return
 	}
+	// The fused run executes under a context that is cancelled when every
+	// member's context is done: a batch nobody is waiting for must not
+	// keep a pooled wide workspace pinned for its full iteration budget.
+	// One member with an uncancellable context (plain Submit) keeps the
+	// run alive unconditionally, as it should.
+	runCtx, stopRun := b.runContext(reqs)
+
 	// The engine's width-keyed pool keeps a small set of long-lived wide
 	// workspaces alive across flushes, so steady-state serving reuses the
 	// fused run state instead of reallocating it.
 	pool := b.e.workspacePool(bp.Width())
 	ws := pool.Get().(*Workspace)
-	res, _, err := b.e.RunInWorkspace(bp, ws)
+	res, _, err := b.e.RunInWorkspaceCtx(runCtx, bp, ws)
+	stopRun()
 	if err != nil {
+		if runCtx.Err() != nil {
+			b.m.cancelledRuns.Inc()
+		}
 		pool.Put(ws)
 		b.failAll(reqs, err)
 		return
@@ -252,6 +301,35 @@ func (b *Batcher) flush(reqs []batchReq) {
 		r.fut.res = split[i]
 		r.fut.batchSize = len(reqs)
 		close(r.fut.done)
+	}
+}
+
+// runContext derives the fused run's context from the batch members': it
+// is cancelled once ALL member contexts are done, and never before. The
+// returned stop releases the AfterFunc registrations and the context;
+// callers must invoke it when the run returns.
+func (b *Batcher) runContext(reqs []batchReq) (context.Context, func()) {
+	for _, r := range reqs {
+		if r.ctx.Done() == nil {
+			// At least one member cannot be cancelled: neither can the run.
+			return context.Background(), func() {}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	remaining := int64(len(reqs))
+	stops := make([]func() bool, len(reqs))
+	for i, r := range reqs {
+		stops[i] = context.AfterFunc(r.ctx, func() {
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		for _, s := range stops {
+			s()
+		}
+		cancel()
 	}
 }
 

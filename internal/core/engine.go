@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -176,6 +178,8 @@ type engineState struct {
 // collector, making every update a single branch.
 type engineMetrics struct {
 	runs            *obs.Counter
+	cancelledRuns   *obs.Counter
+	deadlineRuns    *obs.Counter
 	iterations      *obs.Counter
 	skippedBlocks   *obs.Counter
 	denseRows       *obs.Counter
@@ -196,6 +200,8 @@ type engineMetrics struct {
 func newEngineMetrics(c obs.Collector) engineMetrics {
 	return engineMetrics{
 		runs:            c.Counter("core.runs"),
+		cancelledRuns:   c.Counter("core.cancelled_runs"),
+		deadlineRuns:    c.Counter("core.deadline_runs"),
 		iterations:      c.Counter("core.iterations"),
 		skippedBlocks:   c.Counter("core.skipped_blocks"),
 		denseRows:       c.Counter("core.dense_rows"),
@@ -318,10 +324,27 @@ func (e *Engine) Run(prog vprog.Program) (*vprog.Result, error) {
 	return res, err
 }
 
+// RunCtx is Run with cooperative cancellation: the run observes ctx at
+// iteration and phase boundaries and returns ctx.Err() once it is
+// cancelled or past its deadline. Implements vprog.ContextRunner.
+func (e *Engine) RunCtx(ctx context.Context, prog vprog.Program) (*vprog.Result, error) {
+	res, _, err := e.RunWithStatsCtx(ctx, prog)
+	return res, err
+}
+
 // RunWithStats is Run plus per-phase timing. Safe for concurrent callers
 // on one engine: each invocation borrows a workspace from the engine's
 // width-keyed pool and returns values copied into a fresh slice.
 func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, error) {
+	return e.RunWithStatsCtx(context.Background(), prog)
+}
+
+// RunWithStatsCtx is RunWithStats with cooperative cancellation (see
+// RunCtx). On cancellation it returns a nil Result, the partial RunStats
+// accumulated so far, and ctx.Err(); the borrowed workspace goes back to
+// the pool in a reusable state either way (every run fully re-initialises
+// the per-run state it reads).
+func (e *Engine) RunWithStatsCtx(ctx context.Context, prog vprog.Program) (*vprog.Result, RunStats, error) {
 	w := prog.Width()
 	if w <= 0 {
 		return nil, RunStats{}, fmt.Errorf("core: program width %d must be positive", w)
@@ -332,7 +355,7 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 	// The result must survive the workspace's return to the pool, so it is
 	// written into a fresh slice rather than the workspace's out buffer.
 	out := make([]float64, e.F.N()*w)
-	return e.runInWorkspace(prog, ws, out)
+	return e.runInWorkspace(ctx, prog, ws, out)
 }
 
 // RunInWorkspace executes prog inside a caller-owned workspace obtained
@@ -342,19 +365,63 @@ func (e *Engine) RunWithStats(prog vprog.Program) (*vprog.Result, RunStats, erro
 // out to keep it). A workspace serves one run at a time; concurrent runs
 // need one workspace each.
 func (e *Engine) RunInWorkspace(prog vprog.Program, ws *Workspace) (*vprog.Result, RunStats, error) {
+	return e.RunInWorkspaceCtx(context.Background(), prog, ws)
+}
+
+// RunInWorkspaceCtx is RunInWorkspace with cooperative cancellation (see
+// RunCtx). A context that cannot be cancelled (context.Background()) adds
+// nothing to the hot path, preserving the zero-allocation steady state; a
+// cancellable one costs a single AfterFunc registration up front and one
+// atomic flag load per main-phase iteration. After a cancelled run the
+// workspace remains valid for the next RunInWorkspaceCtx call — the next
+// run re-initialises everything it reads.
+func (e *Engine) RunInWorkspaceCtx(ctx context.Context, prog vprog.Program, ws *Workspace) (*vprog.Result, RunStats, error) {
 	if ws == nil || ws.eng != e {
 		return nil, RunStats{}, fmt.Errorf("core: workspace does not belong to this engine")
 	}
 	if w := prog.Width(); w != ws.width {
 		return nil, RunStats{}, fmt.Errorf("core: program width %d does not match workspace width %d", w, ws.width)
 	}
-	return e.runInWorkspace(prog, ws, ws.out)
+	return e.runInWorkspace(ctx, prog, ws, ws.out)
+}
+
+// ctxDone reports whether a ctx.Done() channel is closed, without
+// blocking. cancel closes the channel synchronously in the cancelling
+// goroutine, so this is the deterministic signal at iteration boundaries;
+// the AfterFunc-armed stop flag may lag behind it under full CPU load.
+func ctxDone(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelled books one cancelled/deadline-expired run and returns err.
+func (m *engineMetrics) cancelled(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		m.deadlineRuns.Inc()
+	} else {
+		m.cancelledRuns.Inc()
+	}
+	return err
 }
 
 // runInWorkspace is the SCGA run loop. All mutable state lives in ws and
 // out; the engine and partition are only read, which is what makes
 // concurrent runs on one engine safe.
-func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64) (*vprog.Result, RunStats, error) {
+//
+// Cancellation is cooperative: a cancellable ctx arms the workspace's stop
+// flag through context.AfterFunc, the coordinator checks the flag once per
+// main-phase iteration and at phase boundaries, and the phase loops
+// themselves abandon unclaimed chunks once the flag is set
+// (sched.ForRangeStop) so a cancel mid-iteration does not wait for a full
+// sweep over a large graph. On cancellation the run returns ctx.Err() with
+// the partial RunStats; the workspace stays reusable because the next run
+// re-initialises x/y (initBody), the static bins, the frontier state and —
+// via the forced all-dense first iteration — every dynamic bin entry.
+func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Workspace, out []float64) (*vprog.Result, RunStats, error) {
 	w := prog.Width()
 	if w <= 0 {
 		return nil, RunStats{}, fmt.Errorf("core: program width %d must be positive", w)
@@ -366,6 +433,22 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 
 	// Bind this run into the workspace's prebuilt execution context.
 	rc := &ws.rc
+	rc.stopPtr = nil
+	var done <-chan struct{}
+	if done = ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, st.m.cancelled(err)
+		}
+		rc.stop.Store(false)
+		rc.stopPtr = &rc.stop
+		// The stop flag lets phase loops abandon unclaimed chunks
+		// mid-iteration; AfterFunc arms it from a separate goroutine, which
+		// may lag when every P is busy in the phase loops, so the
+		// coordinator additionally polls the done channel (closed
+		// synchronously by cancel) at iteration boundaries.
+		unregister := context.AfterFunc(ctx, func() { rc.stop.Store(true) })
+		defer unregister()
+	}
 	rc.prog = prog
 	rc.ring = prog.Ring()
 	rc.threads = e.cfg.Threads
@@ -411,6 +494,15 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 	// kept when Config.Trace asks for it.
 	traced := e.cfg.Trace || st.col.Enabled()
 	for iter < prog.MaxIter() {
+		// Iteration-boundary cancellation check: one predictable branch,
+		// one atomic load and one non-blocking channel poll on cancellable
+		// runs, nothing otherwise.
+		if rc.stopPtr != nil && (rc.stopPtr.Load() || ctxDone(done)) {
+			stats.MainTime = time.Since(t1)
+			stats.MainIterations = iter
+			stats.SkippedBlocks = rc.skipped.Load()
+			return nil, stats, st.m.cancelled(ctx.Err())
+		}
 		rc.first = iter == 0
 		if e.cfg.DisableCache {
 			// Ablation: redo the seed propagation every iteration.
@@ -430,20 +522,20 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 			it.SparseRows = rc.sparseRows
 			it.ScatterEntries = rc.scatterEntries
 			mark := time.Now()
-			sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
+			sched.ForRangeStop(len(e.P.Blocks), rc.threads, 1, rc.stopPtr, rc.scatterBody)
 			if rc.sparseTotal > 0 {
-				sched.ForRange(int(rc.sparseTotal), rc.threads, 0, rc.sparseScatterBody)
+				sched.ForRangeStop(int(rc.sparseTotal), rc.threads, 0, rc.stopPtr, rc.sparseScatterBody)
 			}
 			now := time.Now()
 			it.ScatterNs = now.Sub(mark).Nanoseconds()
 			st.m.scatterNs.Observe(it.ScatterNs)
 			mark = now
-			sched.ForRange(r*w, rc.threads, 8192, rc.cacheBody)
+			sched.ForRangeStop(r*w, rc.threads, 8192, rc.stopPtr, rc.cacheBody)
 			now = time.Now()
 			it.CacheNs = now.Sub(mark).Nanoseconds()
 			st.m.cacheNs.Observe(it.CacheNs)
 			mark = now
-			sched.ForRange(e.P.B, rc.threads, 1, rc.gatherBody)
+			sched.ForRangeStop(e.P.B, rc.threads, 1, rc.stopPtr, rc.gatherBody)
 			it.GatherNs = time.Since(mark).Nanoseconds()
 			st.m.gatherNs.Observe(it.GatherNs)
 			for _, cd := range rc.colDelta {
@@ -492,6 +584,13 @@ func (e *Engine) runInWorkspace(prog vprog.Program, ws *Workspace, out []float64
 	stats.SkippedBlocks = rc.skipped.Load()
 	st.m.mainNs.Observe(int64(stats.MainTime))
 	st.m.skippedBlocks.Add(stats.SkippedBlocks)
+
+	// Phase-boundary cancellation check: a cancel that fired during the
+	// final iteration may have torn it mid-phase (abandoned chunks), so
+	// the run must not publish a result built from it.
+	if rc.stopPtr != nil && (rc.stopPtr.Load() || ctxDone(done)) {
+		return nil, stats, st.m.cancelled(ctx.Err())
+	}
 
 	// Post-Phase: sinks pull once from the final source values. Stateful
 	// programs (vprog.Batch) are told the main loop is over so their Apply

@@ -129,6 +129,13 @@ type runCtx struct {
 	// (their block-row had no changed source), cumulative over the run.
 	skipped atomic.Int64
 
+	// stop is armed via context.AfterFunc when the run's context can be
+	// cancelled; stopPtr points at it for cancellable runs and is nil
+	// otherwise, so the ctx-less hot path pays one nil check per phase
+	// loop and the coordinator one atomic load per iteration.
+	stop    atomic.Bool
+	stopPtr *atomic.Bool
+
 	initBody          func(lo, hi int)
 	scatterBody       func(lo, hi int)
 	sparseScatterBody func(lo, hi int)
@@ -722,12 +729,12 @@ func (rc *runCtx) buildBodies() {
 func (rc *runCtx) iterateMain() float64 {
 	e := rc.e
 	rc.planIteration()
-	sched.ForRange(len(e.P.Blocks), rc.threads, 1, rc.scatterBody)
+	sched.ForRangeStop(len(e.P.Blocks), rc.threads, 1, rc.stopPtr, rc.scatterBody)
 	if rc.sparseTotal > 0 {
-		sched.ForRange(int(rc.sparseTotal), rc.threads, 0, rc.sparseScatterBody)
+		sched.ForRangeStop(int(rc.sparseTotal), rc.threads, 0, rc.stopPtr, rc.sparseScatterBody)
 	}
-	sched.ForRange(e.F.NumRegular*rc.w, rc.threads, 8192, rc.cacheBody)
-	sched.ForRange(e.P.B, rc.threads, 1, rc.gatherBody)
+	sched.ForRangeStop(e.F.NumRegular*rc.w, rc.threads, 8192, rc.stopPtr, rc.cacheBody)
+	sched.ForRangeStop(e.P.B, rc.threads, 1, rc.stopPtr, rc.gatherBody)
 	var total float64
 	for _, d := range rc.colDelta {
 		total += d

@@ -69,6 +69,26 @@ func (b *expvarBox) value() any {
 	return reg.Snapshot()
 }
 
+// RegisterDebugHandlers mounts the observability surface on mux: /metrics
+// (pretty-printed JSON snapshot of r), /debug/vars (expvar, which includes
+// the snapshot once published) and /debug/pprof/*. ServeMetrics and
+// cmd/mixenserve share this wiring so every serving process exposes the
+// same debug endpoints.
+func RegisterDebugHandlers(mux *http.ServeMux, r *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // MetricsServer serves a Registry over HTTP: /metrics (JSON snapshot),
 // /debug/vars (expvar) and /debug/pprof/* (profiling).
 type MetricsServer struct {
@@ -87,18 +107,7 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	}
 	PublishExpvar("mixen", r)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterDebugHandlers(mux, r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)

@@ -70,7 +70,7 @@ type RunReport struct {
 	// Engine is the engine name ("mixen", "pull", ...).
 	Engine string `json:"engine"`
 	// Algorithm names the vertex program ("pagerank", ...).
-	Algorithm string `json:"algorithm,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
 	Graph     GraphInfo `json:"graph"`
 	// Config is the effective configuration the run used, after defaulting
 	// and flag plumbing — what actually happened, not what was requested.

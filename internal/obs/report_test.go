@@ -8,10 +8,10 @@ import (
 
 func sampleReport() *RunReport {
 	r := &RunReport{
-		Engine:    "mixen",
-		Algorithm: "pagerank",
-		Graph:     GraphInfo{Name: "wiki", Nodes: 100, Edges: 950},
-		Config:    map[string]string{"iters": "100", "tol": "1e-9"},
+		Engine:     "mixen",
+		Algorithm:  "pagerank",
+		Graph:      GraphInfo{Name: "wiki", Nodes: 100, Edges: 950},
+		Config:     map[string]string{"iters": "100", "tol": "1e-9"},
 		Iterations: 2,
 		Delta:      4.5e-10,
 		Trace: []IterationTrace{

@@ -49,6 +49,10 @@ var pool = struct {
 type loopJob struct {
 	n, chunk int64
 	body     func(lo, hi int)
+	// stop, when non-nil, requests cooperative early exit: once it reads
+	// true, participants keep claiming chunks (the completion count must
+	// still reach n for waiters to wake) but skip the body.
+	stop *atomic.Bool
 
 	cursor    atomic.Int64 // next unclaimed index
 	completed atomic.Int64 // finished elements; loop is done at n
@@ -87,6 +91,7 @@ func getJob() *loopJob {
 
 func putJob(j *loopJob) {
 	j.body = nil
+	j.stop = nil
 	pool.freeMu.Lock()
 	pool.free = append(pool.free, j)
 	pool.freeMu.Unlock()
@@ -128,6 +133,7 @@ func workerLoop() {
 // exhausted. Called by the owner and by any helper that received a token.
 func (j *loopJob) run() {
 	n, chunk := j.n, j.chunk
+	stop := j.stop
 	var busy int64
 	participated := false
 	for {
@@ -138,6 +144,17 @@ func (j *loopJob) run() {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
+		}
+		if stop != nil && stop.Load() {
+			// Abandoned chunk: account it as completed without running the
+			// body, so the waiter's completion count still reaches n.
+			if j.completed.Add(hi-lo) == n {
+				j.mu.Lock()
+				//lint:ignore SA2001 empty critical section orders the broadcast against a registering waiter
+				j.mu.Unlock()
+				j.cond.Broadcast()
+			}
+			continue
 		}
 		if j.instrumented {
 			t0 := time.Now()
@@ -151,7 +168,8 @@ func (j *loopJob) run() {
 			// Empty critical section orders this signal against a waiter
 			// that checked `completed` and is about to Wait.
 			j.mu.Lock()
-			j.mu.Unlock() //nolint:staticcheck // intentional barrier
+			//lint:ignore SA2001 intentional barrier, see the comment above
+			j.mu.Unlock()
 			j.cond.Broadcast()
 		}
 	}
@@ -164,10 +182,11 @@ func (j *loopJob) run() {
 // runParallel executes body over [0, n) with dynamic chunking on the
 // caller plus up to threads-1 pool helpers. It blocks until every element
 // has been processed.
-func runParallel(n, threads, chunk int, body func(lo, hi int), in *instr) {
+func runParallel(n, threads, chunk int, stop *atomic.Bool, body func(lo, hi int), in *instr) {
 	j := getJob()
 	j.n, j.chunk = int64(n), int64(chunk)
 	j.body = body
+	j.stop = stop
 	j.cursor.Store(0)
 	j.completed.Store(0)
 	j.busyNs.Store(0)

@@ -74,6 +74,17 @@ func For(n, threads, chunk int, body func(i int)) {
 // ForRange is like For but hands each worker a contiguous [lo, hi) range,
 // letting the body amortize per-chunk setup (e.g. loading a block header).
 func ForRange(n, threads, chunk int, body func(lo, hi int)) {
+	ForRangeStop(n, threads, chunk, nil, body)
+}
+
+// ForRangeStop is ForRange with cooperative early exit: when stop becomes
+// true, workers stop claiming new chunks and the remaining iteration space
+// is abandoned (already-started chunks run to completion). The caller owns
+// the consistency of partially-processed state — the engine only uses this
+// on runs that will be re-initialised from scratch. A nil stop is exactly
+// ForRange; the non-nil check costs one predictable branch per chunk, on
+// top of the cursor's existing atomic add.
+func ForRangeStop(n, threads, chunk int, stop *atomic.Bool, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -89,16 +100,39 @@ func ForRange(n, threads, chunk int, body func(lo, hi int)) {
 	}
 	in := instrP.Load()
 	if threads == 1 {
+		if stop != nil && stop.Load() {
+			return
+		}
 		if in == nil {
-			body(0, n)
+			singleThreadStop(n, chunk, stop, body)
 			return
 		}
 		start := time.Now()
-		body(0, n)
+		singleThreadStop(n, chunk, stop, body)
 		in.record(1, time.Since(start), 0)
 		return
 	}
-	runParallel(n, threads, chunk, body, in)
+	runParallel(n, threads, chunk, stop, body, in)
+}
+
+// singleThreadStop runs the loop on the caller alone. Without a stop flag
+// the whole range is one body call; with one, the range is chunked so a
+// cancellation can take effect between chunks.
+func singleThreadStop(n, chunk int, stop *atomic.Bool, body func(lo, hi int)) {
+	if stop == nil {
+		body(0, n)
+		return
+	}
+	for lo := 0; lo < n; lo += chunk {
+		if stop.Load() {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	}
 }
 
 // record books one finished parallel loop.
@@ -136,7 +170,7 @@ func ForStatic(n, threads int, body func(worker, lo, hi int)) {
 		return
 	}
 	nn, tt := n, threads
-	runParallel(threads, threads, 1, func(lo, hi int) {
+	runParallel(threads, threads, 1, nil, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			body(t, t*nn/tt, (t+1)*nn/tt)
 		}

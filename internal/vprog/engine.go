@@ -1,5 +1,7 @@
 package vprog
 
+import "context"
+
 // Engine is the contract every framework implementation (Mixen and the
 // four baselines) satisfies, so algorithms and the benchmark harness can
 // treat them interchangeably.
@@ -16,4 +18,26 @@ type Engine interface {
 	Name() string
 	// Run executes the program to convergence or MaxIter.
 	Run(prog Program) (*Result, error)
+}
+
+// ContextRunner is implemented by engines whose runs observe a context
+// cooperatively (cancellation and deadlines checked at iteration and phase
+// boundaries). The Mixen core engine implements it; serving paths should
+// type-assert and fall back to Run when absent (see RunCtx).
+type ContextRunner interface {
+	RunCtx(ctx context.Context, prog Program) (*Result, error)
+}
+
+// RunCtx executes prog on e under ctx when e supports cooperative
+// cancellation, and falls back to an uncancellable e.Run otherwise (the
+// ctx is still honoured at entry, so an already-expired deadline never
+// starts a run).
+func RunCtx(ctx context.Context, e Engine, prog Program) (*Result, error) {
+	if cr, ok := e.(ContextRunner); ok {
+		return cr.RunCtx(ctx, prog)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(prog)
 }

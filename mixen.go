@@ -39,8 +39,10 @@
 package mixen
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 
 	"mixen/internal/algo"
 	"mixen/internal/analyze"
@@ -217,6 +219,26 @@ func NewPersonalizedPageRankProgram(g *Graph, source uint32, damping, tol float6
 	return algo.NewPersonalizedPageRank(g, source, damping, tol, maxIter)
 }
 
+// OutDegrees snapshots every node's out-degree. Serving paths that build
+// many programs over one long-lived graph should take the snapshot once
+// and pass it to the *Shared program constructors, instead of paying an
+// O(n) degree pass per request.
+func OutDegrees(g *Graph) []float64 { return algo.OutDegrees(g) }
+
+// NewPageRankProgramShared is NewPageRankProgram with a caller-provided
+// out-degree snapshot (from OutDegrees) over a graph of n nodes. The
+// snapshot is shared, not copied — treat it as immutable.
+func NewPageRankProgramShared(n int, deg []float64, damping, tol float64, maxIter int) Program {
+	return algo.NewPageRankShared(n, deg, damping, tol, maxIter)
+}
+
+// NewPersonalizedPageRankProgramShared is NewPersonalizedPageRankProgram
+// with a caller-provided out-degree snapshot (from OutDegrees), for
+// serving paths that build one program per request.
+func NewPersonalizedPageRankProgramShared(n int, deg []float64, source uint32, damping, tol float64, maxIter int) Program {
+	return algo.NewPersonalizedPageRankShared(n, deg, source, damping, tol, maxIter)
+}
+
 // BatchProgram fuses K independent same-ring programs into one width-ΣWᵢ
 // program with per-lane convergence tracking; Split demuxes the fused
 // result. See NewBatchProgram.
@@ -274,6 +296,77 @@ func MultiSourceBFS(g *Graph, sources []uint32) ([][]float64, error) {
 		return nil, err
 	}
 	results, err := algo.MultiSourceBFS(e, g, sources)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([][]float64, len(results))
+	for i, r := range results {
+		vals[i] = r.Values
+	}
+	return vals, nil
+}
+
+// ContextRunner is implemented by engines whose runs observe a context
+// cooperatively (cancellation and deadlines checked at iteration and
+// phase boundaries). MixenEngine implements it; the baselines do not.
+type ContextRunner = vprog.ContextRunner
+
+// RunCtx executes prog on e under ctx: cancellation and deadlines are
+// honoured cooperatively when e is a ContextRunner (the Mixen engine
+// returns ctx.Err() within one iteration of cancellation), and checked at
+// entry only otherwise.
+func RunCtx(ctx context.Context, e Engine, prog Program) (*Result, error) {
+	return vprog.RunCtx(ctx, e, prog)
+}
+
+// PageRankCtx is PageRank under a context: preprocessing is checked at
+// entry and the power iteration is cancelled cooperatively at iteration
+// boundaries, returning ctx.Err().
+func PageRankCtx(ctx context.Context, g *Graph, damping, tol float64, maxIter int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.RunCtx(ctx, algo.NewPageRank(g, damping, tol, maxIter))
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// BFSCtx is BFS under a context (cooperative cancellation at iteration
+// boundaries).
+func BFSCtx(ctx context.Context, g *Graph, source uint32) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.RunCtx(ctx, algo.NewBFS(g, source))
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// PersonalizedPageRanksCtx is PersonalizedPageRanks under a context: the
+// single fused width-K pass is cancelled cooperatively, so one deadline
+// bounds all K queries together.
+func PersonalizedPageRanksCtx(ctx context.Context, g *Graph, sources []uint32, damping, tol float64, maxIter int) ([][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		return nil, err
+	}
+	results, err := algo.RunBatchCtx(ctx, e, g.NumNodes(),
+		algo.PersonalizedPageRankSet(g, sources, damping, tol, maxIter)...)
 	if err != nil {
 		return nil, err
 	}
@@ -444,6 +537,18 @@ type MetricsServer = obs.MetricsServer
 func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
 	return obs.ServeMetrics(addr, r)
 }
+
+// RegisterDebugHandlers mounts the observability surface for r on mux:
+// /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof/*. For
+// processes that run their own HTTP server (cmd/mixenserve) instead of a
+// dedicated metrics listener.
+func RegisterDebugHandlers(mux *http.ServeMux, r *MetricsRegistry) {
+	obs.RegisterDebugHandlers(mux, r)
+}
+
+// PublishExpvar exposes r's snapshot as the named expvar variable
+// (idempotent per name; the latest registry wins).
+func PublishExpvar(name string, r *MetricsRegistry) { obs.PublishExpvar(name, r) }
 
 // Instrument attaches c to an engine that supports telemetry and reports
 // whether it did. All engines in this module do.

@@ -2,14 +2,15 @@
 # bench.sh — PR-level benchmark snapshot.
 #
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
-# entry), the engine-level BenchmarkPageRank, and the sparse-frontier
-# study, then bundles everything into BENCH_PR4.json. When a committed
-# BENCH_PR3.bench.txt exists and benchstat is installed, it also emits a
-# benchstat comparison of BenchmarkMainPhaseWidth* against that baseline.
+# entry), the engine-level BenchmarkPageRank, the serving hot-path and
+# load-shed microbenchmarks (cmd/mixenserve), and the sparse-frontier
+# study, then bundles everything into BENCH_PR5.json. When a committed
+# BENCH_PR4.bench.txt exists and benchstat is installed, it also emits a
+# benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR4.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR5.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR4.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR5.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -19,8 +20,8 @@ outdir="${1:-.}"
 mkdir -p "$outdir"
 
 count="${BENCH_COUNT:-5}"
-benchtxt="$outdir/BENCH_PR4.bench.txt"
-json="$outdir/BENCH_PR4.json"
+benchtxt="$outdir/BENCH_PR5.bench.txt"
+json="$outdir/BENCH_PR5.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -30,6 +31,10 @@ echo ">> microbenchmarks: engine-level PageRank (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkPageRank' -benchmem -count="$count" \
     . | tee -a "$benchtxt" >&2
 
+echo ">> microbenchmarks: serving hot path + load shed (count=$count)" >&2
+go test -run=NONE -bench 'BenchmarkServe' -benchmem -count="$count" \
+    ./cmd/mixenserve/ | tee -a "$benchtxt" >&2
+
 echo ">> sparse-frontier study (mixenbench -experiment frontier)" >&2
 fronttxt="$(mktemp)"
 benchstattxt="$(mktemp)"
@@ -37,23 +42,24 @@ trap 'rm -f "$fronttxt" "$benchstattxt"' EXIT
 go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
 
-# benchstat vs the committed PR3 baseline (width-sweep lines only; the
-# PR3 snapshot carries no BenchmarkPageRank entries). Informational —
-# missing benchstat or a missing baseline must not fail the snapshot.
+# benchstat vs the committed PR4 baseline (shared width-sweep and PageRank
+# lines; the serve benchmarks are new this PR and have no PR4 counterpart).
+# Informational — missing benchstat or a missing baseline must not fail
+# the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR3.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR3.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR4.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR4.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR3.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR4.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR3.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR4.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR4 sparsity-aware SCGA execution",'
+  echo '  "bench": "PR5 deadline-aware serving",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -83,9 +89,9 @@ fi
   } END { print "" }' "$fronttxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR3 width-sweep baseline, when available.
+  # benchstat output vs the committed PR4 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr3": ['
+    echo '  "benchstat_vs_pr4": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0
