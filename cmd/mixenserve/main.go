@@ -43,6 +43,10 @@ func main() {
 		batch     = flag.Int("batch", 8, "batcher max fused width (0 disables batching)")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "batcher window: how long a query waits for companions")
 
+		traceSample = flag.Int("trace-sample", 0, "request tracing: trace 1 in N requests into /debug/traces (1 = every request, 0 = off)")
+		traceRing   = flag.Int("trace-ring", 256, "completed traces kept for /debug/traces")
+		accessLog   = flag.Bool("access-log", false, "log one structured line per request to stdout")
+
 		grace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget for in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -65,10 +69,19 @@ func main() {
 		maxIters:       *maxIters,
 		defaultIters:   *iters,
 		useBatcher:     *batch > 0,
+		traceSample:    *traceSample,
+		traceRing:      *traceRing,
+	}
+	if *accessLog {
+		cfg.accessLog = os.Stdout
 	}
 	bcfg := mixen.BatcherConfig{MaxBatch: *batch, MaxWait: *batchWait}
 	s := newServer(g, eng, reg, cfg, bcfg)
 	mixen.PublishExpvar("mixen", reg)
+	// One poller goroutine keeps the runtime gauges (goroutines, heap, GC),
+	// the worker-pool gauges and the windowed SLO gauges current.
+	poller := mixen.StartRuntimePoller(reg, time.Second, schedPoolSampler(reg), s.sampleSLO)
+	defer poller.Stop()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)

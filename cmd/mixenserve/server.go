@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math"
 	"net/http"
 	"net/url"
@@ -43,6 +45,17 @@ type serverConfig struct {
 	// useBatcher routes batchable queries through the shared Batcher; when
 	// false every query runs directly on the engine.
 	useBatcher bool
+	// traceSample enables request-scoped tracing: 1 traces every request,
+	// N > 1 one in N (head-based, by request id), 0 disables tracing
+	// entirely (the default — the query path then allocates no trace
+	// state). Request ids are minted either way.
+	traceSample int
+	// traceRing is the completed-trace ring capacity behind /debug/traces
+	// (default 256).
+	traceRing int
+	// accessLog, when non-nil, receives one structured line per request
+	// (id, algo, batch, queue wait, total latency, outcome).
+	accessLog io.Writer
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -69,6 +82,12 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.maxSources <= 0 {
 		c.maxSources = 64
+	}
+	if c.traceSample < 0 {
+		c.traceSample = 0
+	}
+	if c.traceRing <= 0 {
+		c.traceRing = 256
 	}
 	return c
 }
@@ -107,6 +126,13 @@ type server struct {
 
 	mux *http.ServeMux
 
+	// tracer mints request ids and (when sampling is on) records one
+	// obs.Trace per sampled request into the /debug/traces ring. access,
+	// when non-nil, gets one structured line per request (log.Logger
+	// serializes concurrent writers).
+	tracer *obs.Tracer
+	access *log.Logger
+
 	requests   *obs.Counter
 	shed       *obs.Counter
 	deadlines  *obs.Counter
@@ -114,6 +140,20 @@ type server struct {
 	queueDepth *obs.Gauge
 	inflight   *obs.Gauge
 	latencyNs  *obs.Histogram
+
+	// Windowed SLO state: latWindow holds every request's total latency
+	// over the last 10s, errWindow the error events over the same span.
+	// sampleSLO (driven by the runtime poller) projects them into the
+	// server.window_* gauges so /metrics reports live percentiles instead
+	// of forever-cumulative ones.
+	latWindow      *obs.Window
+	errWindow      *obs.Window
+	winP50         *obs.Gauge
+	winP95         *obs.Gauge
+	winP99         *obs.Gauge
+	winRequests    *obs.Gauge
+	winErrors      *obs.Gauge
+	winErrPermille *obs.Gauge
 }
 
 // newServer preprocesses nothing itself — it wires an already-built
@@ -129,6 +169,8 @@ func newServer(g *mixen.Graph, eng *mixen.MixenEngine, reg *mixen.MetricsRegistr
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.maxConcurrent),
 
+		tracer: obs.NewTracer(cfg.traceRing, cfg.traceSample),
+
 		requests:   reg.Counter("server.requests_total"),
 		shed:       reg.Counter("server.shed_total"),
 		deadlines:  reg.Counter("server.deadline_total"),
@@ -136,14 +178,74 @@ func newServer(g *mixen.Graph, eng *mixen.MixenEngine, reg *mixen.MetricsRegistr
 		queueDepth: reg.Gauge("server.queue_depth"),
 		inflight:   reg.Gauge("server.inflight"),
 		latencyNs:  reg.Histogram("server.latency_ns"),
+
+		latWindow:      obs.NewWindow(obs.DefaultWindowSlots, obs.DefaultWindowSlotDur),
+		errWindow:      obs.NewWindow(obs.DefaultWindowSlots, obs.DefaultWindowSlotDur),
+		winP50:         reg.Gauge("server.window_p50_ns"),
+		winP95:         reg.Gauge("server.window_p95_ns"),
+		winP99:         reg.Gauge("server.window_p99_ns"),
+		winRequests:    reg.Gauge("server.window_requests"),
+		winErrors:      reg.Gauge("server.window_errors"),
+		winErrPermille: reg.Gauge("server.window_error_permille"),
+	}
+	if cfg.accessLog != nil {
+		s.access = log.New(cfg.accessLog, "", 0)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mixen.RegisterDebugHandlers(mux, reg)
+	obs.RegisterTraceHandler(mux, s.tracer.Ring())
 	s.mux = mux
 	return s
+}
+
+// sampleSLO projects the sliding windows into gauges. Called by the
+// runtime poller once per second (tests call it directly).
+func (s *server) sampleSLO() {
+	lat := s.latWindow.Stats()
+	s.winP50.Set(int64(lat.P50))
+	s.winP95.Set(int64(lat.P95))
+	s.winP99.Set(int64(lat.P99))
+	s.winRequests.Set(lat.Count)
+	errs := s.errWindow.Stats().Count
+	s.winErrors.Set(errs)
+	var permille int64
+	if lat.Count > 0 {
+		permille = errs * 1000 / lat.Count
+	}
+	s.winErrPermille.Set(permille)
+}
+
+// schedPoolSampler returns a poller func keeping the worker-pool gauges
+// (persistent workers, queued wakeups, recycled loop descriptors) current
+// in reg.
+func schedPoolSampler(reg *mixen.MetricsRegistry) func() {
+	workers := reg.Gauge("sched.pool_workers")
+	queued := reg.Gauge("sched.pool_queued_wakeups")
+	free := reg.Gauge("sched.pool_free_jobs")
+	return func() {
+		st := mixen.SchedPoolStats()
+		workers.Set(int64(st.Workers))
+		queued.Set(int64(st.QueuedWakeups))
+		free.Set(int64(st.FreeJobs))
+	}
+}
+
+// logAccess emits the structured per-request line:
+//
+//	id=7 algo=ppr batch=4 queue_wait_us=812 total_us=3377 outcome=ok
+//
+// queue_wait is the admission wait (time between asking for an execution
+// slot and getting one); the batcher's companion wait is visible in the
+// request's trace. No-op when -access-log is off.
+func (s *server) logAccess(id uint64, algo string, batch int, wait, total time.Duration, outcome string) {
+	if s.access == nil {
+		return
+	}
+	s.access.Printf("id=%d algo=%s batch=%d queue_wait_us=%d total_us=%d outcome=%s",
+		id, algo, batch, wait.Microseconds(), total.Microseconds(), outcome)
 }
 
 // Handler returns the server's HTTP handler (queries, health, debug).
@@ -363,9 +465,33 @@ type errorResponse struct {
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.requests.Inc()
+
+	// Every request gets an id (the access log and error responses can
+	// correlate on it); only sampled requests additionally get a trace.
+	// The deferred block is the single exit point for the per-request
+	// observability state: windows, trace publication, access log.
+	id := s.tracer.NextID()
+	var (
+		tr      *obs.Trace
+		algo    string
+		batch   int
+		wait    time.Duration
+		outcome = "error"
+	)
+	defer func() {
+		total := time.Since(start)
+		s.latWindow.ObserveDuration(total)
+		if outcome != "ok" {
+			s.errWindow.Observe(1)
+		}
+		s.tracer.Finish(tr, outcome)
+		s.logAccess(id, algo, batch, wait, total, outcome)
+	}()
+
 	s.drainMu.Lock()
 	if s.draining.Load() {
 		s.drainMu.Unlock()
+		outcome = "draining"
 		writeError(w, http.StatusServiceUnavailable, errDraining.Error(), 1)
 		return
 	}
@@ -373,49 +499,75 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Unlock()
 	defer s.wg.Done()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		outcome = "bad_request"
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST", 0)
 		return
 	}
 	if err := r.ParseForm(); err != nil {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
 	spec, err := parseQuery(r.Form, s.g.NumNodes(), s.cfg)
 	if err != nil {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	algo = spec.algo
+	tr = s.tracer.Start(id, spec.algo) // nil unless sampled
 
 	// The request deadline covers queueing AND execution: a query that
 	// spent its whole budget waiting for a slot is not run at all.
 	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
 	defer cancel()
 
+	admitStart := time.Now()
 	release, err := s.admit(ctx)
+	wait = time.Since(admitStart)
 	if err != nil {
 		if errors.Is(err, errShed) {
+			outcome = "shed"
 			s.shed.Inc()
 			writeError(w, http.StatusTooManyRequests, err.Error(), 1)
 			return
 		}
+		outcome = ctxOutcome(err)
 		s.writeCtxError(w, err) // deadline or client disconnect while queued
 		return
 	}
 	defer release()
+	tr.AddSpan(obs.SpanAdmission, admitStart)
+	ctx = obs.WithTrace(ctx, tr) // no-op (and no alloc) when tr is nil
 
 	resp, err := s.execute(ctx, spec)
 	s.latencyNs.ObserveDuration(time.Since(start))
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
+			outcome = ctxOutcome(ctxErr)
 			s.writeCtxError(w, ctxErr)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err.Error(), 0)
 		return
 	}
+	outcome = "ok"
+	for _, res := range resp.Results {
+		if res.BatchSize > batch {
+			batch = res.BatchSize
+		}
+	}
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ctxOutcome names a context error for traces and access logs.
+func ctxOutcome(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return "cancelled"
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 for a client that

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -373,6 +375,200 @@ func FuzzServeQuery(f *testing.F) {
 			t.Fatalf("accepted %q without sources", spec.algo)
 		}
 	})
+}
+
+// TestTracingEndToEnd issues a traced batched query and checks the whole
+// observability contract: the trace lands in /debug/traces with the span
+// kinds the serving path promises (admission, queue, fuse, iteration,
+// demux) and its request id matches the access-log line for the same
+// request.
+func TestTracingEndToEnd(t *testing.T) {
+	var accessBuf syncBuffer
+	s := newTestServer(t, serverConfig{
+		useBatcher:  true,
+		traceSample: 1,
+		accessLog:   &accessBuf,
+	})
+
+	resp := decodeResponse(t, get(s, "/v1/query?algo=ppr&sources=3,7,11&iters=15&tol=0&top=2"))
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+
+	rec := get(s, "/debug/traces?outcome=ok")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	var body struct {
+		Capacity int                   `json:"capacity"`
+		Traces   []mixen.TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/debug/traces JSON: %v", err)
+	}
+	if len(body.Traces) == 0 {
+		t.Fatal("no completed traces in the ring")
+	}
+	tr := body.Traces[len(body.Traces)-1] // oldest = the query (newest-first order)
+	for _, cand := range body.Traces {
+		if cand.Op == "ppr" {
+			tr = cand
+			break
+		}
+	}
+	if tr.Op != "ppr" || tr.Outcome != "ok" {
+		t.Fatalf("trace = %+v, want op=ppr outcome=ok", tr)
+	}
+	if tr.BatchSize < 3 {
+		t.Errorf("trace batch size = %d, want >= 3 (fused)", tr.BatchSize)
+	}
+	kinds := map[string]bool{}
+	for _, sp := range tr.Spans {
+		kinds[string(sp.Kind)] = true
+	}
+	for _, want := range []string{"admission", "queue", "fuse", "iteration", "demux"} {
+		if !kinds[want] {
+			t.Errorf("trace missing span kind %q; have %v", want, kinds)
+		}
+	}
+	if len(kinds) < 4 {
+		t.Errorf("trace has %d distinct span kinds, want >= 4", len(kinds))
+	}
+
+	line := accessBuf.String()
+	if line == "" {
+		t.Fatal("access log is empty")
+	}
+	wantID := fmt.Sprintf("id=%d ", tr.ID)
+	if !strings.Contains(line, wantID) {
+		t.Errorf("access log %q does not contain %q (trace/access id mismatch)", line, wantID)
+	}
+	for _, frag := range []string{"algo=ppr", "outcome=ok", "queue_wait_us=", "total_us=", "batch="} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("access log %q missing %q", line, frag)
+		}
+	}
+}
+
+// TestTracingOffKeepsRingEmpty: with sampling off, queries still succeed,
+// ids still advance, and nothing lands in the ring.
+func TestTracingOffKeepsRingEmpty(t *testing.T) {
+	s := newTestServer(t, serverConfig{useBatcher: true})
+	decodeResponse(t, get(s, "/v1/query?algo=pagerank&iters=5&tol=0"))
+	rec := get(s, "/debug/traces")
+	var body struct {
+		Traces []mixen.TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/debug/traces JSON: %v", err)
+	}
+	if len(body.Traces) != 0 {
+		t.Errorf("tracing off but ring holds %d traces", len(body.Traces))
+	}
+}
+
+// TestAccessLogOutcomes checks the outcome field across the error paths.
+func TestAccessLogOutcomes(t *testing.T) {
+	var accessBuf syncBuffer
+	s := newTestServer(t, serverConfig{maxConcurrent: 1, maxQueue: 1, accessLog: &accessBuf})
+
+	get(s, "/v1/query?algo=nope") // bad_request
+	s.sem <- struct{}{}
+	s.queued.Add(1)
+	get(s, "/v1/query?algo=pagerank&iters=1") // shed
+	s.queued.Add(-1)
+	get(s, "/v1/query?algo=pagerank&iters=1&timeout=20ms") // deadline (queued)
+	<-s.sem
+
+	logged := accessBuf.String()
+	for _, want := range []string{"outcome=bad_request", "outcome=shed", "outcome=deadline"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("access log missing %q:\n%s", want, logged)
+		}
+	}
+}
+
+// TestPrometheusEndpoint scrapes /metrics?format=prom off the serving mux
+// and validates the exposition shape.
+func TestPrometheusEndpoint(t *testing.T) {
+	s := newTestServer(t, serverConfig{useBatcher: true})
+	decodeResponse(t, get(s, "/v1/query?algo=pagerank&iters=5&tol=0"))
+
+	rec := get(s, "/metrics?format=prom")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	lineRe := regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="([0-9]+|\+Inf)"\})? -?[0-9]+)$`)
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !lineRe.MatchString(line) {
+			t.Errorf("line %d not valid exposition: %q", ln+1, line)
+		}
+	}
+	if !strings.Contains(body, "server_requests_total 1") {
+		t.Errorf("exposition missing server_requests_total:\n%.500s", body)
+	}
+	// The plain JSON endpoint must be unaffected.
+	var snap map[string]any
+	if err := json.Unmarshal(get(s, "/metrics").Body.Bytes(), &snap); err != nil {
+		t.Errorf("/metrics JSON broken: %v", err)
+	}
+}
+
+// TestWindowedSLOGauges drives requests (one ok, one error) and checks the
+// sampled gauges reflect the live window.
+func TestWindowedSLOGauges(t *testing.T) {
+	s := newTestServer(t, serverConfig{useBatcher: true})
+	decodeResponse(t, get(s, "/v1/query?algo=pagerank&iters=5&tol=0"))
+	get(s, "/v1/query?algo=nope") // error → errWindow
+
+	s.sampleSLO()
+	if got := s.winRequests.Value(); got != 2 {
+		t.Errorf("window_requests = %d, want 2", got)
+	}
+	if got := s.winErrors.Value(); got != 1 {
+		t.Errorf("window_errors = %d, want 1", got)
+	}
+	if got := s.winErrPermille.Value(); got != 500 {
+		t.Errorf("window_error_permille = %d, want 500", got)
+	}
+	if s.winP50.Value() <= 0 || s.winP99.Value() < s.winP50.Value() {
+		t.Errorf("window percentiles implausible: p50=%d p99=%d", s.winP50.Value(), s.winP99.Value())
+	}
+}
+
+// TestSchedPoolSampler: the sched gauges must be populated after a run.
+func TestSchedPoolSampler(t *testing.T) {
+	s := newTestServer(t, serverConfig{useBatcher: true})
+	decodeResponse(t, get(s, "/v1/query?algo=pagerank&iters=5&tol=0"))
+	sample := schedPoolSampler(s.reg)
+	sample()
+	st := mixen.SchedPoolStats()
+	if got := s.reg.Gauge("sched.pool_workers").Value(); got != int64(st.Workers) {
+		t.Errorf("sched.pool_workers = %d, want %d", got, st.Workers)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the access logger writes
+// from handler goroutines while tests read.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // BenchmarkServeQuery is the end-to-end serving hot path: decode, admit,

@@ -79,6 +79,10 @@ type batchReq struct {
 	fut  *Future
 	ctx  context.Context
 	enq  time.Time
+	// traces carries the submitter's request-scoped traces (captured once
+	// at Submit so the flush goroutine never touches a context the waiter
+	// may have abandoned). Nil for untraced requests.
+	traces []*obs.Trace
 }
 
 // batchQueue collects pending requests for one ring.
@@ -179,7 +183,7 @@ func (b *Batcher) SubmitCtx(ctx context.Context, prog vprog.Program) (*Future, e
 		return nil, fmt.Errorf("core: batcher: unknown ring %d", ring)
 	}
 	fut := &Future{done: make(chan struct{})}
-	req := batchReq{prog: prog, fut: fut, ctx: ctx, enq: time.Now()}
+	req := batchReq{prog: prog, fut: fut, ctx: ctx, enq: time.Now(), traces: obs.ContextTraces(ctx)}
 
 	b.mu.Lock()
 	if b.closed {
@@ -243,8 +247,25 @@ func (b *Batcher) flush(reqs []batchReq) {
 	now := time.Now()
 	b.m.flushes.Inc()
 	b.m.size.Observe(int64(len(reqs)))
+	// allTraces rides into the fused run's context so the engine records
+	// its per-iteration spans on behalf of every traced member; nil (and
+	// allocation-free) when no member is traced. Members of one multi-lane
+	// request share a trace — it gets one queue span per lane but must
+	// appear in allTraces once, or every downstream span doubles.
+	var allTraces []*obs.Trace
 	for _, r := range reqs {
 		b.m.queueWaitNs.Observe(now.Sub(r.enq).Nanoseconds())
+	memberTraces:
+		for _, t := range r.traces {
+			t.AddSpanIter(obs.SpanQueue, 0, r.enq, now)
+			t.SetBatchSize(len(reqs))
+			for _, seen := range allTraces {
+				if seen == t {
+					continue memberTraces
+				}
+			}
+			allTraces = append(allTraces, t)
+		}
 	}
 
 	progs := make([]vprog.Program, len(reqs))
@@ -256,12 +277,16 @@ func (b *Batcher) flush(reqs []batchReq) {
 		b.failAll(reqs, err)
 		return
 	}
+	for _, t := range allTraces {
+		t.AddSpan(obs.SpanFuse, now)
+	}
 	// The fused run executes under a context that is cancelled when every
 	// member's context is done: a batch nobody is waiting for must not
 	// keep a pooled wide workspace pinned for its full iteration budget.
 	// One member with an uncancellable context (plain Submit) keeps the
 	// run alive unconditionally, as it should.
 	runCtx, stopRun := b.runContext(reqs)
+	runCtx = obs.WithTraces(runCtx, allTraces)
 
 	// The engine's width-keyed pool keeps a small set of long-lived wide
 	// workspaces alive across flushes, so steady-state serving reuses the
@@ -278,11 +303,15 @@ func (b *Batcher) flush(reqs []batchReq) {
 		b.failAll(reqs, err)
 		return
 	}
+	demuxStart := time.Now()
 	split, err := bp.Split(res) // copies values out of ws.out
 	pool.Put(ws)
 	if err != nil {
 		b.failAll(reqs, err)
 		return
+	}
+	for _, t := range allTraces {
+		t.AddSpan(obs.SpanDemux, demuxStart)
 	}
 
 	// Modeled traffic: the fused pass vs what the same queries would have

@@ -256,3 +256,59 @@ func TestBatchedMainPhaseAllocatesNothing(t *testing.T) {
 		t.Fatalf("fused main-phase iteration allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+// TestBatcherSharedTraceSpansNotDuplicated: two lanes of one multi-source
+// request share a single trace via their common context. The trace gets one
+// queue span per lane (each lane's own wait is real) but must appear in the
+// fused run's trace list once — otherwise fuse/demux and every engine span
+// double and the span cap burns at 2x rate.
+func TestBatcherSharedTraceSpansNotDuplicated(t *testing.T) {
+	g := skewedForConcurrency(t)
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, BatcherConfig{MaxBatch: 2, MaxWait: 50 * time.Millisecond})
+	defer b.Close()
+
+	tracer := obs.NewTracer(4, 1)
+	tr := tracer.Start(tracer.NextID(), "ppr")
+	ctx := obs.WithTrace(t.Context(), tr)
+
+	const iters = 5
+	fut1, err := b.SubmitCtx(ctx, algo.NewPersonalizedPageRank(g, 3, 0.85, 0, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut2, err := b.SubmitCtx(ctx, algo.NewPersonalizedPageRank(g, 7, 0.85, 0, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	tracer.Finish(tr, "ok")
+
+	snap := tracer.Ring().Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(snap))
+	}
+	counts := map[obs.SpanKind]int{}
+	for _, s := range snap[0].Spans {
+		counts[s.Kind]++
+	}
+	if counts[obs.SpanQueue] != 2 {
+		t.Errorf("queue spans = %d, want 2 (one per lane)", counts[obs.SpanQueue])
+	}
+	for _, k := range []obs.SpanKind{obs.SpanFuse, obs.SpanDemux, obs.SpanPrePhase} {
+		if counts[k] != 1 {
+			t.Errorf("%s spans = %d, want 1", k, counts[k])
+		}
+	}
+	if counts[obs.SpanIteration] != iters {
+		t.Errorf("iteration spans = %d, want %d", counts[obs.SpanIteration], iters)
+	}
+}

@@ -431,6 +431,11 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 	st := e.state.Load()
 	var stats RunStats
 
+	// Request-scoped traces riding on ctx (one per fused batch member).
+	// One Value lookup; nil — and therefore free past this line — for
+	// every untraced run, preserving the zero-allocation steady state.
+	reqTraces := obs.ContextTraces(ctx)
+
 	// Bind this run into the workspace's prebuilt execution context.
 	rc := &ws.rc
 	rc.stopPtr = nil
@@ -482,6 +487,9 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 	e.pushSeeds(rc.x, rc.scale, rc.sta, rc.ring, w)
 	stats.PreTime = time.Since(t0)
 	st.m.preNs.Observe(int64(stats.PreTime))
+	for _, t := range reqTraces {
+		t.AddSpanIter(obs.SpanPrePhase, 0, t0, t0.Add(stats.PreTime))
+	}
 
 	// Main-Phase.
 	t1 := time.Now()
@@ -489,10 +497,11 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 	delta := math.Inf(1)
 	e.SkippedBlocks.Store(0)
 	var lastSkipped int64
-	// Per-iteration tracing is on when explicitly requested or when a
-	// recording collector is attached; the timeline slice itself is only
-	// kept when Config.Trace asks for it.
-	traced := e.cfg.Trace || st.col.Enabled()
+	// Per-iteration tracing is on when explicitly requested, when a
+	// recording collector is attached, or when the run carries
+	// request-scoped traces; the timeline slice itself is only kept when
+	// Config.Trace asks for it.
+	traced := e.cfg.Trace || st.col.Enabled() || len(reqTraces) > 0
 	for iter < prog.MaxIter() {
 		// Iteration-boundary cancellation check: one predictable branch,
 		// one atomic load and one non-blocking channel poll on cancellable
@@ -538,6 +547,16 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 			sched.ForRangeStop(e.P.B, rc.threads, 1, rc.stopPtr, rc.gatherBody)
 			it.GatherNs = time.Since(mark).Nanoseconds()
 			st.m.gatherNs.Observe(it.GatherNs)
+			// One iteration span per request trace, covering
+			// Scatter+Cache+Gather (derived from the phase marks — no
+			// extra clock reads on the traced path).
+			if len(reqTraces) > 0 {
+				iterStart := mark.Add(-time.Duration(it.ScatterNs + it.CacheNs))
+				iterEnd := mark.Add(time.Duration(it.GatherNs))
+				for _, t := range reqTraces {
+					t.AddSpanIter(obs.SpanIteration, iter+1, iterStart, iterEnd)
+				}
+			}
 			for _, cd := range rc.colDelta {
 				d += cd
 			}
@@ -602,6 +621,9 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 	e.postSinks(prog, rc.x, rc.scale, rc.ring, w, rc.threads)
 	stats.PostTime = time.Since(t2)
 	st.m.postNs.Observe(int64(stats.PostTime))
+	for _, t := range reqTraces {
+		t.AddSpanIter(obs.SpanPostPhase, 0, t2, t2.Add(stats.PostTime))
+	}
 
 	// Translate back to original id order.
 	sched.ForRange(n, rc.threads, 1024, rc.translateBody)

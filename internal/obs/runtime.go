@@ -1,0 +1,99 @@
+// Runtime poller: a background goroutine sampling the Go runtime
+// (goroutines, heap, GC) into Registry gauges at a fixed interval, so the
+// serving process's resource state is visible through the same /metrics
+// surface as the engine's own instruments.
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimePoller periodically samples runtime statistics into a Registry.
+// Construct with StartRuntimePoller; Stop terminates the goroutine.
+type RuntimePoller struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimePoller begins sampling the Go runtime into r every interval
+// (clamped to >= 100ms — ReadMemStats briefly stops the world). Gauges
+// written: runtime.goroutines, runtime.heap_alloc_bytes,
+// runtime.heap_sys_bytes, runtime.heap_objects, runtime.gc_count,
+// runtime.gc_pause_total_ns and runtime.last_gc_pause_ns. One sample is
+// taken synchronously before the poller goroutine starts, so the gauges
+// are never zero-for-missing after this returns.
+//
+// The extra funcs run on every sample tick (after the runtime gauges), so
+// callers can piggyback their own periodic sampling — windowed SLO gauges,
+// scheduler-pool depth — on the one poller goroutine.
+func StartRuntimePoller(r *Registry, interval time.Duration, extra ...func()) *RuntimePoller {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	g := runtimeGauges{
+		goroutines:   r.Gauge("runtime.goroutines"),
+		heapAlloc:    r.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:      r.Gauge("runtime.heap_sys_bytes"),
+		heapObjects:  r.Gauge("runtime.heap_objects"),
+		gcCount:      r.Gauge("runtime.gc_count"),
+		gcPauseTotal: r.Gauge("runtime.gc_pause_total_ns"),
+		lastGCPause:  r.Gauge("runtime.last_gc_pause_ns"),
+	}
+	sample := func() {
+		g.sample()
+		for _, f := range extra {
+			f()
+		}
+	}
+	sample()
+	p := &RuntimePoller{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Stop terminates the poller goroutine and waits for it to exit. Safe to
+// call once; nil-safe.
+func (p *RuntimePoller) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	<-p.done
+}
+
+type runtimeGauges struct {
+	goroutines   *Gauge
+	heapAlloc    *Gauge
+	heapSys      *Gauge
+	heapObjects  *Gauge
+	gcCount      *Gauge
+	gcPauseTotal *Gauge
+	lastGCPause  *Gauge
+}
+
+func (g *runtimeGauges) sample() {
+	g.goroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.heapAlloc.Set(int64(ms.HeapAlloc))
+	g.heapSys.Set(int64(ms.HeapSys))
+	g.heapObjects.Set(int64(ms.HeapObjects))
+	g.gcCount.Set(int64(ms.NumGC))
+	g.gcPauseTotal.Set(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		g.lastGCPause.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}

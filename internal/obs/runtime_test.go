@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRuntimePoller(t *testing.T) {
+	r := NewRegistry()
+	var extraCalls atomic.Int64
+	p := StartRuntimePoller(r, time.Hour, func() { extraCalls.Add(1) })
+	defer p.Stop()
+
+	// The synchronous first sample must have populated the gauges and run
+	// the extra func before StartRuntimePoller returned.
+	if r.Gauge("runtime.goroutines").Value() <= 0 {
+		t.Error("runtime.goroutines not sampled")
+	}
+	if r.Gauge("runtime.heap_alloc_bytes").Value() <= 0 {
+		t.Error("runtime.heap_alloc_bytes not sampled")
+	}
+	if extraCalls.Load() != 1 {
+		t.Errorf("extra sampler ran %d times, want 1 (synchronous first sample)", extraCalls.Load())
+	}
+}
+
+func TestRuntimePollerStop(t *testing.T) {
+	p := StartRuntimePoller(NewRegistry(), time.Millisecond)
+	p.Stop() // must terminate and not deadlock
+	var nilP *RuntimePoller
+	nilP.Stop() // nil-safe
+}

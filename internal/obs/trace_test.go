@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddSpan(SpanAdmission, time.Now())
+	tr.AddSpanIter(SpanIteration, 3, time.Now(), time.Now())
+	tr.SetBatchSize(4)
+	if tr.ID() != 0 {
+		t.Errorf("nil trace ID = %d, want 0", tr.ID())
+	}
+	var tcr *Tracer
+	if tcr.NextID() != 0 {
+		t.Error("nil tracer NextID != 0")
+	}
+	if tcr.Enabled() {
+		t.Error("nil tracer Enabled")
+	}
+	if tcr.Start(1, "x") != nil {
+		t.Error("nil tracer Start != nil")
+	}
+	tcr.Finish(nil, "ok")
+	if tcr.Ring() != nil {
+		t.Error("nil tracer Ring != nil")
+	}
+	var ring *TraceRing
+	if ring.Snapshot() != nil || ring.Len() != 0 {
+		t.Error("nil ring not empty")
+	}
+	ring.put(nil)
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(8, 0)
+	if tr.Enabled() {
+		t.Error("sample=0 tracer reports Enabled")
+	}
+	if tr.Start(tr.NextID(), "q") != nil {
+		t.Error("sample=0 tracer returned a recording trace")
+	}
+
+	tr = NewTracer(8, 3)
+	traced := 0
+	for i := 0; i < 9; i++ {
+		if tr.Start(tr.NextID(), "q") != nil {
+			traced++
+		}
+	}
+	if traced != 3 {
+		t.Errorf("sample=3 traced %d of 9, want 3", traced)
+	}
+
+	tr = NewTracer(8, 1)
+	if tr.Start(tr.NextID(), "q") == nil {
+		t.Error("sample=1 tracer did not trace")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTracer(4, 1)
+	id := tr.NextID()
+	tc := tr.Start(id, "pagerank")
+	start := time.Now()
+	tc.AddSpan(SpanAdmission, start.Add(-2*time.Millisecond))
+	tc.AddSpanIter(SpanIteration, 1, start.Add(-time.Millisecond), start)
+	tc.SetBatchSize(5)
+	tr.Finish(tc, "ok")
+
+	snaps := tr.Ring().Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.ID != id || s.Op != "pagerank" || s.Outcome != "ok" || s.BatchSize != 5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if len(s.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(s.Spans))
+	}
+	if s.Spans[0].Kind != SpanAdmission || s.Spans[1].Kind != SpanIteration {
+		t.Errorf("span kinds = %v, %v", s.Spans[0].Kind, s.Spans[1].Kind)
+	}
+	if s.Spans[1].Iter != 1 {
+		t.Errorf("iteration span iter = %d, want 1", s.Spans[1].Iter)
+	}
+	if s.TotalNs <= 0 {
+		t.Errorf("total = %d, want > 0", s.TotalNs)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(1, 1)
+	tc := tr.Start(1, "long")
+	now := time.Now()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tc.AddSpanIter(SpanIteration, i+1, now, now)
+	}
+	tr.Finish(tc, "ok")
+	s := tr.Ring().Snapshot()[0]
+	if len(s.Spans) != maxTraceSpans {
+		t.Errorf("stored spans = %d, want cap %d", len(s.Spans), maxTraceSpans)
+	}
+	if s.DroppedSpans != 10 {
+		t.Errorf("dropped = %d, want 10", s.DroppedSpans)
+	}
+}
+
+func TestTraceRingOverwriteAndOrder(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		tc := tr.Start(tr.NextID(), "q")
+		tr.Finish(tc, "ok")
+	}
+	snaps := tr.Ring().Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snaps))
+	}
+	// Newest first: ids 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if snaps[i].ID != want {
+			t.Errorf("snaps[%d].ID = %d, want %d", i, snaps[i].ID, want)
+		}
+	}
+}
+
+// TestTraceRingConcurrent hammers the ring from many writers while readers
+// snapshot — run with -race (CI does).
+func TestTraceRingConcurrent(t *testing.T) {
+	tr := NewTracer(16, 1)
+	const writers = 8
+	const perWriter = 200
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Ring().Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tc := tr.Start(tr.NextID(), "q")
+				tc.AddSpan(SpanQueue, time.Now())
+				tc.AddSpanIter(SpanIteration, 1, time.Now(), time.Now())
+				tr.Finish(tc, "ok")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if n := len(tr.Ring().Snapshot()); n != 16 {
+		t.Errorf("ring holds %d traces after churn, want 16", n)
+	}
+}
+
+func TestContextTracePropagation(t *testing.T) {
+	ctx := context.Background()
+	if ContextTraces(ctx) != nil || TraceFromContext(ctx) != nil {
+		t.Error("fresh context carries traces")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Error("WithTrace(nil) changed the context")
+	}
+	if WithTraces(ctx, nil) != ctx {
+		t.Error("WithTraces(empty) changed the context")
+	}
+	tr := NewTracer(1, 1)
+	tc := tr.Start(1, "q")
+	ctx2 := WithTrace(ctx, tc)
+	if got := TraceFromContext(ctx2); got != tc {
+		t.Errorf("TraceFromContext = %p, want %p", got, tc)
+	}
+	ts := []*Trace{tc, tr.Start(2, "q2")}
+	ctx3 := WithTraces(ctx, ts)
+	if got := ContextTraces(ctx3); len(got) != 2 || got[0] != tc {
+		t.Errorf("ContextTraces = %v", got)
+	}
+}
+
+func tracesHandlerResponse(t *testing.T, tr *Tracer, query string) (int, struct {
+	Capacity int             `json:"capacity"`
+	Traces   []TraceSnapshot `json:"traces"`
+}) {
+	t.Helper()
+	mux := http.NewServeMux()
+	RegisterTraceHandler(mux, tr.Ring())
+	req := httptest.NewRequest(http.MethodGet, "/debug/traces"+query, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var body struct {
+		Capacity int             `json:"capacity"`
+		Traces   []TraceSnapshot `json:"traces"`
+	}
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON from /debug/traces: %v", err)
+		}
+	}
+	return rec.Code, body
+}
+
+func TestTraceHandlerFilters(t *testing.T) {
+	tr := NewTracer(8, 1)
+	slow := tr.Start(tr.NextID(), "slow")
+	time.Sleep(5 * time.Millisecond)
+	tr.Finish(slow, "deadline")
+	fast := tr.Start(tr.NextID(), "fast")
+	tr.Finish(fast, "ok")
+
+	code, body := tracesHandlerResponse(t, tr, "")
+	if code != http.StatusOK || body.Capacity != 8 || len(body.Traces) != 2 {
+		t.Fatalf("unfiltered: code=%d body=%+v", code, body)
+	}
+
+	code, body = tracesHandlerResponse(t, tr, "?min_dur=4ms")
+	if code != http.StatusOK || len(body.Traces) != 1 || body.Traces[0].Op != "slow" {
+		t.Errorf("min_dur filter: code=%d traces=%+v", code, body.Traces)
+	}
+
+	code, body = tracesHandlerResponse(t, tr, "?outcome=deadline")
+	if code != http.StatusOK || len(body.Traces) != 1 || body.Traces[0].Outcome != "deadline" {
+		t.Errorf("outcome filter: code=%d traces=%+v", code, body.Traces)
+	}
+
+	code, body = tracesHandlerResponse(t, tr, "?limit=1")
+	if code != http.StatusOK || len(body.Traces) != 1 {
+		t.Errorf("limit filter: code=%d traces=%d", code, len(body.Traces))
+	}
+
+	if code, _ := tracesHandlerResponse(t, tr, "?min_dur=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad min_dur: code=%d, want 400", code)
+	}
+	if code, _ := tracesHandlerResponse(t, tr, "?limit=-2"); code != http.StatusBadRequest {
+		t.Errorf("bad limit: code=%d, want 400", code)
+	}
+}
+
+func TestTraceHandlerNilRing(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterTraceHandler(mux, nil)
+	req := httptest.NewRequest(http.MethodGet, "/debug/traces", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil ring: code=%d", rec.Code)
+	}
+}

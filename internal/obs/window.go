@@ -1,0 +1,161 @@
+// Windowed SLO metrics: a Window is a ring of sub-histograms rotating on
+// wall-clock slot boundaries (default shape 10 × 1s), so its Stats reflect
+// only the last slots×slotDur of samples — live p50/p95/p99 and rates —
+// instead of the forever-cumulative numbers a plain Histogram reports.
+//
+// Rotation is lazy and almost lock-free: each slot is tagged with the
+// epoch (now / slotDur) it belongs to; an observer landing on a slot from
+// an older epoch resets it under a mutex (once per slot per slotDur — off
+// every hot path) and everything else is the Histogram's own atomics.
+// Stats merges every slot whose epoch is still inside the window,
+// including the partially-filled current slot.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWindowSlots and DefaultWindowSlotDur give the canonical 10-second
+// SLO window: ten one-second sub-histograms.
+const (
+	DefaultWindowSlots   = 10
+	DefaultWindowSlotDur = time.Second
+)
+
+// Window is a sliding-window distribution over the last slots×slotDur of
+// samples. The zero value is unusable; construct with NewWindow. A nil
+// *Window discards updates and reports zero stats, mirroring the nil
+// instrument convention of this package.
+type Window struct {
+	slotDur time.Duration
+	slots   []windowSlot
+	mu      sync.Mutex // serializes slot recycling only
+}
+
+type windowSlot struct {
+	epoch atomic.Int64
+	h     Histogram
+}
+
+// NewWindow returns a window of `slots` sub-histograms each covering
+// slotDur of wall time. slots < 1 or slotDur <= 0 pick the defaults
+// (10 × 1s).
+func NewWindow(slots int, slotDur time.Duration) *Window {
+	if slots < 1 {
+		slots = DefaultWindowSlots
+	}
+	if slotDur <= 0 {
+		slotDur = DefaultWindowSlotDur
+	}
+	w := &Window{slotDur: slotDur, slots: make([]windowSlot, slots)}
+	// Epoch 0 is a valid current epoch right after process start; tag the
+	// fresh slots as "never used" instead.
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+	}
+	return w
+}
+
+// Span returns the window's total coverage (slots × slotDur; 0 for nil).
+func (w *Window) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return time.Duration(len(w.slots)) * w.slotDur
+}
+
+// Observe records one sample into the current slot. Nil-safe.
+func (w *Window) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	w.observeAt(v, time.Now())
+}
+
+// observeAt is Observe with an explicit clock (tests drive rotation
+// without sleeping).
+func (w *Window) observeAt(v int64, now time.Time) {
+	w.slot(now).Observe(v)
+}
+
+// ObserveDuration records a duration sample in nanoseconds. Nil-safe.
+func (w *Window) ObserveDuration(d time.Duration) { w.Observe(int64(d)) }
+
+// slot returns the current epoch's histogram, recycling the slot if it
+// still holds an older epoch's samples.
+func (w *Window) slot(now time.Time) *Histogram {
+	e := now.UnixNano() / int64(w.slotDur)
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.epoch.Load() != e {
+		w.mu.Lock()
+		if s.epoch.Load() != e {
+			s.h.reset()
+			s.epoch.Store(e)
+		}
+		w.mu.Unlock()
+	}
+	return &s.h
+}
+
+// Stats merges every slot still inside the window (including the current,
+// partially-filled one) into one HistogramStats: Count and Sum cover only
+// the window, quantiles are estimated over the merged buckets. Nil-safe
+// (zero stats).
+func (w *Window) Stats() HistogramStats {
+	if w == nil {
+		return HistogramStats{}
+	}
+	return w.statsAt(time.Now())
+}
+
+// statsAt is Stats with an explicit clock (tests drive rotation without
+// sleeping).
+func (w *Window) statsAt(now time.Time) HistogramStats {
+	var s HistogramStats
+	cur := now.UnixNano() / int64(w.slotDur)
+	oldest := cur - int64(len(w.slots)) + 1
+	var counts [histBuckets]int64
+	var minV, maxV int64
+	minSet := false
+	for i := range w.slots {
+		sl := &w.slots[i]
+		e := sl.epoch.Load()
+		if e < oldest || e > cur {
+			continue
+		}
+		for b := range counts {
+			counts[b] += sl.h.buckets[b].Load()
+		}
+		s.Sum += sl.h.sum.Load()
+		if m := sl.h.min.Load(); m > 0 {
+			if !minSet || m-1 < minV {
+				minV = m - 1
+				minSet = true
+			}
+		}
+		if m := sl.h.max.Load(); m > 0 && m-1 > maxV {
+			maxV = m - 1
+		}
+	}
+	// Bucket snapshots race concurrent observers; derive the count from
+	// the buckets so quantile ranks stay consistent (same policy as
+	// Histogram.Stats).
+	var bucketTotal int64
+	for _, c := range counts {
+		bucketTotal += c
+	}
+	s.Count = bucketTotal
+	if bucketTotal == 0 {
+		s.Sum = 0
+		return s
+	}
+	s.Min = minV
+	s.Max = maxV
+	s.Mean = float64(s.Sum) / float64(bucketTotal)
+	s.P50 = bucketQuantile(counts[:], bucketTotal, 0.50, s.Min, s.Max)
+	s.P95 = bucketQuantile(counts[:], bucketTotal, 0.95, s.Min, s.Max)
+	s.P99 = bucketQuantile(counts[:], bucketTotal, 0.99, s.Min, s.Max)
+	return s
+}

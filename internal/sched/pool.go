@@ -120,6 +120,33 @@ func ensureWorkers(want int32) {
 // (test hook: reuse means this stays flat across loops).
 func poolWorkers() int { return int(pool.started.Load()) }
 
+// PoolStats is a point-in-time snapshot of the persistent worker pool,
+// for metrics pollers. Workers is a high-water mark (workers never exit);
+// QueuedWakeups and FreeJobs breathe with load.
+type PoolStats struct {
+	// Workers is the number of persistent workers started so far.
+	Workers int
+	// QueuedWakeups counts wakeup tokens sent but not yet picked up by a
+	// parked worker — sustained growth means loops are being launched
+	// faster than helpers can drain them.
+	QueuedWakeups int
+	// FreeJobs is the recycled loop-descriptor free list's size.
+	FreeJobs int
+}
+
+// Stats snapshots the worker pool. Cheap enough to poll every second: one
+// mutex acquisition and two atomic loads.
+func Stats() PoolStats {
+	pool.freeMu.Lock()
+	free := len(pool.free)
+	pool.freeMu.Unlock()
+	return PoolStats{
+		Workers:       int(pool.started.Load()),
+		QueuedWakeups: len(pool.tokens),
+		FreeJobs:      free,
+	}
+}
+
 func workerLoop() {
 	for j := range pool.tokens {
 		j.run()

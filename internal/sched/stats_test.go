@@ -1,0 +1,26 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPoolStats(t *testing.T) {
+	// Run a parallel loop so the pool has started (on multi-core hosts).
+	var sink [1024]int
+	ForRange(len(sink), 4, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i] = i
+		}
+	})
+	st := Stats()
+	if st.Workers != poolWorkers() {
+		t.Errorf("Stats().Workers = %d, poolWorkers() = %d", st.Workers, poolWorkers())
+	}
+	if runtime.GOMAXPROCS(0) > 1 && st.Workers == 0 {
+		t.Error("no workers started after a parallel loop on a multi-core host")
+	}
+	if st.QueuedWakeups < 0 || st.FreeJobs < 0 {
+		t.Errorf("negative stats: %+v", st)
+	}
+}

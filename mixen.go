@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"mixen/internal/algo"
 	"mixen/internal/analyze"
@@ -549,6 +550,72 @@ func RegisterDebugHandlers(mux *http.ServeMux, r *MetricsRegistry) {
 // PublishExpvar exposes r's snapshot as the named expvar variable
 // (idempotent per name; the latest registry wins).
 func PublishExpvar(name string, r *MetricsRegistry) { obs.PublishExpvar(name, r) }
+
+// WritePrometheusMetrics renders r in the Prometheus text exposition
+// format (text/plain; version=0.0.4) — counters, gauges and cumulative
+// histogram bucket families. RegisterDebugHandlers serves the same
+// rendering at /metrics?format=prom.
+func WritePrometheusMetrics(w io.Writer, r *MetricsRegistry) error {
+	return obs.WritePrometheus(w, r)
+}
+
+// Trace is one request's span record as it flows through admission, the
+// batcher and the engine's iteration loop. A nil *Trace discards
+// everything — the tracing-off path costs one branch per record site.
+type Trace = obs.Trace
+
+// Tracer mints request ids, applies head-based sampling and keeps the
+// completed-trace ring served by RegisterTraceHandler.
+type Tracer = obs.Tracer
+
+// TraceSnapshot is the JSON view of one completed trace.
+type TraceSnapshot = obs.TraceSnapshot
+
+// NewTracer returns a Tracer keeping ringSize completed traces and
+// sampling one in every sample requests (0 disables, 1 traces all).
+func NewTracer(ringSize, sample int) *Tracer { return obs.NewTracer(ringSize, sample) }
+
+// WithTrace attaches t to ctx so engine runs and batcher submissions made
+// under ctx record their spans into it. A nil t returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return obs.WithTrace(ctx, t) }
+
+// TraceFromContext returns the trace attached to ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obs.TraceFromContext(ctx) }
+
+// RegisterTraceHandler mounts /debug/traces on mux, serving tr's completed
+// traces as JSON (filterable by min_dur, outcome and limit).
+func RegisterTraceHandler(mux *http.ServeMux, tr *Tracer) {
+	obs.RegisterTraceHandler(mux, tr.Ring())
+}
+
+// SLOWindow is a sliding-window latency/size distribution (a ring of
+// rotating sub-histograms) whose Stats reflect only the recent past —
+// live p50/p95/p99 for serving dashboards.
+type SLOWindow = obs.Window
+
+// NewSLOWindow returns a window of `slots` sub-histograms each covering
+// slotDur (both <= 0 pick the 10 × 1s default).
+func NewSLOWindow(slots int, slotDur time.Duration) *SLOWindow {
+	return obs.NewWindow(slots, slotDur)
+}
+
+// RuntimePoller samples the Go runtime (goroutines, heap, GC) into a
+// registry at a fixed interval; see StartRuntimePoller.
+type RuntimePoller = obs.RuntimePoller
+
+// StartRuntimePoller begins sampling runtime.* gauges into r every
+// interval; extra funcs run on each tick (for caller-owned periodic
+// sampling). Stop the returned poller to end the goroutine.
+func StartRuntimePoller(r *MetricsRegistry, interval time.Duration, extra ...func()) *RuntimePoller {
+	return obs.StartRuntimePoller(r, interval, extra...)
+}
+
+// SchedulerPoolStats is a snapshot of the shared worker pool (persistent
+// workers, queued wakeups, recycled loop descriptors).
+type SchedulerPoolStats = sched.PoolStats
+
+// SchedPoolStats snapshots the process-wide scheduler worker pool.
+func SchedPoolStats() SchedulerPoolStats { return sched.Stats() }
 
 // Instrument attaches c to an engine that supports telemetry and reports
 // whether it did. All engines in this module do.

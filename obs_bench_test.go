@@ -8,7 +8,9 @@ package mixen
 //	go test -bench=BenchmarkPageRank -benchmem
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"mixen/internal/algo"
 	"mixen/internal/core"
@@ -34,4 +36,85 @@ func BenchmarkPageRank(b *testing.B) {
 	b.Run("collector=none", func(b *testing.B) { benchPageRank(b, nil) })
 	b.Run("collector=noop", func(b *testing.B) { benchPageRank(b, obs.Nop{}) })
 	b.Run("collector=registry", func(b *testing.B) { benchPageRank(b, obs.NewRegistry()) })
+}
+
+// BenchmarkPageRankTracing measures the request-tracing overhead around the
+// same reference run: "off" runs under a plain context (the steady-state
+// serving path when the request is not sampled — must stay at the
+// BenchmarkPageRank baseline), "on" attaches a recording trace so every
+// iteration books a span.
+func BenchmarkPageRankTracing(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		g := benchGraph(b, "wiki")
+		e, err := core.New(g, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracer := obs.NewTracer(16, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			var tr *obs.Trace
+			if traced {
+				tr = tracer.Start(tracer.NextID(), "pagerank")
+				ctx = obs.WithTrace(ctx, tr)
+			}
+			if _, err := e.RunCtx(ctx, algo.NewPageRank(g, 0.85, 0, benchIters)); err != nil {
+				b.Fatal(err)
+			}
+			tracer.Finish(tr, "ok")
+		}
+	}
+	b.Run("traced=off", func(b *testing.B) { run(b, false) })
+	b.Run("traced=on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTracePrimitives isolates the per-record-site cost of the
+// tracing-off path: nil-trace method calls, the untraced context lookup and
+// an unsampled Tracer.Start. Each op covers all of them; the bar is zero
+// allocations.
+func BenchmarkTracePrimitives(b *testing.B) {
+	tracer := obs.NewTracer(16, 0) // sampling off
+	ctx := context.Background()
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start(tracer.NextID(), "q") // nil: not sampled
+		tr.AddSpan(obs.SpanAdmission, now)
+		tr.AddSpanIter(obs.SpanIteration, 1, now, now)
+		tr.SetBatchSize(4)
+		if obs.ContextTraces(ctx) != nil {
+			b.Fatal("background context carries traces")
+		}
+		tracer.Finish(tr, "ok")
+	}
+}
+
+// TestTracingOffPathAllocatesNothing pins the contract the benchmarks
+// measure: with tracing off (nil trace / unsampled tracer / untraced
+// context) no record site allocates, and the Nop collector still hands out
+// nil instruments.
+func TestTracingOffPathAllocatesNothing(t *testing.T) {
+	tracer := obs.NewTracer(16, 0)
+	ctx := context.Background()
+	now := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := tracer.Start(tracer.NextID(), "q")
+		tr.AddSpan(obs.SpanAdmission, now)
+		tr.AddSpanIter(obs.SpanIteration, 1, now, now)
+		tr.SetBatchSize(4)
+		_ = obs.ContextTraces(ctx)
+		_ = obs.WithTrace(ctx, nil)
+		tracer.Finish(tr, "ok")
+	})
+	if allocs != 0 {
+		t.Errorf("tracing-off path allocates %.1f objects/op, want 0", allocs)
+	}
+
+	var c obs.Collector = obs.Nop{}
+	if c.Counter("x") != nil || c.Gauge("x") != nil || c.Histogram("x") != nil || c.Enabled() {
+		t.Error("Nop collector no longer hands out nil instruments")
+	}
 }

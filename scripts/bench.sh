@@ -4,13 +4,13 @@
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
 # entry), the engine-level BenchmarkPageRank, the serving hot-path and
 # load-shed microbenchmarks (cmd/mixenserve), and the sparse-frontier
-# study, then bundles everything into BENCH_PR5.json. When a committed
-# BENCH_PR4.bench.txt exists and benchstat is installed, it also emits a
+# study, then bundles everything into BENCH_PR6.json. When a committed
+# BENCH_PR5.bench.txt exists and benchstat is installed, it also emits a
 # benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR5.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR6.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR5.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR6.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -20,8 +20,8 @@ outdir="${1:-.}"
 mkdir -p "$outdir"
 
 count="${BENCH_COUNT:-5}"
-benchtxt="$outdir/BENCH_PR5.bench.txt"
-json="$outdir/BENCH_PR5.json"
+benchtxt="$outdir/BENCH_PR6.bench.txt"
+json="$outdir/BENCH_PR6.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -42,24 +42,24 @@ trap 'rm -f "$fronttxt" "$benchstattxt"' EXIT
 go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
 
-# benchstat vs the committed PR4 baseline (shared width-sweep and PageRank
-# lines; the serve benchmarks are new this PR and have no PR4 counterpart).
+# benchstat vs the committed PR5 baseline (shared width-sweep and PageRank
+# lines; all benchmark families exist in the PR5 baseline).
 # Informational — missing benchstat or a missing baseline must not fail
 # the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR4.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR4.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR5.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR5.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR4.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR5.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR4.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR5.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR5 deadline-aware serving",'
+  echo '  "bench": "PR6 observability v2: tracing, prom exposition, windowed SLOs",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -89,9 +89,9 @@ fi
   } END { print "" }' "$fronttxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR4 baseline, when available.
+  # benchstat output vs the committed PR5 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr4": ['
+    echo '  "benchstat_vs_pr5": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench_gate.sh — main-phase benchmark regression gate.
+#
+# Compares the median ns/op of the width-1 and width-8 main-phase
+# benchmarks between two `go test -bench` output files and FAILS (exit 1)
+# when either regresses by more than the threshold. CI runs both files on
+# the same runner (base commit, then head), so the comparison is
+# machine-independent; the committed BENCH_PR*.bench.txt snapshots remain
+# the human-readable history.
+#
+# Usage: scripts/bench_gate.sh BASE.txt HEAD.txt [threshold-pct]
+#   threshold-pct defaults to 10.
+#
+# Override: maintainers apply the `bench-regression-ok` label to a PR to
+# skip the gate for intentional tradeoffs (see CONTRIBUTING.md).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 BASE.txt HEAD.txt [threshold-pct]" >&2
+  exit 2
+fi
+base="$1"
+head="$2"
+threshold="${3:-10}"
+
+# median_ns BENCH_REGEX FILE — median ns/op across -count repetitions.
+median_ns() {
+  awk -v re="$1" '
+    $0 ~ re {
+      for (i = 2; i <= NF; i++) if ($i == "ns/op") { v[n++] = $(i-1); break }
+    }
+    END {
+      if (n == 0) { print "NA"; exit }
+      # insertion sort (n is tiny)
+      for (i = 1; i < n; i++) { x = v[i]; j = i - 1
+        while (j >= 0 && v[j] > x) { v[j+1] = v[j]; j-- } v[j+1] = x }
+      if (n % 2) print v[int(n/2)]
+      else print (v[n/2-1] + v[n/2]) / 2
+    }' "$2"
+}
+
+fail=0
+for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]'; do
+  name=$(echo "$bench" | sed 's/(.*//')
+  b=$(median_ns "$bench" "$base")
+  h=$(median_ns "$bench" "$head")
+  if [ "$b" = "NA" ] || [ "$h" = "NA" ]; then
+    echo "bench_gate: $name missing from base or head output (base=$b head=$h)" >&2
+    fail=1
+    continue
+  fi
+  delta=$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) * 100 / b }')
+  over=$(awk -v b="$b" -v h="$h" -v t="$threshold" 'BEGIN { print (h > b * (1 + t/100)) ? 1 : 0 }')
+  if [ "$over" = "1" ]; then
+    echo "bench_gate: FAIL $name regressed ${delta}% (base median ${b} ns/op -> head ${h} ns/op, threshold ${threshold}%)" >&2
+    fail=1
+  else
+    echo "bench_gate: ok   $name ${delta}% (base median ${b} ns/op -> head ${h} ns/op)" >&2
+  fi
+done
+
+if [ "$fail" != 0 ]; then
+  echo "bench_gate: main-phase regression detected. If intentional, apply the" >&2
+  echo "bench_gate: 'bench-regression-ok' label to the PR (see CONTRIBUTING.md)." >&2
+fi
+exit "$fail"
