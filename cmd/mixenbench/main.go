@@ -119,6 +119,20 @@ func main() {
 			}
 			return out, nil
 		},
+		"shard": func(o bench.Options) (string, error) {
+			rows, err := bench.ShardStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatShardStudy(rows)
+			if err := bench.ShardIdentity(rows); err != nil {
+				return "", err
+			}
+			if err := bench.ShardScalingNonIncreasing(rows, 0.10); err != nil {
+				out += "WARNING: " + err.Error() + "\n"
+			}
+			return out, nil
+		},
 		"frontier": func(o bench.Options) (string, error) {
 			rows, err := bench.FrontierStudy(o)
 			if err != nil {
@@ -132,7 +146,7 @@ func main() {
 		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier", "shard"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

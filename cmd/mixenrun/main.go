@@ -69,6 +69,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
 	sparse := flag.Bool("sparse", true, "allow sparsity-aware Scatter on quiet block-rows (mixen engine); -sparse=false forces every active row dense")
+	shardsFlag := flag.Int("shards", 0, "split the regular submatrix into N shards with a propagation-blocking exchange (mixen engine; results are bit-identical to the single partition)")
 	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
 	parallel := flag.Int("parallel", 1, "after the reported run, issue N concurrent runs over the same engine and report runs/sec")
 	batch := flag.Int("batch", 1, "after the reported run, serve K concurrent queries through the batcher as one fused width-K pass and report queries/sec (mixen engine)")
@@ -141,6 +142,10 @@ func main() {
 	if isFlagSet("sparse") && !(info.engine && *engine == "mixen") {
 		fmt.Fprintln(os.Stderr, "mixenrun: -sparse applies only to the mixen engine; ignoring")
 	}
+	if *shardsFlag > 1 && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -shards applies only to the mixen engine; ignoring")
+		*shardsFlag = 0
+	}
 	if *trace && !(info.engine && *engine == "mixen") {
 		fmt.Fprintln(os.Stderr, "mixenrun: -trace requires an engine-run algorithm on the mixen engine; ignoring")
 		*trace = false
@@ -164,7 +169,7 @@ func main() {
 		runEngineAlgo(g, report, reg, *algoName, *engine, engineOpts{
 			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
 			threads: *threads, top: *top, trace: *trace, parallel: *parallel,
-			batch: *batch, sparse: *sparse,
+			batch: *batch, sparse: *sparse, shards: *shardsFlag,
 		})
 	} else {
 		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
@@ -187,6 +192,7 @@ type engineOpts struct {
 	parallel               int
 	batch                  int
 	sparse                 bool
+	shards                 int
 }
 
 // runEngineAlgo executes one of the vertex-program algorithms (indegree,
@@ -229,7 +235,7 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		if reg != nil {
 			col = reg
 		}
-		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col, DisableSparse: !o.sparse})
+		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col, DisableSparse: !o.sparse, Shards: o.shards})
 		if nerr != nil {
 			fail(nerr)
 		}

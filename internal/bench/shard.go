@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mixen/internal/algo"
+	"mixen/internal/core"
+	"mixen/internal/graph"
+)
+
+// ShardRow is one point of the shard-scaling experiment: PageRank on a
+// skewed preset with the regular submatrix split into Shards shards.
+type ShardRow struct {
+	Graph  string
+	Shards int // effective count (may be clamped below the request)
+	// CutFrac is the fraction of regular-submatrix edges crossing shards
+	// (outbox traffic).
+	CutFrac float64
+	// PrepSec is filtering + shard-aware partitioning.
+	PrepSec float64
+	// MainSec is main-phase seconds per iteration; Speedup is the S=1
+	// MainSec over this row's.
+	MainSec float64
+	Speedup float64
+	// Identical reports bit-identity of the full result vector against
+	// the S=1 run — the tentpole's correctness gate.
+	Identical bool
+}
+
+// shardGraphs is the default graph set: skewed presets, where hub
+// concentration makes the cut fraction (and thus the exchange) non-trivial.
+var shardGraphs = []string{"weibo", "wiki"}
+
+// shardCounts is the sweep: single partition, then 2 and 4 shards.
+var shardCounts = []int{1, 2, 4}
+
+// ShardStudy measures the sharded engine against the single-partition
+// build: per-iteration main-phase time at S ∈ {1,2,4}, the cut-edge
+// fraction each split pays, and bit-identity of the results. On a
+// multi-core runner main-phase time should be non-increasing S=1→2
+// (propagation blocking keeps the exchange sequential per inbox); on a
+// single core the sweep still validates identity and reports the cut cost.
+func ShardStudy(o Options) ([]ShardRow, error) {
+	o = o.withDefaults()
+	if len(o.Graphs) == 0 {
+		o.Graphs = shardGraphs
+	}
+	graphs, order, err := o.buildGraphs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ShardRow
+	for _, gname := range order {
+		g := graphs[gname]
+		var baseVals []float64
+		var baseMain float64
+		seen := map[int]bool{}
+		for _, s := range shardCounts {
+			row, vals, err := shardPoint(g, gname, s, o)
+			if err != nil {
+				return nil, err
+			}
+			// A request clamped down to an already-measured effective count
+			// (tiny regular submatrix) would duplicate that row — skip it.
+			if seen[row.Shards] && s != 1 {
+				continue
+			}
+			seen[row.Shards] = true
+			if s == 1 {
+				baseVals, baseMain = vals, row.MainSec
+				row.Identical = true
+			} else {
+				row.Identical = sameVec(vals, baseVals)
+			}
+			if baseMain > 0 && row.MainSec > 0 {
+				row.Speedup = baseMain / row.MainSec
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func shardPoint(g *graph.Graph, gname string, shards int, o Options) (ShardRow, []float64, error) {
+	e, err := core.New(g, core.Config{Threads: o.Threads, Shards: shards})
+	if err != nil {
+		return ShardRow{}, nil, fmt.Errorf("bench: shard %s S=%d: %w", gname, shards, err)
+	}
+	row := ShardRow{Graph: gname, Shards: 1, PrepSec: e.Prep.Total().Seconds()}
+	if sh := e.Sharding(); sh != nil {
+		row.Shards = sh.S
+		row.CutFrac = sh.CutFraction()
+	}
+	// Warm-up run so pool workspaces and page faults are off the clock.
+	if _, err := e.Run(algo.NewPageRank(g, 0.85, 0, 2)); err != nil {
+		return ShardRow{}, nil, err
+	}
+	res, stats, err := e.RunWithStats(algo.NewPageRank(g, 0.85, 0, o.Iters))
+	if err != nil {
+		return ShardRow{}, nil, err
+	}
+	iters := res.Iterations
+	if iters == 0 {
+		iters = 1
+	}
+	row.MainSec = stats.MainTime.Seconds() / float64(iters)
+	return row, res.Values, nil
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardIdentity fails when any sweep point diverged from the S=1 result —
+// the hard gate the driver surfaces as an error, not a warning.
+func ShardIdentity(rows []ShardRow) error {
+	for _, r := range rows {
+		if !r.Identical {
+			return fmt.Errorf("bench: %s S=%d result diverged from single partition", r.Graph, r.Shards)
+		}
+	}
+	return nil
+}
+
+// ShardScalingNonIncreasing reports whether S=2 main-phase time stayed
+// within tolerance of S=1 per graph (the multi-core acceptance gate; on a
+// single-core host the caller downgrades this to a warning).
+func ShardScalingNonIncreasing(rows []ShardRow, tolerance float64) error {
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Shards == 1 {
+			base[r.Graph] = r.MainSec
+		}
+	}
+	for _, r := range rows {
+		if r.Shards == 2 {
+			if b, ok := base[r.Graph]; ok && b > 0 && r.MainSec > b*(1+tolerance) {
+				return fmt.Errorf("bench: %s main-phase grew S=1→2: %.6fs → %.6fs (tolerance %.0f%%)",
+					r.Graph, b, r.MainSec, 100*tolerance)
+			}
+		}
+	}
+	return nil
+}
+
+// FormatShardStudy renders the sweep.
+func FormatShardStudy(rows []ShardRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %7s %9s %10s %12s %9s %10s\n",
+		"Graph", "shards", "cut%", "prep_sec", "main_s/iter", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %7d %8.1f%% %10.4f %12.6f %9.2f %10v\n",
+			r.Graph, r.Shards, 100*r.CutFrac, r.PrepSec, r.MainSec, r.Speedup, r.Identical)
+	}
+	return b.String()
+}

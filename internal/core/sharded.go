@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"mixen/internal/block"
+	"mixen/internal/graph"
+)
+
+// ShardedEngine is an Engine whose regular submatrix is split into S
+// contiguous, block-aligned shards, each owning its own block.Partition
+// (Sharding().Local), with cross-shard contributions routed through
+// per-(source-shard, dest-shard) outbox bins — propagation blocking at
+// shard granularity.
+//
+// Execution model. The shards do not run as S separate engines: the shard
+// layout is compiled into one combined execution partition (Sharding().Exec
+// — shard-local blocks first, then the cut blocks that ARE the outboxes)
+// whose per-destination fold order is identical to the single-partition
+// build. Scatter therefore decomposes into a shard-local pass plus the
+// exchange (the cut-block pass filling the outbox bins), and Gather drains
+// each destination shard's inboxes interleaved with its local bins in the
+// single fixed fold order — which is what makes results bit-identical to
+// the single-partition engine for every algorithm, width and sparse/dense
+// mode. Per-shard state (frontier worklists, bins, property segments) is
+// the shard's Lo-aligned slice of the workspace's global arrays, so one
+// workspace pool serves all shards without cross-shard false sharing on
+// bin writes (bins are disjoint per sub-block regardless of shard).
+//
+// All Engine entry points — Run, RunCtx, RunInWorkspace, the Batcher —
+// work unchanged; the embedded Engine simply runs with P = Sharding().Exec.
+type ShardedEngine struct {
+	*Engine
+}
+
+// NewSharded preprocesses g into a sharded engine with cfg.Shards shards
+// (at least 2; use New for a single partition). The shard count may be
+// clamped down when the regular submatrix has fewer block-rows than
+// requested shards; Sharding().S reports the effective count.
+func NewSharded(g *graph.Graph, cfg Config) (*ShardedEngine, error) {
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("core: NewSharded needs Config.Shards >= 2, got %d", cfg.Shards)
+	}
+	e, err := New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{Engine: e}, nil
+}
+
+// Sharding returns the engine's shard layout, or nil when the engine was
+// built single-partition (including the degenerate case where the
+// submatrix had too few blocks to split).
+func (e *Engine) Sharding() *block.Sharding { return e.sh }
+
+// Name implements vprog.Engine.
+func (e *ShardedEngine) Name() string { return "mixen-sharded" }
+
+// ShardStat describes one shard's share of the graph and its exchange
+// traffic, for balance inspection (cmd/mixenstats -shards).
+type ShardStat struct {
+	// Nodes is the shard's regular-node count, Hubs the hub nodes among
+	// them (hubs occupy the front of the regular range, so low shards
+	// absorb them).
+	Nodes int
+	Hubs  int
+	// LocalEdges are edges with both endpoints in the shard; OutEdges /
+	// InEdges cross into other shards' outboxes / from other shards'
+	// inboxes.
+	LocalEdges int64
+	OutEdges   int64
+	InEdges    int64
+}
+
+// ShardStats reports per-shard balance for a sharding over a filtered
+// graph with numHub hub nodes (hubs are the first numHub regular ids).
+// A nil sh (an engine whose shard count clamped to 1) yields nil.
+func ShardStats(sh *block.Sharding, numHub int) []ShardStat {
+	if sh == nil {
+		return nil
+	}
+	out := make([]ShardStat, sh.S)
+	for t := 0; t < sh.S; t++ {
+		hubs := numHub - sh.Lo[t]
+		if hubs < 0 {
+			hubs = 0
+		}
+		if n := sh.ShardNodes(t); hubs > n {
+			hubs = n
+		}
+		out[t] = ShardStat{
+			Nodes:      sh.ShardNodes(t),
+			Hubs:       hubs,
+			LocalEdges: sh.ShardLocalEdges(t),
+			OutEdges:   sh.ShardOutEdges(t),
+			InEdges:    sh.ShardInEdges(t),
+		}
+	}
+	return out
+}
+
+// exchangeEntries returns the outbox bin entries this iteration's Scatter
+// (re)writes, from the iteration plan: dense-mode rows contribute their
+// cut entries, sparse-mode rows their frontier nodes' cut entries (those
+// land via the sparse body after the dense exchange pass, but they are
+// exchange traffic all the same), skipped rows nothing. O(B + sparse
+// frontier), coordinator-only, traced path only.
+func (rc *runCtx) exchangeEntries(sh *block.Sharding) int64 {
+	if rc.first || !rc.track {
+		return sh.CutEntries
+	}
+	var ex int64
+	for i := 0; i < rc.e.P.B; i++ {
+		if rc.rowMode[i] == modeDense {
+			ex += sh.CutRowEntries[i]
+		}
+	}
+	sep := sh.CutSrcEntryPtr
+	for k := 0; k < rc.sparseN; k++ {
+		u := int(rc.sparseNodes[k])
+		ex += sep[u+1] - sep[u]
+	}
+	return ex
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mixen/internal/algo"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+	"mixen/internal/vprog"
+)
+
+func shardedTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 2000, M: 16000,
+		RegularFrac: 0.4, SeedFrac: 0.3, SinkFrac: 0.2,
+		ZipfS: 1.3, ZipfV: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardedMatchesSingleAllAlgorithms is the sharded bit-identity sweep
+// of the tentpole requirement: every algorithm family × widths 1/4/8 ×
+// dense/sparse × S ∈ {1,2,4} must produce values, iteration counts and
+// final deltas identical bit for bit to the single-partition engine —
+// the exchange drain uses the same fixed fold order as within-partition
+// gather, so not even floating-point association may differ.
+func TestShardedMatchesSingleAllAlgorithms(t *testing.T) {
+	g := shardedTestGraph(t)
+	type prog struct {
+		name string
+		mk   func() vprog.Program
+	}
+	progs := []prog{
+		{"pagerank/w1", func() vprog.Program { return algo.NewPageRank(g, 0.85, 1e-8, 60) }},
+		{"indegree/w1", func() vprog.Program { return algo.NewInDegree(5) }},
+		{"bfs/w1", func() vprog.Program { return algo.NewBFS(g, 3) }},
+		{"cc/w1", func() vprog.Program { return algo.NewCC(g) }},
+		{"cf/w4", func() vprog.Program { return algo.NewCF(g, 4, 6) }},
+		{"cf/w8", func() vprog.Program { return algo.NewCF(g, 8, 6) }},
+	}
+	for _, sparse := range []bool{false, true} {
+		base := Config{Side: 128, Threads: 2, DisableSparse: !sparse}
+		if sparse {
+			// Aggressive threshold so sparse mode actually engages on a
+			// graph this small.
+			base.SparseDensity = 0.5
+		}
+		single, err := New(g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{1, 2, 4} {
+			cfg := base
+			cfg.Shards = s
+			sharded, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s > 1 {
+				if sh := sharded.Sharding(); sh == nil || sh.S != s {
+					t.Fatalf("shards=%d sparse=%v: engine not sharded as requested", s, sparse)
+				}
+			}
+			for _, p := range progs {
+				name := fmt.Sprintf("%s/shards=%d/sparse=%v", p.name, s, sparse)
+				want, err := single.Run(p.mk())
+				if err != nil {
+					t.Fatalf("%s single: %v", name, err)
+				}
+				got, err := sharded.Run(p.mk())
+				if err != nil {
+					t.Fatalf("%s sharded: %v", name, err)
+				}
+				if got.Iterations != want.Iterations || got.Delta != want.Delta {
+					t.Errorf("%s: convergence differs: sharded (%d, %g) single (%d, %g)",
+						name, got.Iterations, got.Delta, want.Iterations, want.Delta)
+				}
+				if !sameValues(got.Values, want.Values) {
+					t.Errorf("%s: sharded values differ from single-partition", name)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBatcherConcurrentSubmits is the -race test of the sharded
+// batcher path: concurrent Submit callers over a sharded engine, every
+// future resolving to the query's single-partition standalone result.
+func TestShardedBatcherConcurrentSubmits(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	g := shardedTestGraph(t)
+	single, err := New(g, Config{Side: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSharded(g, Config{Side: 128, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq = 24
+	want := make([][]float64, nq)
+	for i := range want {
+		res, err := single.Run(algo.NewPersonalizedPageRank(g, uint32(i*7%g.NumNodes()), 0.85, 0, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Values
+	}
+	b := NewBatcher(e.Engine, BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond})
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, nq)
+	for i := 0; i < nq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fut, err := b.Submit(algo.NewPersonalizedPageRank(g, uint32(i*7%g.NumNodes()), 0.85, 0, 8))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := fut.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !sameValues(res.Values, want[i]) {
+				errs[i] = fmt.Errorf("query %d: batched sharded result differs from standalone single-partition run", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestShardedCancelMidExchange cancels a traced sharded run mid-flight —
+// the traced path is the one that splits Scatter into the local pass and
+// the exchange, so the stop flag tears the run around the exchange
+// barrier — then reuses the same workspace for a clean run and requires
+// the single-partition answer.
+func TestShardedCancelMidExchange(t *testing.T) {
+	g := shardedTestGraph(t)
+	single, err := New(g, Config{Side: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Run(algo.NewPageRank(g, 0.85, 0, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSharded(g, Config{Side: 128, Shards: 4, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := e.NewWorkspace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		prog := &cancelAt{Program: algo.NewPageRank(g, 0.85, 0, 10_000), iter: 2, cancel: cancel}
+		if _, _, err := e.RunInWorkspaceCtx(ctx, prog, ws); !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: err = %v, want context.Canceled", trial, err)
+		}
+		cancel()
+		res, _, err := e.RunInWorkspaceCtx(context.Background(), algo.NewPageRank(g, 0.85, 0, 20), ws)
+		if err != nil {
+			t.Fatalf("trial %d: rerun in cancelled workspace: %v", trial, err)
+		}
+		if !sameValues(res.Values, want.Values) {
+			t.Fatalf("trial %d: sharded rerun after cancel differs from single-partition run", trial)
+		}
+	}
+}
+
+// TestShardedExchangeObservability checks the exchange accounting of a
+// traced sharded run: the first (all-dense) iteration's exchange covers
+// every outbox entry, totals reconcile with RunStats, and the effective
+// config advertises the shard count.
+func TestShardedExchangeObservability(t *testing.T) {
+	g := shardedTestGraph(t)
+	e, err := NewSharded(g, Config{Side: 128, Shards: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := e.Sharding()
+	if sh == nil {
+		t.Fatal("sharded engine has no sharding")
+	}
+	_, stats, err := e.RunWithStats(algo.NewPageRank(g, 0.85, 1e-8, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ExchangeEntries <= 0 {
+		t.Fatalf("ExchangeEntries = %d, want > 0 (cut entries: %d)", stats.ExchangeEntries, sh.CutEntries)
+	}
+	if stats.ExchangeEntries > stats.ScatterEntries {
+		t.Fatalf("ExchangeEntries %d exceeds ScatterEntries %d", stats.ExchangeEntries, stats.ScatterEntries)
+	}
+	if len(stats.Trace) == 0 {
+		t.Fatal("traced run recorded no iteration trace")
+	}
+	var sum int64
+	for i, it := range stats.Trace {
+		if it.ExchangeNs < 0 {
+			t.Fatalf("iteration %d: negative ExchangeNs", i)
+		}
+		if it.ExchangeEntries > it.ScatterEntries {
+			t.Fatalf("iteration %d: exchange entries %d exceed scatter entries %d",
+				i, it.ExchangeEntries, it.ScatterEntries)
+		}
+		sum += it.ExchangeEntries
+	}
+	if stats.Trace[0].ExchangeEntries != sh.CutEntries {
+		t.Fatalf("first iteration exchanged %d entries, want all %d outbox entries",
+			stats.Trace[0].ExchangeEntries, sh.CutEntries)
+	}
+	if sum != stats.ExchangeEntries {
+		t.Fatalf("per-iteration exchange sum %d != RunStats.ExchangeEntries %d", sum, stats.ExchangeEntries)
+	}
+	if got := e.EffectiveConfig()["shards"]; got != "3" {
+		t.Fatalf("EffectiveConfig shards = %q, want \"3\"", got)
+	}
+	if e.Name() != "mixen-sharded" {
+		t.Fatalf("Name() = %q", e.Name())
+	}
+}
+
+// TestShardedPerShardStats sanity-checks the balance report ShardStats
+// feeds cmd/mixenstats -shards.
+func TestShardedPerShardStats(t *testing.T) {
+	g := shardedTestGraph(t)
+	e, err := NewSharded(g, Config{Side: 128, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := e.Sharding()
+	stats := ShardStats(sh, e.F.NumHub)
+	if len(stats) != sh.S {
+		t.Fatalf("%d shard stats for %d shards", len(stats), sh.S)
+	}
+	var nodes, hubs int
+	var local, out, in int64
+	for _, s := range stats {
+		nodes += s.Nodes
+		hubs += s.Hubs
+		local += s.LocalEdges
+		out += s.OutEdges
+		in += s.InEdges
+	}
+	if nodes != sh.R {
+		t.Fatalf("shard nodes sum %d != %d", nodes, sh.R)
+	}
+	if hubs != e.F.NumHub {
+		t.Fatalf("shard hubs sum %d != %d", hubs, e.F.NumHub)
+	}
+	if out != sh.CutEdges || in != sh.CutEdges {
+		t.Fatalf("out %d / in %d edge sums != cut edges %d", out, in, sh.CutEdges)
+	}
+	if local+out != sh.Nnz {
+		t.Fatalf("local %d + cut %d != nnz %d", local, out, sh.Nnz)
+	}
+}

@@ -136,8 +136,12 @@ type runCtx struct {
 	stop    atomic.Bool
 	stopPtr *atomic.Bool
 
-	initBody          func(lo, hi int)
-	scatterBody       func(lo, hi int)
+	initBody    func(lo, hi int)
+	scatterBody func(lo, hi int)
+	// cutScatterBody is scatterBody shifted past the shard-local blocks:
+	// index i covers Blocks[NumLocalBlocks+i], the cut (outbox) blocks of
+	// a sharded engine's exchange pass. Nil on single-partition engines.
+	cutScatterBody    func(lo, hi int)
 	sparseScatterBody func(lo, hi int)
 	cacheBody         func(lo, hi int)
 	gatherBody        func(lo, hi int)
@@ -317,6 +321,10 @@ func (rc *runCtx) buildBodies() {
 	// Bins are disjoint per sub-block, so no synchronisation is needed;
 	// empty rows keep their previous (still valid) bin contents and
 	// sparse rows are handled by sparseScatterBody.
+	if sh := rc.e.sh; sh != nil {
+		nl := sh.NumLocalBlocks
+		rc.cutScatterBody = func(lo, hi int) { rc.scatterBody(lo+nl, hi+nl) }
+	}
 	rc.scatterBody = func(lo, hi int) {
 		blocks := rc.e.P.Blocks
 		x, scale, w, ring := rc.x, rc.scale, rc.w, rc.ring
@@ -543,6 +551,26 @@ func (rc *runCtx) buildBodies() {
 						}
 						continue
 					}
+					if w == 8 {
+						for k := range srcs {
+							v0, v1 := vals[k*8], vals[k*8+1]
+							v2, v3 := vals[k*8+2], vals[k*8+3]
+							v4, v5 := vals[k*8+4], vals[k*8+5]
+							v6, v7 := vals[k*8+6], vals[k*8+7]
+							for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+								yb := y[int(d)*8:][:8]
+								yb[0] += v0
+								yb[1] += v1
+								yb[2] += v2
+								yb[3] += v3
+								yb[4] += v4
+								yb[5] += v5
+								yb[6] += v6
+								yb[7] += v7
+							}
+						}
+						continue
+					}
 					// Hoisted destination subslices: ranging over vb and
 					// indexing the same-length yb eliminates the bounds
 					// checks in the lane loop (the hot path of width-K
@@ -608,6 +636,42 @@ func (rc *runCtx) buildBodies() {
 							}
 							if v3 < yb[3] {
 								yb[3] = v3
+							}
+						}
+					}
+					continue
+				}
+				if w == 8 {
+					for k := range srcs {
+						v0, v1 := vals[k*8], vals[k*8+1]
+						v2, v3 := vals[k*8+2], vals[k*8+3]
+						v4, v5 := vals[k*8+4], vals[k*8+5]
+						v6, v7 := vals[k*8+6], vals[k*8+7]
+						for _, d := range sb.DstIdx[sb.DstStart[k]:sb.DstStart[k+1]] {
+							yb := y[int(d)*8:][:8]
+							if v0 < yb[0] {
+								yb[0] = v0
+							}
+							if v1 < yb[1] {
+								yb[1] = v1
+							}
+							if v2 < yb[2] {
+								yb[2] = v2
+							}
+							if v3 < yb[3] {
+								yb[3] = v3
+							}
+							if v4 < yb[4] {
+								yb[4] = v4
+							}
+							if v5 < yb[5] {
+								yb[5] = v5
+							}
+							if v6 < yb[6] {
+								yb[6] = v6
+							}
+							if v7 < yb[7] {
+								yb[7] = v7
 							}
 						}
 					}

@@ -40,6 +40,10 @@ const (
 	SpanFuse      SpanKind = "fuse"
 	SpanPrePhase  SpanKind = "pre_phase"
 	SpanIteration SpanKind = "iteration"
+	// SpanExchange covers one iteration's cross-shard exchange on a
+	// sharded engine: the Scatter pass over the cut blocks that fills the
+	// per-(source-shard, dest-shard) outbox bins.
+	SpanExchange  SpanKind = "exchange"
 	SpanPostPhase SpanKind = "post_phase"
 	SpanDemux     SpanKind = "demux"
 )

@@ -48,6 +48,7 @@ import (
 	"mixen/internal/algo"
 	"mixen/internal/analyze"
 	"mixen/internal/baseline"
+	"mixen/internal/block"
 	"mixen/internal/core"
 	"mixen/internal/filter"
 	"mixen/internal/gen"
@@ -175,8 +176,42 @@ type MixenEngine = core.Engine
 // serves one run at a time.
 type Workspace = core.Workspace
 
-// New preprocesses g with Mixen's filtering and blocking.
+// New preprocesses g with Mixen's filtering and blocking. Setting
+// Config.Shards > 1 builds the engine sharded (see BuildSharded) while
+// keeping the *MixenEngine return type, so serving paths opt into sharding
+// by configuration alone.
 func New(g *Graph, cfg Config) (*MixenEngine, error) { return core.New(g, cfg) }
+
+// ShardedMixenEngine is a MixenEngine whose regular submatrix is split
+// into Config.Shards contiguous block-aligned shards, each owning its own
+// partition, with cross-shard contributions routed through
+// per-(source-shard, dest-shard) outbox bins (propagation blocking).
+// Results are bit-identical to the single-partition engine for every
+// algorithm, width and sparse/dense mode. The embedded MixenEngine runs
+// everything unchanged — Run, RunCtx, workspaces, the Batcher.
+type ShardedMixenEngine = core.ShardedEngine
+
+// ShardLayout describes a sharded engine's shard boundaries, per-shard
+// partitions and outbox geometry; see MixenEngine.Sharding (nil on
+// single-partition engines).
+type ShardLayout = block.Sharding
+
+// BuildSharded preprocesses g into a sharded engine with cfg.Shards
+// shards (at least 2; the count is clamped down when the regular
+// submatrix has fewer block-rows than requested shards).
+func BuildSharded(g *Graph, cfg Config) (*ShardedMixenEngine, error) {
+	return core.NewSharded(g, cfg)
+}
+
+// ShardStat is one shard's share of the graph: nodes, hubs, local edges,
+// and the outbox/inbox edges it exchanges with other shards.
+type ShardStat = core.ShardStat
+
+// ShardBalance reports per-shard node/edge/hub balance and exchange
+// traffic for a sharded engine (cmd/mixenstats -shards).
+func ShardBalance(e *ShardedMixenEngine) []ShardStat {
+	return core.ShardStats(e.Sharding(), e.F.NumHub)
+}
 
 // NewEngine constructs a named engine over g: "mixen", "pull"
 // (GraphMat-like), "push" (Ligra-like), "polymer" (Polymer-like) or

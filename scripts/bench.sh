@@ -3,14 +3,15 @@
 #
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
 # entry), the engine-level BenchmarkPageRank, the serving hot-path and
-# load-shed microbenchmarks (cmd/mixenserve), and the sparse-frontier
-# study, then bundles everything into BENCH_PR6.json. When a committed
-# BENCH_PR5.bench.txt exists and benchstat is installed, it also emits a
+# load-shed microbenchmarks (cmd/mixenserve), the sparse-frontier study,
+# and the shard-scaling experiment (S=1/2/4 on the skewed presets), then
+# bundles everything into BENCH_PR7.json. When a committed
+# BENCH_PR6.bench.txt exists and benchstat is installed, it also emits a
 # benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR6.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR7.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR6.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR7.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -20,8 +21,8 @@ outdir="${1:-.}"
 mkdir -p "$outdir"
 
 count="${BENCH_COUNT:-5}"
-benchtxt="$outdir/BENCH_PR6.bench.txt"
-json="$outdir/BENCH_PR6.json"
+benchtxt="$outdir/BENCH_PR7.bench.txt"
+json="$outdir/BENCH_PR7.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -37,29 +38,34 @@ go test -run=NONE -bench 'BenchmarkServe' -benchmem -count="$count" \
 
 echo ">> sparse-frontier study (mixenbench -experiment frontier)" >&2
 fronttxt="$(mktemp)"
+shardtxt="$(mktemp)"
 benchstattxt="$(mktemp)"
-trap 'rm -f "$fronttxt" "$benchstattxt"' EXIT
+trap 'rm -f "$fronttxt" "$shardtxt" "$benchstattxt"' EXIT
 go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
 
-# benchstat vs the committed PR5 baseline (shared width-sweep and PageRank
-# lines; all benchmark families exist in the PR5 baseline).
+echo ">> shard-scaling study (mixenbench -experiment shard, S=1/2/4)" >&2
+go run ./cmd/mixenbench -experiment shard -graphs "${BENCH_SHARD_GRAPHS:-weibo,wiki}" \
+    -shrink "${BENCH_SHRINK:-8}" | tee "$shardtxt" >&2
+
+# benchstat vs the committed PR6 baseline (shared width-sweep, PageRank and
+# serving lines; all benchmark families exist in the PR6 baseline).
 # Informational — missing benchstat or a missing baseline must not fail
 # the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR5.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR5.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR6.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR6.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR5.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR6.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR5.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR6.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR6 observability v2: tracing, prom exposition, windowed SLOs",'
+  echo '  "bench": "PR7 sharded multi-partition engine with propagation-blocking exchange",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -89,9 +95,20 @@ fi
   } END { print "" }' "$fronttxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR5 baseline, when available.
+  # Parsed shard-study rows:
+  # Graph shards cut% prep_sec main_s/iter speedup identical.
+  echo '  "shard_study": ['
+  awk '$2 ~ /^[0-9]+$/ && $1 != "Graph" && NF >= 7 {
+    cf = $3; sub(/%$/, "", cf)
+    printf "%s    {\"graph\": \"%s\", \"shards\": %s, \"cut_pct\": %s, \"prep_sec\": %s, \"main_sec_per_iter\": %s, \"speedup\": %s, \"identical\": %s}", \
+      sep, $1, $2, cf, $4, $5, $6, $7
+    sep = ",\n"
+  } END { print "" }' "$shardtxt"
+  echo '  ],'
+
+  # benchstat output vs the committed PR6 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr5": ['
+    echo '  "benchstat_vs_pr6": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0

@@ -23,6 +23,15 @@ base="$1"
 head="$2"
 threshold="${3:-10}"
 
+# A benchmark file that does not exist (a skipped or crashed bench run)
+# must be its own clear failure, not an awk "cannot open" mid-comparison.
+for f in "$base" "$head"; do
+  if [ ! -r "$f" ]; then
+    echo "bench_gate: FAIL benchmark output $f is missing or unreadable" >&2
+    exit 2
+  fi
+done
+
 # median_ns BENCH_REGEX FILE — median ns/op across -count repetitions.
 median_ns() {
   awk -v re="$1" '
@@ -40,13 +49,15 @@ median_ns() {
 }
 
 fail=0
+missing=0
 for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]'; do
   name=$(echo "$bench" | sed 's/(.*//')
   b=$(median_ns "$bench" "$base")
   h=$(median_ns "$bench" "$head")
   if [ "$b" = "NA" ] || [ "$h" = "NA" ]; then
-    echo "bench_gate: $name missing from base or head output (base=$b head=$h)" >&2
+    echo "bench_gate: FAIL $name missing from base or head output (base=$b head=$h)" >&2
     fail=1
+    missing=1
     continue
   fi
   delta=$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) * 100 / b }')
@@ -59,7 +70,10 @@ for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhase
   fi
 done
 
-if [ "$fail" != 0 ]; then
+if [ "$missing" != 0 ]; then
+  echo "bench_gate: a gated benchmark did not run — fix the bench invocation;" >&2
+  echo "bench_gate: the 'bench-regression-ok' label does not cover missing data." >&2
+elif [ "$fail" != 0 ]; then
   echo "bench_gate: main-phase regression detected. If intentional, apply the" >&2
   echo "bench_gate: 'bench-regression-ok' label to the PR (see CONTRIBUTING.md)." >&2
 fi
