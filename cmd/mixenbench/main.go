@@ -94,7 +94,43 @@ func main() {
 		},
 		"reorder": func(o bench.Options) (string, error) {
 			rows, err := bench.ReorderStudy(o)
-			return bench.FormatReorderStudy(rows), err
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatReorderStudy(rows)
+			var studied []string
+			seen := map[string]bool{}
+			for _, r := range rows {
+				if !r.Identical {
+					return "", fmt.Errorf("reorder: %s/%s results differ from the original layout", r.Graph, r.Strategy)
+				}
+				if !seen[r.Graph] {
+					seen[r.Graph] = true
+					studied = append(studied, r.Graph)
+				}
+			}
+			wins := false
+			for _, g := range studied {
+				if bench.ReorderLightweightWins(rows, g) {
+					wins = true
+					break
+				}
+			}
+			if !wins {
+				out += "WARNING: no skew-aware strategy beat the original layout on simulated traffic\n"
+			}
+			at, err := bench.AutotuneStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out += "\n" + bench.FormatAutotuneStudy(at)
+			if !bench.AutotuneWithinPct(at, "measured", 0.10) {
+				out += "WARNING: measured auto-tuned side is >10% slower than the exhaustive best\n"
+			}
+			if !bench.AutotuneWithinPct(at, "predicted", 0.10) {
+				out += "WARNING: predicted side is >10% slower than the exhaustive best\n"
+			}
+			return out, nil
 		},
 		"model": func(o bench.Options) (string, error) {
 			rows, err := bench.ModelStudy(o)

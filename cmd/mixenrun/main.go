@@ -70,6 +70,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-iteration timeline (mixen engine)")
 	sparse := flag.Bool("sparse", true, "allow sparsity-aware Scatter on quiet block-rows (mixen engine); -sparse=false forces every active row dense")
 	shardsFlag := flag.Int("shards", 0, "split the regular submatrix into N shards with a propagation-blocking exchange (mixen engine; results are bit-identical to the single partition)")
+	reorderFlag := flag.String("reorder", "", "skew-aware reordering of the regular submatrix after filtering (mixen engine): degree, random, hubsort, hubcluster, dbg; results are bit-identical to the original layout")
+	autotune := flag.Bool("autotune", false, "pick the block side by timing candidate partitions before the run (mixen engine)")
 	reportPath := flag.String("report", "", "write the RunReport JSON here (\"-\" for stdout)")
 	parallel := flag.Int("parallel", 1, "after the reported run, issue N concurrent runs over the same engine and report runs/sec")
 	batch := flag.Int("batch", 1, "after the reported run, serve K concurrent queries through the batcher as one fused width-K pass and report queries/sec (mixen engine)")
@@ -78,6 +80,22 @@ func main() {
 	info, ok := algoInfo[*algoName]
 	if !ok {
 		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	var reorderStrategy mixen.ReorderStrategy
+	if *reorderFlag != "" {
+		s := mixen.ReorderStrategy(*reorderFlag)
+		valid := false
+		for _, cand := range mixen.DegreeReorderStrategies() {
+			if s == cand {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			fail(fmt.Errorf("unknown -reorder strategy %q (want one of %v)", *reorderFlag, mixen.DegreeReorderStrategies()))
+		}
+		reorderStrategy = s
 	}
 
 	g, err := loadGraph(*preset, *shrink, *edgelist)
@@ -146,6 +164,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mixenrun: -shards applies only to the mixen engine; ignoring")
 		*shardsFlag = 0
 	}
+	if reorderStrategy != "" && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -reorder applies only to the mixen engine; ignoring")
+		reorderStrategy = ""
+	}
+	if *autotune && !(info.engine && *engine == "mixen") {
+		fmt.Fprintln(os.Stderr, "mixenrun: -autotune applies only to the mixen engine; ignoring")
+		*autotune = false
+	}
 	if *trace && !(info.engine && *engine == "mixen") {
 		fmt.Fprintln(os.Stderr, "mixenrun: -trace requires an engine-run algorithm on the mixen engine; ignoring")
 		*trace = false
@@ -170,6 +196,7 @@ func main() {
 			iters: *iters, tol: *tol, source: uint32(*source), k: *k,
 			threads: *threads, top: *top, trace: *trace, parallel: *parallel,
 			batch: *batch, sparse: *sparse, shards: *shardsFlag,
+			reorder: reorderStrategy, autotune: *autotune,
 		})
 	} else {
 		runLibraryAlgo(g, report, *algoName, *iters, *tol, *top)
@@ -193,6 +220,8 @@ type engineOpts struct {
 	batch                  int
 	sparse                 bool
 	shards                 int
+	reorder                mixen.ReorderStrategy
+	autotune               bool
 }
 
 // runEngineAlgo executes one of the vertex-program algorithms (indegree,
@@ -235,7 +264,11 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		if reg != nil {
 			col = reg
 		}
-		e, nerr := mixen.New(g, mixen.Config{Threads: o.threads, Trace: o.trace, Collector: col, DisableSparse: !o.sparse, Shards: o.shards})
+		e, nerr := mixen.New(g, mixen.Config{
+			Threads: o.threads, Trace: o.trace, Collector: col,
+			DisableSparse: !o.sparse, Shards: o.shards,
+			Reorder: o.reorder, ReorderSeed: 1, AutoTune: o.autotune,
+		})
 		if nerr != nil {
 			fail(nerr)
 		}
@@ -244,6 +277,10 @@ func runEngineAlgo(g *mixen.Graph, report *mixen.RunReport, reg *mixen.MetricsRe
 		res, stats, err = e.RunWithStats(prog)
 		if err != nil {
 			fail(err)
+		}
+		if o.autotune && stats.TunedSide > 0 {
+			fmt.Printf("autotune: chose side %d from %d candidates in %v\n",
+				stats.TunedSide, len(e.Tuned), e.Prep.TuneTime.Round(time.Millisecond))
 		}
 		algoCfg := report.Config
 		*report = *e.BuildReport(algoName, report.Graph.Name, res, stats)

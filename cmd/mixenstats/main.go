@@ -25,6 +25,7 @@ func main() {
 	binary := flag.String("binary", "", "path to a CSR binary graph")
 	detailFlag := flag.Bool("detail", false, "print degree distribution, skew exponent and diameter estimate")
 	shards := flag.Int("shards", 0, "report per-shard node/edge/hub balance and cut-edge fraction for this shard count")
+	reorderFlag := flag.Bool("reorder", false, "print whole-graph bandwidth/avg-span before and after each reordering strategy")
 	flag.Parse()
 
 	g, err := loadGraph(*preset, *shrink, *edgelist, *binary)
@@ -66,6 +67,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *reorderFlag {
+		if err := printReorderLayouts(g); err != nil {
+			fmt.Fprintln(os.Stderr, "mixenstats:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printReorderLayouts applies every degree-keyed reordering strategy to the
+// whole graph and reports the layout metrics the SCGA engine's locality
+// depends on: CSR bandwidth (max |src-dst| over edges) and average edge
+// span. The "original" row is the baseline the others are judged against.
+func printReorderLayouts(g *mixen.Graph) error {
+	fmt.Printf("\nreorder layouts\n")
+	fmt.Printf("%-11s %14s %12s\n", "strategy", "bandwidth", "avg_span")
+	for _, s := range mixen.DegreeReorderStrategies() {
+		rg := g
+		if s != "original" {
+			var err error
+			rg, _, err = mixen.ReorderGraph(g, s, 1)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%-11s %14d %12.1f\n", s, mixen.GraphBandwidth(rg), mixen.GraphAvgSpan(rg))
+	}
+	return nil
 }
 
 // printShardBalance builds the sharded engine and reports how evenly the

@@ -28,6 +28,7 @@ import (
 	"mixen/internal/filter"
 	"mixen/internal/graph"
 	"mixen/internal/obs"
+	"mixen/internal/reorder"
 	"mixen/internal/sched"
 	"mixen/internal/vprog"
 )
@@ -46,6 +47,27 @@ type Config struct {
 	// bit-identical to the single-partition engine; 0 or 1 keeps the
 	// single partition. See NewSharded / block.NewSharding.
 	Shards int
+	// Reorder applies a skew-aware lightweight reordering to the regular
+	// submatrix AFTER filtering (composing with — not replacing — the
+	// paper's connectivity-aware relabeling): node classes and the phase
+	// schedule are untouched, only the layout inside the regular range
+	// changes, and results still demux to original ids bit-for-bit.
+	// Degree-keyed strategies only (reorder.DegreeStrategies: original,
+	// degree, random, hubsort, hubcluster, dbg); RCM needs adjacency and is
+	// rejected. Empty means no reordering. When set, the hub-first layout
+	// the filter produced is overridden by the strategy's own layout.
+	Reorder reorder.Strategy
+	// ReorderSeed seeds the random reordering strategy (ignored otherwise).
+	ReorderSeed int64
+	// AutoTune selects the block side by measurement instead of the
+	// DefaultSide heuristic: the constructor builds candidate partitions,
+	// times a few probe Main-Phase iterations on each, and keeps the
+	// fastest (see Engine.Tuned for the trial table, EffectiveConfig and
+	// RunStats.TunedSide for the outcome). An explicit non-zero Side wins
+	// over AutoTune — the tuner only runs when Side is 0. Tuning cost is
+	// preprocessing-only (PrepStats.TuneTime); the run hot path is
+	// untouched.
+	AutoTune bool
 	// MaxLoadFactor caps sub-block size at this multiple of the mean
 	// (paper: 2). 0 applies the default; negative disables splitting.
 	MaxLoadFactor float64
@@ -134,10 +156,18 @@ const DefaultSparseDensity = 0.05
 type PrepStats struct {
 	FilterTime    time.Duration
 	PartitionTime time.Duration
+	// ReorderTime is the cost of the optional submatrix reordering
+	// (Config.Reorder); zero when no reordering ran.
+	ReorderTime time.Duration
+	// TuneTime is the cost of the measured block-side auto-tuner
+	// (Config.AutoTune); zero when tuning did not run.
+	TuneTime time.Duration
 }
 
 // Total returns the end-to-end preprocessing time.
-func (p PrepStats) Total() time.Duration { return p.FilterTime + p.PartitionTime }
+func (p PrepStats) Total() time.Duration {
+	return p.FilterTime + p.ReorderTime + p.TuneTime + p.PartitionTime
+}
 
 // Engine is a preprocessed Mixen instance, reusable across algorithm runs
 // on the same graph.
@@ -162,6 +192,13 @@ type Engine struct {
 	// partition: shard-local blocks first, cut (outbox) blocks after, with
 	// identical per-destination fold order to the single-partition build.
 	sh *block.Sharding
+
+	// Tuned is the measured auto-tuner's trial table (one row per
+	// candidate side, in probing order) when Config.AutoTune selected the
+	// block side; nil when tuning did not run. tunedSide mirrors the
+	// chosen side for RunStats reporting (0 when untuned).
+	Tuned     []SideTrial
+	tunedSide int
 
 	// SkippedBlocks counts sub-blocks (always sub-blocks, the unit of
 	// block.Partition.Rows — never block-rows) whose Scatter was skipped
@@ -247,7 +284,9 @@ func (e *Engine) SetCollector(c obs.Collector) {
 // Collector returns the attached collector (never nil).
 func (e *Engine) Collector() obs.Collector { return e.state.Load().col }
 
-// New preprocesses g: filtering/relabeling plus 2-D blocking of the regular
+// New preprocesses g: filtering/relabeling, the optional skew-aware
+// submatrix reordering (Config.Reorder), the optional measured block-side
+// auto-tuning (Config.AutoTune), and 2-D blocking of the regular
 // submatrix.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
@@ -255,6 +294,41 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	t0 := time.Now()
 	f := filter.FilterWithOptions(g, filter.Options{Order: cfg.regularOrder(), Collector: col})
 	t1 := time.Now()
+
+	var reorderTime time.Duration
+	if err := applyReorder(f, cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Reorder != "" && cfg.Reorder != reorder.Original {
+		reorderTime = time.Since(t1)
+		col.Histogram("core.reorder_ns").Observe(int64(reorderTime))
+	}
+
+	// Measured auto-tuning: probe candidate sides and adopt the fastest.
+	// An explicit Side wins; the trial that built the winning partition is
+	// reused below so tuning never builds the final partition twice.
+	var (
+		tuned     []SideTrial
+		tunedSide int
+		tunedP    *block.Partition
+		tuneTime  time.Duration
+	)
+	if cfg.AutoTune && cfg.Side == 0 {
+		tTune := time.Now()
+		var err error
+		tuned, tunedP, err = autotuneSide(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: autotune: %w", err)
+		}
+		if tunedP != nil {
+			tunedSide = tunedP.Side
+			cfg.Side = tunedSide
+		}
+		tuneTime = time.Since(tTune)
+		col.Histogram("core.tune_ns").Observe(int64(tuneTime))
+	}
+
+	t2 := time.Now()
 	bcfg := block.Config{
 		Side:               cfg.Side,
 		MaxLoadFactor:      cfg.MaxLoadFactor,
@@ -265,7 +339,8 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	var p *block.Partition
 	var sh *block.Sharding
 	var err error
-	if cfg.Shards > 1 {
+	switch {
+	case cfg.Shards > 1:
 		sh, err = block.NewSharding(f.RegPtr, f.RegIdx, f.NumRegular, cfg.Shards, bcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: sharding: %w", err)
@@ -276,27 +351,64 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		} else {
 			p = sh.Exec
 		}
-	} else {
+	case tunedP != nil:
+		p = tunedP
+	default:
 		p, err = block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, bcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: partition: %w", err)
 		}
 	}
-	t2 := time.Now()
+	t3 := time.Now()
 	e := &Engine{
-		cfg: cfg,
-		F:   f,
-		P:   p,
-		sh:  sh,
+		cfg:       cfg,
+		F:         f,
+		P:         p,
+		sh:        sh,
+		Tuned:     tuned,
+		tunedSide: tunedSide,
 		Prep: PrepStats{
 			FilterTime:    t1.Sub(t0),
-			PartitionTime: t2.Sub(t1),
+			ReorderTime:   reorderTime,
+			TuneTime:      tuneTime,
+			PartitionTime: t3.Sub(t2),
 		},
 	}
 	e.SetCollector(col)
 	col.Histogram("core.filter_ns").Observe(int64(e.Prep.FilterTime))
 	col.Histogram("core.partition_ns").Observe(int64(e.Prep.PartitionTime))
 	return e, nil
+}
+
+// applyReorder permutes the filtered regular submatrix per Config.Reorder
+// (no-op for "" and "original"). Degrees are measured INSIDE the
+// submatrix — the skew the SCGA Gather actually sees — not on the whole
+// graph.
+func applyReorder(f *filter.Filtered, cfg Config) error {
+	if cfg.Reorder == "" || cfg.Reorder == reorder.Original {
+		return nil
+	}
+	perm, err := reorder.PermutationFromDegrees(f.RegularInDegrees(), cfg.Reorder, cfg.ReorderSeed)
+	if err != nil {
+		return fmt.Errorf("core: reorder: %w", err)
+	}
+	if err := f.PermuteRegular(perm); err != nil {
+		return fmt.Errorf("core: reorder: %w", err)
+	}
+	return nil
+}
+
+// PrepareFiltered runs the engine's preprocessing up to — but not
+// including — partitioning: filtering/relabeling plus the optional
+// submatrix reordering. internal/tune uses it to predict a block side for
+// a (graph, config) pair without building partitions.
+func PrepareFiltered(g *graph.Graph, cfg Config) (*filter.Filtered, error) {
+	cfg = cfg.withDefaults()
+	f := filter.FilterWithOptions(g, filter.Options{Order: cfg.regularOrder(), Collector: obs.Default(cfg.Collector)})
+	if err := applyReorder(f, cfg); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // Graph returns the original graph.
@@ -344,6 +456,11 @@ type RunStats struct {
 	// one to DenseRowIterations.
 	DenseRowIterations  int64
 	SparseRowIterations int64
+	// TunedSide is the block side the measured auto-tuner selected for
+	// this engine (0 when Config.AutoTune was off or an explicit Side
+	// pre-empted it). Constant across runs; carried here so per-run
+	// reports are self-describing.
+	TunedSide int
 	// ExchangeEntries totals the outbox (cross-shard) bin entries written
 	// by Scatter across iterations on a sharded engine: a dense-mode row
 	// contributes its cut entries, a sparse-mode row its frontier's cut
@@ -663,6 +780,7 @@ func (e *Engine) runInWorkspace(ctx context.Context, prog vprog.Program, ws *Wor
 	stats.MainTime = time.Since(t1)
 	stats.MainIterations = iter
 	stats.SkippedBlocks = rc.skipped.Load()
+	stats.TunedSide = e.tunedSide
 	st.m.mainNs.Observe(int64(stats.MainTime))
 	st.m.skippedBlocks.Add(stats.SkippedBlocks)
 
@@ -725,6 +843,15 @@ func (e *Engine) EffectiveConfig() map[string]string {
 		cfg["order"] = "original"
 	default:
 		cfg["order"] = "hub-first"
+	}
+	if e.cfg.Reorder != "" && e.cfg.Reorder != reorder.Original {
+		cfg["reorder"] = string(e.cfg.Reorder)
+	}
+	if len(e.Tuned) > 0 {
+		cfg["autotune"] = "measured"
+	} else if e.cfg.AutoTune {
+		// Requested but pre-empted by an explicit Side.
+		cfg["autotune"] = "off-explicit-side"
 	}
 	return cfg
 }

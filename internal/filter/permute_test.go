@@ -1,0 +1,174 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+	"mixen/internal/reorder"
+)
+
+func permuteTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 1500, M: 12000,
+		RegularFrac: 0.5, SeedFrac: 0.25, SinkFrac: 0.15,
+		ZipfS: 1.3, ZipfV: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// reversePerm maps regular id q to r-1-q, a maximal disturbance that still
+// keeps the regular range intact.
+func reversePerm(r int) []graph.Node {
+	perm := make([]graph.Node, r)
+	for q := range perm {
+		perm[q] = graph.Node(r - 1 - q)
+	}
+	return perm
+}
+
+func TestPermuteRegularKeepsInvariants(t *testing.T) {
+	g := permuteTestGraph(t)
+	f := Filter(g)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := Filter(g) // untouched reference
+
+	if err := f.PermuteRegular(reversePerm(f.NumRegular)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invariants broken after permute: %v", err)
+	}
+	// Counts and classes are permutation-invariant.
+	if f.NumHub != ref.NumHub || f.NumRegular != ref.NumRegular ||
+		f.NumSeed != ref.NumSeed || f.NumSink != ref.NumSink || f.NumIsolated != ref.NumIsolated {
+		t.Fatal("class counts changed under permutation")
+	}
+	// Non-regular ids must be fixed points of the relabeling.
+	for v := 0; v < g.NumNodes(); v++ {
+		if int(ref.NewID[v]) >= ref.NumRegular && f.NewID[v] != ref.NewID[v] {
+			t.Fatalf("non-regular node %d moved: %d -> %d", v, ref.NewID[v], f.NewID[v])
+		}
+	}
+	// Per-original-node submatrix degree must be preserved: row of node x
+	// in the permuted CSR has the same length as in the reference.
+	for v := 0; v < g.NumNodes(); v++ {
+		q, p := ref.NewID[v], f.NewID[v]
+		if int(q) >= ref.NumRegular {
+			continue
+		}
+		lr := ref.RegPtr[q+1] - ref.RegPtr[q]
+		lp := f.RegPtr[p+1] - f.RegPtr[p]
+		if lr != lp {
+			t.Fatalf("node %d regular out-degree changed: %d -> %d", v, lr, lp)
+		}
+	}
+	// Edge sets must match when mapped back to original ids.
+	type edge struct{ u, v graph.Node }
+	collect := func(ff *Filtered) map[edge]int {
+		m := make(map[edge]int)
+		for u := 0; u < ff.NumRegular; u++ {
+			for _, v := range ff.RegIdx[ff.RegPtr[u]:ff.RegPtr[u+1]] {
+				m[edge{ff.OldID[u], ff.OldID[v]}]++
+			}
+		}
+		return m
+	}
+	a, b := collect(ref), collect(f)
+	if len(a) != len(b) {
+		t.Fatalf("edge multiset size changed: %d -> %d", len(a), len(b))
+	}
+	for e, c := range a {
+		if b[e] != c {
+			t.Fatalf("edge %v count %d -> %d", e, c, b[e])
+		}
+	}
+}
+
+func TestPermuteRegularWithReorderStrategies(t *testing.T) {
+	g := permuteTestGraph(t)
+	for _, s := range reorder.DegreeStrategies() {
+		f := Filter(g)
+		perm, err := reorder.PermutationFromDegrees(f.RegularInDegrees(), s, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := f.PermuteRegular(perm); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: invariants broken: %v", s, err)
+		}
+	}
+}
+
+func TestPermuteRegularRejectsBadInput(t *testing.T) {
+	g := permuteTestGraph(t)
+	f := Filter(g)
+	if err := f.PermuteRegular(make([]graph.Node, f.NumRegular-1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := reversePerm(f.NumRegular)
+	bad[0] = bad[1] // duplicate
+	if err := f.PermuteRegular(bad); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	oob := reversePerm(f.NumRegular)
+	oob[0] = graph.Node(f.NumRegular) // out of range
+	if err := f.PermuteRegular(oob); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// RegularInDegrees must agree with a direct count over the reference CSR,
+// and permuting must permute it.
+func TestRegularInDegrees(t *testing.T) {
+	g := permuteTestGraph(t)
+	f := Filter(g)
+	deg := f.RegularInDegrees()
+	var want int64
+	for _, d := range deg {
+		want += d
+	}
+	if want != int64(len(f.RegIdx)) {
+		t.Fatalf("degree sum %d != edges %d", want, len(f.RegIdx))
+	}
+	perm := reversePerm(f.NumRegular)
+	if err := f.PermuteRegular(perm); err != nil {
+		t.Fatal(err)
+	}
+	after := f.RegularInDegrees()
+	for q, d := range deg {
+		if after[perm[q]] != d {
+			t.Fatalf("degree of regular id %d not carried to %d: %d vs %d", q, perm[q], d, after[perm[q]])
+		}
+	}
+}
+
+// Random permutations (a few seeds) keep Validate green — the fuzz-ish
+// sweep backing the targeted cases above.
+func TestPermuteRegularRandom(t *testing.T) {
+	g := permuteTestGraph(t)
+	for seed := int64(0); seed < 4; seed++ {
+		f := Filter(g)
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(f.NumRegular)
+		perm := make([]graph.Node, f.NumRegular)
+		for q, p := range order {
+			perm[q] = graph.Node(p)
+		}
+		if err := f.PermuteRegular(perm); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

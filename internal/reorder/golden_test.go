@@ -1,0 +1,138 @@
+package reorder
+
+import (
+	"reflect"
+	"testing"
+
+	"mixen/internal/graph"
+)
+
+// goldenDegrees is a fixed degree array exercising every interesting case:
+// two hubs whose degree order differs from their id order (so HubSort and
+// HubCluster provably differ), a borderline hub, equal-degree ties, and
+// zero-degree nodes. Sum 40 over 10 nodes: avg = 4, so hubs (> avg) are
+// ids 2 (8), 7 (5) and 9 (16).
+var goldenDegrees = []int64{1, 3, 8, 0, 3, 1, 0, 5, 3, 16}
+
+// goldenPerms pins the exact permutation (newID[old]) each degree-keyed
+// strategy produces on goldenDegrees. These are regression goldens: any
+// change here changes on-disk orderings users may have derived, so tie
+// handling must stay byte-for-byte stable across runs, platforms and Go
+// releases.
+var goldenPerms = map[Strategy][]graph.Node{
+	// Identity.
+	Original: {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	// Degree-desc order: [9(16), 2(8), 7(5), 1, 4, 8 (the 3s in id
+	// order), 0, 5 (the 1s), 3, 6 (the 0s)].
+	DegreeDesc: {6, 3, 1, 8, 4, 7, 9, 2, 5, 0},
+	// HubSort: hubs sorted desc = [9, 2, 7], cold in original order
+	// = [0, 1, 3, 4, 5, 6, 8].
+	HubSort: {3, 4, 1, 5, 6, 7, 8, 2, 9, 0},
+	// HubCluster: hubs in original id order = [2, 7, 9], same cold tail.
+	HubCluster: {3, 4, 0, 5, 6, 7, 8, 1, 9, 2},
+	// DBG buckets (avg 4, thresholds 128, 64, 32, 16, 8, 4, 2): 16 lands
+	// in bucket 3 (>=16), 8 in bucket 4 (>=8), 5 in bucket 5 (>=4), the
+	// 3s in bucket 6 (>=2), the 1s and 0s in the tail bucket. Layout:
+	// [9 | 2 | 7 | 1, 4, 8 | 0, 3, 5, 6].
+	DBG: {6, 3, 1, 7, 4, 8, 9, 2, 5, 0},
+}
+
+func TestGoldenPermutations(t *testing.T) {
+	for s, want := range goldenPerms {
+		got, err := PermutationFromDegrees(goldenDegrees, s, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s permutation drifted:\n got  %v\n want %v", s, got, want)
+		}
+	}
+}
+
+// The Random strategy is seeded: same seed, same permutation, and it must
+// also stay pinned so seeded experiments are reproducible.
+func TestGoldenRandomPermutation(t *testing.T) {
+	a, err := PermutationFromDegrees(goldenDegrees, Random, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PermutationFromDegrees(goldenDegrees, Random, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("random permutation not reproducible: %v vs %v", a, b)
+	}
+	c, err := PermutationFromDegrees(goldenDegrees, Random, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+// The graph-level RCM permutation must also be reproducible run to run
+// (stable sorts with full tie-break keys).
+func TestGoldenRCMReproducible(t *testing.T) {
+	g := chain(t, 64)
+	a, err := Permutation(g, RCM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Permutation(g, RCM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RCM permutation not reproducible")
+	}
+}
+
+func TestPermutationFromDegreesRejectsRCM(t *testing.T) {
+	if _, err := PermutationFromDegrees(goldenDegrees, RCM, 0); err == nil {
+		t.Fatal("expected RCM rejection (needs adjacency)")
+	}
+	if _, err := PermutationFromDegrees(goldenDegrees, Strategy("nope"), 0); err == nil {
+		t.Fatal("expected unknown-strategy error")
+	}
+}
+
+// Every degree-keyed strategy must produce a valid permutation, and the
+// hub-packing strategies must put the maximum-degree node at id 0.
+func TestDegreeStrategiesAreValidPermutations(t *testing.T) {
+	for _, s := range DegreeStrategies() {
+		perm, err := PermutationFromDegrees(goldenDegrees, s, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		seen := make([]bool, len(perm))
+		for _, v := range perm {
+			if int(v) >= len(perm) || seen[v] {
+				t.Fatalf("%s: not a permutation: %v", s, perm)
+			}
+			seen[v] = true
+		}
+		switch s {
+		case DegreeDesc, HubSort:
+			if perm[9] != 0 {
+				t.Fatalf("%s: max-degree node 9 maps to %d, want 0", s, perm[9])
+			}
+		}
+	}
+}
+
+func TestCSRSpanMetrics(t *testing.T) {
+	// 3-node chain CSR: 0->1, 1->2.
+	ptr := []int64{0, 1, 2, 2}
+	idx := []graph.Node{1, 2}
+	if bw := BandwidthCSR(ptr, idx); bw != 1 {
+		t.Fatalf("bandwidth = %d, want 1", bw)
+	}
+	if sp := AvgSpanCSR(ptr, idx); sp != 1 {
+		t.Fatalf("avg span = %v, want 1", sp)
+	}
+	if AvgSpanCSR([]int64{0}, nil) != 0 || BandwidthCSR([]int64{0}, nil) != 0 {
+		t.Fatal("empty CSR spans must be 0")
+	}
+}

@@ -1,10 +1,15 @@
-// Package reorder implements whole-graph node relabeling strategies from
-// the locality-reordering literature (degree sorting, reverse
-// Cuthill-McKee, random shuffling). The paper positions Mixen against
-// frameworks that rely on such reorderings (its own prior work [11] and
-// Gorder-style approaches); this package provides the baselines so the
-// repository can compare "reorder the whole graph, then run a conventional
-// engine" against Mixen's connectivity filtering.
+// Package reorder implements node relabeling strategies from the
+// locality-reordering literature: the heavyweight classics (degree
+// sorting, reverse Cuthill-McKee, random shuffling) and the lightweight
+// skew-aware family of "A Closer Look at Lightweight Graph Reordering"
+// (HubSort, HubCluster, degree-based grouping). The paper positions Mixen
+// against frameworks that rely on such reorderings (its own prior work
+// [11] and Gorder-style approaches); this package provides the baselines
+// so the repository can compare "reorder the whole graph, then run a
+// conventional engine" against Mixen's connectivity filtering — and, via
+// PermutationFromDegrees, lets the engine compose a lightweight reordering
+// with the connectivity-aware relabeling by permuting the filtered regular
+// submatrix (see filter.PermuteRegular).
 package reorder
 
 import (
@@ -30,15 +35,62 @@ const (
 	RCM Strategy = "rcm"
 	// Random shuffles ids uniformly (the locality-destroying control).
 	Random Strategy = "random"
+	// HubSort moves hubs (in-degree above average) to the front sorted by
+	// descending degree; non-hubs keep their original relative order. The
+	// lightweight skew-aware ordering of Balaji & Lucia (IISWC'19).
+	HubSort Strategy = "hubsort"
+	// HubCluster moves hubs to the front in their original relative order
+	// (no sort inside either group) — the cheapest hub-packing variant.
+	HubCluster Strategy = "hubcluster"
+	// DBG is degree-based grouping: nodes fall into coarse degree buckets
+	// (thresholds at multiples of the average degree), buckets are laid out
+	// from hottest to coldest, and the original order is preserved inside
+	// each bucket — finer than HubCluster, still a single counting pass.
+	DBG Strategy = "dbg"
 )
 
 // Strategies lists all implemented strategies.
-func Strategies() []Strategy { return []Strategy{Original, DegreeDesc, RCM, Random} }
+func Strategies() []Strategy {
+	return []Strategy{Original, DegreeDesc, RCM, Random, HubSort, HubCluster, DBG}
+}
 
-// Permutation returns newID[old] for the strategy over g. seed only
-// affects Random.
+// DegreeStrategies lists the strategies computable from a degree array
+// alone (everything but RCM, which needs adjacency) — the set that can be
+// applied to the filtered regular submatrix via PermutationFromDegrees.
+func DegreeStrategies() []Strategy {
+	return []Strategy{Original, DegreeDesc, Random, HubSort, HubCluster, DBG}
+}
+
+// dbgMultipliers are the bucket thresholds of degree-based grouping, as
+// multiples of the average degree: bucket i holds nodes with degree >=
+// dbgMultipliers[i] × avg (first match wins), plus one final bucket for
+// everything colder than 0.5× avg.
+var dbgMultipliers = []float64{32, 16, 8, 4, 2, 1, 0.5}
+
+// Permutation returns newID[old] for the strategy over g, keyed on
+// in-degree (the access skew the pull direction and Mixen's Gather see).
+// seed only affects Random.
 func Permutation(g *graph.Graph, s Strategy, seed int64) ([]graph.Node, error) {
+	if s == RCM {
+		return rcmPerm(g), nil
+	}
 	n := g.NumNodes()
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.InDegree(graph.Node(v))
+	}
+	return PermutationFromDegrees(deg, s, seed)
+}
+
+// PermutationFromDegrees returns newID[old] for a degree-keyed strategy
+// over an abstract node set with the given degrees — no adjacency needed,
+// which is what lets the engine reorder the filtered regular submatrix
+// (degrees measured inside the submatrix) without rebuilding the graph.
+// RCM is rejected: it requires adjacency, use Permutation. All strategies
+// break degree ties by ascending original id (stable), so permutations are
+// reproducible across runs and platforms.
+func PermutationFromDegrees(deg []int64, s Strategy, seed int64) ([]graph.Node, error) {
+	n := len(deg)
 	switch s {
 	case Original:
 		perm := make([]graph.Node, n)
@@ -47,9 +99,11 @@ func Permutation(g *graph.Graph, s Strategy, seed int64) ([]graph.Node, error) {
 		}
 		return perm, nil
 	case DegreeDesc:
-		return degreePerm(g), nil
-	case RCM:
-		return rcmPerm(g), nil
+		order := identityOrder(n)
+		sort.SliceStable(order, func(a, b int) bool {
+			return deg[order[a]] > deg[order[b]]
+		})
+		return permFromOrder(order), nil
 	case Random:
 		rng := rand.New(rand.NewSource(seed))
 		order := rng.Perm(n)
@@ -58,9 +112,97 @@ func Permutation(g *graph.Graph, s Strategy, seed int64) ([]graph.Node, error) {
 			perm[old] = graph.Node(newID)
 		}
 		return perm, nil
+	case HubSort:
+		hubs, cold := splitHubs(deg)
+		sort.SliceStable(hubs, func(a, b int) bool {
+			return deg[hubs[a]] > deg[hubs[b]]
+		})
+		return permFromOrder(append(hubs, cold...)), nil
+	case HubCluster:
+		hubs, cold := splitHubs(deg)
+		return permFromOrder(append(hubs, cold...)), nil
+	case DBG:
+		return dbgPerm(deg), nil
+	case RCM:
+		return nil, fmt.Errorf("reorder: %q needs graph adjacency; use Permutation", s)
 	default:
 		return nil, fmt.Errorf("reorder: unknown strategy %q", s)
 	}
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// permFromOrder inverts a new-position -> old-id order into newID[old].
+func permFromOrder(order []int) []graph.Node {
+	perm := make([]graph.Node, len(order))
+	for newID, old := range order {
+		perm[old] = graph.Node(newID)
+	}
+	return perm
+}
+
+func avgDegree(deg []int64) float64 {
+	if len(deg) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	return float64(sum) / float64(len(deg))
+}
+
+// splitHubs partitions ids into hubs (degree strictly above average, the
+// same threshold convention as the filter stage) and the rest, both in
+// ascending original-id order.
+func splitHubs(deg []int64) (hubs, cold []int) {
+	avg := avgDegree(deg)
+	for v, d := range deg {
+		if float64(d) > avg {
+			hubs = append(hubs, v)
+		} else {
+			cold = append(cold, v)
+		}
+	}
+	return hubs, cold
+}
+
+// dbgPerm assigns each node to the first bucket whose threshold its degree
+// meets, then concatenates buckets hottest-first with original order
+// preserved inside each — a counting sort over len(dbgMultipliers)+1 keys.
+func dbgPerm(deg []int64) []graph.Node {
+	avg := avgDegree(deg)
+	nb := len(dbgMultipliers) + 1
+	bucket := make([]int, len(deg))
+	counts := make([]int, nb)
+	for v, d := range deg {
+		b := nb - 1
+		for i, mul := range dbgMultipliers {
+			if float64(d) >= mul*avg {
+				b = i
+				break
+			}
+		}
+		bucket[v] = b
+		counts[b]++
+	}
+	offsets := make([]int, nb)
+	for b := 1; b < nb; b++ {
+		offsets[b] = offsets[b-1] + counts[b-1]
+	}
+	perm := make([]graph.Node, len(deg))
+	for v := range deg {
+		b := bucket[v]
+		perm[v] = graph.Node(offsets[b])
+		offsets[b]++
+	}
+	return perm
 }
 
 // Apply relabels g under the permutation newID[old] and rebuilds its
@@ -99,28 +241,10 @@ func Reorder(g *graph.Graph, s Strategy, seed int64) (*graph.Graph, []graph.Node
 	return rg, perm, nil
 }
 
-func degreePerm(g *graph.Graph) []graph.Node {
-	n := g.NumNodes()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := g.InDegree(graph.Node(order[a])), g.InDegree(graph.Node(order[b]))
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
-	perm := make([]graph.Node, n)
-	for newID, old := range order {
-		perm[old] = graph.Node(newID)
-	}
-	return perm
-}
-
 // rcmPerm computes reverse Cuthill-McKee over the undirected view,
 // component by component (seeded at each component's minimum-degree node).
+// Both sorts are stable with full (degree, id) keys so the permutation is
+// reproducible across runs and platforms.
 func rcmPerm(g *graph.Graph) []graph.Node {
 	n := g.NumNodes()
 	// Undirected degree for seeding and neighbour ordering.
@@ -131,7 +255,7 @@ func rcmPerm(g *graph.Graph) []graph.Node {
 	neighbours := func(u graph.Node) []graph.Node {
 		out := append([]graph.Node(nil), g.OutNeighbors(u)...)
 		out = append(out, g.InNeighbors(u)...)
-		sort.Slice(out, func(a, b int) bool {
+		sort.SliceStable(out, func(a, b int) bool {
 			if udeg[out[a]] != udeg[out[b]] {
 				return udeg[out[a]] < udeg[out[b]]
 			}
@@ -146,7 +270,7 @@ func rcmPerm(g *graph.Graph) []graph.Node {
 	for i := range seeds {
 		seeds[i] = i
 	}
-	sort.Slice(seeds, func(a, b int) bool {
+	sort.SliceStable(seeds, func(a, b int) bool {
 		if udeg[seeds[a]] != udeg[seeds[b]] {
 			return udeg[seeds[a]] < udeg[seeds[b]]
 		}
@@ -215,4 +339,41 @@ func AvgSpan(g *graph.Graph) float64 {
 		}
 	}
 	return sum / float64(m)
+}
+
+// BandwidthCSR is Bandwidth over a raw CSR (e.g. the filtered regular
+// submatrix), so locality can be measured where the SCGA kernel actually
+// runs rather than on the whole graph.
+func BandwidthCSR(ptr []int64, idx []graph.Node) int64 {
+	var bw int64
+	for u := 0; u < len(ptr)-1; u++ {
+		for _, v := range idx[ptr[u]:ptr[u+1]] {
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// AvgSpanCSR is AvgSpan over a raw CSR.
+func AvgSpanCSR(ptr []int64, idx []graph.Node) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < len(ptr)-1; u++ {
+		for _, v := range idx[ptr[u]:ptr[u+1]] {
+			d := float64(u) - float64(v)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum / float64(len(idx))
 }

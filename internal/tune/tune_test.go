@@ -1,0 +1,120 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+
+	"mixen/internal/core"
+	"mixen/internal/gen"
+	"mixen/internal/graph"
+)
+
+func tuneTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 6000, M: 60000,
+		RegularFrac: 0.5, SeedFrac: 0.25, SinkFrac: 0.15,
+		ZipfS: 1.4, ZipfV: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPredictGraphSideDeterministic(t *testing.T) {
+	g := tuneTestGraph(t)
+	cfg := core.Config{Threads: 2}
+	a, sideA, err := PredictGraphSide(g, cfg, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sideB, err := PredictGraphSide(g, cfg, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sideA != sideB || !reflect.DeepEqual(a, b) {
+		t.Fatalf("prediction not deterministic: %v/%d vs %v/%d", a, sideA, b, sideB)
+	}
+}
+
+func TestPredictSideTable(t *testing.T) {
+	g := tuneTestGraph(t)
+	cands, side, err := PredictGraphSide(g, core.Config{Threads: 2}, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.PrepareFiltered(g, core.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SideCandidates(f.NumRegular, 2)
+	if len(cands) != len(want) {
+		t.Fatalf("candidate table has %d rows, ladder has %d", len(cands), len(want))
+	}
+	chosen := 0
+	found := false
+	for i, c := range cands {
+		if c.Side != want[i] {
+			t.Fatalf("row %d side %d, ladder says %d", i, c.Side, want[i])
+		}
+		if c.TrafficBytes <= 0 || c.Blocks <= 0 {
+			t.Fatalf("malformed candidate %+v", c)
+		}
+		if c.LLCMissRatio < 0 || c.LLCMissRatio > 1 {
+			t.Fatalf("LLC miss ratio out of range: %+v", c)
+		}
+		if c.Chosen {
+			chosen++
+			if c.Side != side {
+				t.Fatalf("chosen row side %d != returned side %d", c.Side, side)
+			}
+			found = true
+		}
+	}
+	if chosen != 1 || !found {
+		t.Fatalf("%d rows marked chosen, want exactly 1", chosen)
+	}
+}
+
+// The chosen side must be adoptable by the engine and produce correct
+// results (the predicted tuner feeds Config.Side directly).
+func TestPredictedSideRunsCorrectly(t *testing.T) {
+	g := tuneTestGraph(t)
+	_, side, err := PredictGraphSide(g, core.Config{Threads: 2}, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(g, core.Config{Threads: 2, Side: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.P.Side != side {
+		t.Fatalf("engine side %d != predicted %d", e.P.Side, side)
+	}
+}
+
+func TestSampleCorner(t *testing.T) {
+	// 4-node CSR: 0->{1,3}, 1->{2}, 2->{0}, 3->{}.
+	ptr := []int64{0, 2, 3, 4, 4}
+	idx := []graph.Node{1, 3, 2, 0}
+	sPtr, sIdx, sr := sampleCorner(ptr, idx, 4, 2)
+	if sr != 2 {
+		t.Fatalf("sampled size %d, want 2", sr)
+	}
+	// Row 0 keeps only dst 1 (3 is outside); row 1's dst 2 is outside.
+	if !reflect.DeepEqual(sPtr, []int64{0, 1, 1}) || !reflect.DeepEqual(sIdx, []graph.Node{1}) {
+		t.Fatalf("sampled CSR wrong: ptr=%v idx=%v", sPtr, sIdx)
+	}
+	// No-op paths.
+	p2, i2, r2 := sampleCorner(ptr, idx, 4, 8)
+	if r2 != 4 || len(p2) != 5 || len(i2) != 4 {
+		t.Fatal("oversized cap must return input unchanged")
+	}
+}
+
+func TestPredictSideRejectsEmpty(t *testing.T) {
+	if _, _, err := PredictSide(nil, nil, 0, Options{}); err == nil {
+		t.Fatal("expected error for empty regular range")
+	}
+}

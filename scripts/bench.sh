@@ -4,14 +4,15 @@
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
 # entry), the engine-level BenchmarkPageRank, the serving hot-path and
 # load-shed microbenchmarks (cmd/mixenserve), the sparse-frontier study,
-# and the shard-scaling experiment (S=1/2/4 on the skewed presets), then
-# bundles everything into BENCH_PR7.json. When a committed
-# BENCH_PR6.bench.txt exists and benchstat is installed, it also emits a
+# the shard-scaling experiment (S=1/2/4 on the skewed presets), and the
+# skew-aware reordering + block auto-tuning study (mixenbench -experiment
+# reorder), then bundles everything into BENCH_PR8.json. When a committed
+# BENCH_PR7.bench.txt exists and benchstat is installed, it also emits a
 # benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR7.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR8.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR7.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR8.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -20,9 +21,9 @@ cd "$(dirname "$0")/.."
 outdir="${1:-.}"
 mkdir -p "$outdir"
 
-count="${BENCH_COUNT:-5}"
-benchtxt="$outdir/BENCH_PR7.bench.txt"
-json="$outdir/BENCH_PR7.json"
+count="${BENCH_COUNT:-7}"
+benchtxt="$outdir/BENCH_PR8.bench.txt"
+json="$outdir/BENCH_PR8.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -39,8 +40,9 @@ go test -run=NONE -bench 'BenchmarkServe' -benchmem -count="$count" \
 echo ">> sparse-frontier study (mixenbench -experiment frontier)" >&2
 fronttxt="$(mktemp)"
 shardtxt="$(mktemp)"
+reordertxt="$(mktemp)"
 benchstattxt="$(mktemp)"
-trap 'rm -f "$fronttxt" "$shardtxt" "$benchstattxt"' EXIT
+trap 'rm -f "$fronttxt" "$shardtxt" "$reordertxt" "$benchstattxt"' EXIT
 go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
 
@@ -48,24 +50,28 @@ echo ">> shard-scaling study (mixenbench -experiment shard, S=1/2/4)" >&2
 go run ./cmd/mixenbench -experiment shard -graphs "${BENCH_SHARD_GRAPHS:-weibo,wiki}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$shardtxt" >&2
 
-# benchstat vs the committed PR6 baseline (shared width-sweep, PageRank and
-# serving lines; all benchmark families exist in the PR6 baseline).
+echo ">> reordering + auto-tuning study (mixenbench -experiment reorder)" >&2
+go run ./cmd/mixenbench -experiment reorder -graphs "${BENCH_REORDER_GRAPHS:-weibo,wiki,road}" \
+    -shrink "${BENCH_SHRINK:-8}" | tee "$reordertxt" >&2
+
+# benchstat vs the committed PR7 baseline (shared width-sweep, PageRank and
+# serving lines; all benchmark families exist in the PR7 baseline).
 # Informational — missing benchstat or a missing baseline must not fail
 # the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR6.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR6.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR7.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR7.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR6.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR7.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR6.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR7.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR7 sharded multi-partition engine with propagation-blocking exchange",'
+  echo '  "bench": "PR8 skew-aware reordering and block-side auto-tuning",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -106,9 +112,30 @@ fi
   } END { print "" }' "$shardtxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR6 baseline, when available.
+  # Parsed reorder-study rows:
+  # Graph strategy main_s/it prep_s reorder_s bandwidth avg_span llc% MB ident.
+  echo '  "reorder_study": ['
+  awk '$2 ~ /^(original|degree|random|hubsort|hubcluster|dbg)$/ && NF == 10 {
+    printf "%s    {\"graph\": \"%s\", \"strategy\": \"%s\", \"main_sec_per_iter\": %s, \"prep_sec\": %s, \"reorder_sec\": %s, \"bandwidth\": %s, \"avg_span\": %s, \"llc_miss_pct\": %s, \"traffic_mb\": %s, \"identical\": %s}", \
+      sep, $1, $2, $3, $4, $5, $6, $7, $8, $9, $10
+    sep = ",\n"
+  } END { print "" }' "$reordertxt"
+  echo '  ],'
+
+  # Parsed autotune-study rows:
+  # Graph source side main_s/it tune_s [*best].
+  echo '  "autotune_study": ['
+  awk '$2 ~ /^(sweep|measured|predicted|default)$/ && $3 ~ /^[0-9]+$/ && NF >= 5 {
+    best = (NF >= 6 && $6 == "*") ? "true" : "false"
+    printf "%s    {\"graph\": \"%s\", \"source\": \"%s\", \"side\": %s, \"main_sec_per_iter\": %s, \"tune_sec\": %s, \"best\": %s}", \
+      sep, $1, $2, $3, $4, $5, best
+    sep = ",\n"
+  } END { print "" }' "$reordertxt"
+  echo '  ],'
+
+  # benchstat output vs the committed PR7 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr6": ['
+    echo '  "benchstat_vs_pr7": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0

@@ -11,6 +11,12 @@
 # Usage: scripts/bench_gate.sh BASE.txt HEAD.txt [threshold-pct]
 #   threshold-pct defaults to 10.
 #
+# The gate refuses to judge on thin data: each side must carry at least
+# BENCH_GATE_MIN_SAMPLES (default 7) repetitions of every gated benchmark,
+# so a single noisy run can never trip — or pass — the gate on its own.
+# When the gate does trip, it prints each side's sample spread (min..max)
+# so a noisy-runner false positive is recognizable at a glance.
+#
 # Override: maintainers apply the `bench-regression-ok` label to a PR to
 # skip the gate for intentional tradeoffs (see CONTRIBUTING.md).
 set -euo pipefail
@@ -22,6 +28,7 @@ fi
 base="$1"
 head="$2"
 threshold="${3:-10}"
+min_samples="${BENCH_GATE_MIN_SAMPLES:-7}"
 
 # A benchmark file that does not exist (a skipped or crashed bench run)
 # must be its own clear failure, not an awk "cannot open" mid-comparison.
@@ -32,19 +39,21 @@ for f in "$base" "$head"; do
   fi
 done
 
-# median_ns BENCH_REGEX FILE — median ns/op across -count repetitions.
-median_ns() {
+# stats_ns BENCH_REGEX FILE — "median count min max" of ns/op across
+# -count repetitions, or "NA 0 NA NA" when the benchmark never ran.
+stats_ns() {
   awk -v re="$1" '
     $0 ~ re {
       for (i = 2; i <= NF; i++) if ($i == "ns/op") { v[n++] = $(i-1); break }
     }
     END {
-      if (n == 0) { print "NA"; exit }
+      if (n == 0) { print "NA 0 NA NA"; exit }
       # insertion sort (n is tiny)
       for (i = 1; i < n; i++) { x = v[i]; j = i - 1
         while (j >= 0 && v[j] > x) { v[j+1] = v[j]; j-- } v[j+1] = x }
-      if (n % 2) print v[int(n/2)]
-      else print (v[n/2-1] + v[n/2]) / 2
+      if (n % 2) m = v[int(n/2)]
+      else m = (v[n/2-1] + v[n/2]) / 2
+      print m, n, v[0], v[n-1]
     }' "$2"
 }
 
@@ -52,10 +61,20 @@ fail=0
 missing=0
 for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]'; do
   name=$(echo "$bench" | sed 's/(.*//')
-  b=$(median_ns "$bench" "$base")
-  h=$(median_ns "$bench" "$head")
+  read -r b bn bmin bmax <<EOF
+$(stats_ns "$bench" "$base")
+EOF
+  read -r h hn hmin hmax <<EOF
+$(stats_ns "$bench" "$head")
+EOF
   if [ "$b" = "NA" ] || [ "$h" = "NA" ]; then
     echo "bench_gate: FAIL $name missing from base or head output (base=$b head=$h)" >&2
+    fail=1
+    missing=1
+    continue
+  fi
+  if [ "$bn" -lt "$min_samples" ] || [ "$hn" -lt "$min_samples" ]; then
+    echo "bench_gate: FAIL $name has too few samples to judge (base=$bn head=$hn, need >= $min_samples); rerun with -count=$min_samples or higher" >&2
     fail=1
     missing=1
     continue
@@ -64,9 +83,10 @@ for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhase
   over=$(awk -v b="$b" -v h="$h" -v t="$threshold" 'BEGIN { print (h > b * (1 + t/100)) ? 1 : 0 }')
   if [ "$over" = "1" ]; then
     echo "bench_gate: FAIL $name regressed ${delta}% (base median ${b} ns/op -> head ${h} ns/op, threshold ${threshold}%)" >&2
+    echo "bench_gate:      base spread ${bmin}..${bmax} ns/op over ${bn} samples; head spread ${hmin}..${hmax} ns/op over ${hn} samples" >&2
     fail=1
   else
-    echo "bench_gate: ok   $name ${delta}% (base median ${b} ns/op -> head ${h} ns/op)" >&2
+    echo "bench_gate: ok   $name ${delta}% (base median ${b} ns/op -> head ${h} ns/op, n=${hn})" >&2
   fi
 done
 
