@@ -180,9 +180,20 @@ func main() {
 			}
 			return out, nil
 		},
+		"coldstart": func(o bench.Options) (string, error) {
+			rows, err := bench.ColdstartStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatColdstartStudy(rows)
+			if err := bench.ColdstartInstant(rows); err != nil {
+				out += "WARNING: " + err.Error() + "\n"
+			}
+			return out, nil
+		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier", "shard"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier", "shard", "coldstart"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

@@ -1,6 +1,6 @@
 // Command mixenconvert converts graphs between the text edge-list format
 // and the CSR binary format Mixen/GPOP consume directly, and can persist
-// the preprocessed (filtered) form alongside.
+// the preprocessed (filtered) form or a ready-to-mmap partition alongside.
 //
 // Usage:
 //
@@ -8,14 +8,24 @@
 //	mixenconvert -in graph.bin -out graph.txt              # binary -> text
 //	mixenconvert -in graph.txt -out graph.bin -filtered graph.mixf
 //	mixenconvert -preset wiki -shrink 8 -out wiki.bin      # generate preset
+//	mixenconvert -preset wiki -partition wiki.mixp -reorder hubsort -autotune
 //
 // Format is inferred from the file extension: .bin/.mixb = CSR binary,
-// anything else = text edge list.
+// anything else = text edge list. A -partition file (.mixp) bakes in the
+// full preprocessing pipeline — filter, optional -reorder/-autotune layout
+// decision, 2-D blocked partition — so mixenserve -partition starts
+// serving instantly by mapping it.
+//
+// Flag combinations are validated up front: exactly one input source
+// (-in or -preset), at least one output (-out, -filtered, -partition),
+// -shrink only with -preset, and the layout flags (-reorder, -autotune,
+// -side) only with -partition.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,41 +33,115 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input graph path")
-	preset := flag.String("preset", "", "generate a dataset preset instead of reading -in")
-	shrink := flag.Int("shrink", 8, "preset shrink factor")
-	out := flag.String("out", "", "output graph path")
-	filteredPath := flag.String("filtered", "", "also write the preprocessed filtered form here")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mixenconvert:", err)
+		os.Exit(1)
+	}
+}
+
+// usageError marks a bad flag combination (as opposed to an I/O or build
+// failure) so tests can distinguish the two.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return "usage: " + e.msg }
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mixenconvert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input graph path")
+	preset := fs.String("preset", "", "generate a dataset preset instead of reading -in")
+	shrink := fs.Int("shrink", 8, "preset shrink factor")
+	out := fs.String("out", "", "output graph path")
+	filteredPath := fs.String("filtered", "", "also write the preprocessed filtered form here")
+	partitionPath := fs.String("partition", "", "write a ready-to-mmap .mixp partition here")
+	reorderFlag := fs.String("reorder", "", "bake a submatrix reorder strategy into -partition (hubsort, hubcluster, dbg, ...)")
+	autotune := fs.Bool("autotune", false, "bake the measured block-side auto-tuner's pick into -partition")
+	side := fs.Int("side", 0, "bake a fixed block side into -partition (0 = heuristic)")
+	threads := fs.Int("threads", 0, "worker threads for the -partition build (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Validate the flag combination before doing any work, so a flag that
+	// would be silently ignored is a hard usage error instead.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch {
+	case fs.NArg() > 0:
+		return usageError{fmt.Sprintf("unexpected positional arguments %q (all inputs are flags)", fs.Args())}
+	case set["in"] && set["preset"]:
+		return usageError{"specify only one of -in, -preset"}
+	case !set["in"] && !set["preset"]:
+		return usageError{"specify -in or -preset"}
+	case set["shrink"] && !set["preset"]:
+		return usageError{"-shrink only applies to -preset generation"}
+	case *out == "" && *filteredPath == "" && *partitionPath == "":
+		return usageError{"nothing to do: specify -out, -filtered and/or -partition"}
+	case *partitionPath == "" && (set["reorder"] || set["autotune"] || set["side"] || set["threads"]):
+		return usageError{"-reorder, -autotune, -side and -threads only apply to a -partition build"}
+	case set["reorder"] && *reorderFlag == "":
+		return usageError{"-reorder needs a strategy name (hubsort, hubcluster, dbg, ...)"}
+	}
 
 	g, err := load(*in, *preset, *shrink)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
+	fmt.Fprintf(stderr, "loaded %v\n", g)
 
 	if *out != "" {
 		if err := save(g, *out); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		fmt.Fprintf(stderr, "wrote %s\n", *out)
 	}
 	if *filteredPath != "" {
 		f := mixen.Filter(g)
-		fh, err := os.Create(*filteredPath)
-		if err != nil {
-			fail(err)
+		if err := writeFiltered(f, *filteredPath); err != nil {
+			return err
 		}
-		defer fh.Close()
-		if err := f.WriteBinary(fh); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote filtered form %s (alpha=%.3f beta=%.3f)\n",
+		fmt.Fprintf(stderr, "wrote filtered form %s (alpha=%.3f beta=%.3f)\n",
 			*filteredPath, f.Alpha(), f.Beta())
 	}
-	if *out == "" && *filteredPath == "" {
-		fail(fmt.Errorf("nothing to do: specify -out and/or -filtered"))
+	if *partitionPath != "" {
+		eng, err := mixen.New(g, mixen.Config{
+			Side:     *side,
+			Threads:  *threads,
+			Reorder:  mixen.ReorderStrategy(*reorderFlag),
+			AutoTune: *autotune,
+		})
+		if err != nil {
+			return err
+		}
+		if err := mixen.WritePartition(*partitionPath, eng); err != nil {
+			return err
+		}
+		st, err := os.Stat(*partitionPath)
+		if err != nil {
+			return err
+		}
+		reo, tuned := "original", ""
+		if r, at := eng.Layout(); r != "" {
+			reo = r
+			if at {
+				tuned = ", autotuned"
+			}
+		} else if at {
+			tuned = ", autotuned"
+		}
+		fmt.Fprintf(stderr, "wrote partition %s (%d bytes, side=%d, reorder=%s%s)\n",
+			*partitionPath, st.Size(), eng.P.Side, reo, tuned)
 	}
+	return nil
+}
+
+func writeFiltered(f *mixen.Filtered, path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f.WriteBinary(fh)
 }
 
 func isBinary(path string) bool {
@@ -65,13 +149,8 @@ func isBinary(path string) bool {
 }
 
 func load(in, preset string, shrink int) (*mixen.Graph, error) {
-	switch {
-	case preset != "" && in != "":
-		return nil, fmt.Errorf("specify only one of -in, -preset")
-	case preset != "":
+	if preset != "" {
 		return mixen.Dataset(preset, shrink)
-	case in == "":
-		return nil, fmt.Errorf("specify -in or -preset")
 	}
 	fh, err := os.Open(in)
 	if err != nil {
@@ -94,10 +173,4 @@ func save(g *mixen.Graph, out string) error {
 		return g.WriteBinary(fh)
 	}
 	return g.WriteEdgeList(fh)
-}
-
-// fail prints the error and exits non-zero.
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mixenconvert:", err)
-	os.Exit(1)
 }

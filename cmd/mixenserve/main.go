@@ -7,8 +7,14 @@
 // in-flight queries before exit.
 //
 //	mixenserve -preset web-skew -addr :8080
+//	mixenserve -partition web-skew.mixp -addr :8080   # instant start: mmap, no rebuild
 //	curl 'localhost:8080/v1/query?algo=pagerank&top=5'
 //	curl 'localhost:8080/v1/query?algo=ppr&sources=1,2,3&timeout=500ms'
+//
+// With -partition (a .mixp file written by `mixenconvert -partition`) the
+// whole preprocessing pipeline is skipped: the file is mapped read-only
+// and served in place, page-cache-shared with every other process mapping
+// it. /healthz reports the mapped file, its build epoch and baked layout.
 package main
 
 import (
@@ -27,11 +33,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		preset   = flag.String("preset", "", "named dataset (see mixenrun -list)")
-		shrink   = flag.Int("shrink", 0, "shrink factor for -preset (0 = full size)")
-		edgelist = flag.String("edgelist", "", "path to a whitespace edge-list file")
-		threads  = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		preset    = flag.String("preset", "", "named dataset (see mixenrun -list)")
+		shrink    = flag.Int("shrink", 0, "shrink factor for -preset (0 = full size)")
+		edgelist  = flag.String("edgelist", "", "path to a whitespace edge-list file")
+		partition = flag.String("partition", "", "mmap a prebuilt .mixp partition (written by mixenconvert -partition) and serve instantly")
+		threads   = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
 
 		maxConc    = flag.Int("max-concurrent", 4, "queries executing at once")
 		maxQueue   = flag.Int("max-queue", 16, "queries waiting behind the executing ones before shedding with 429")
@@ -51,14 +58,8 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*preset, *shrink, *edgelist)
-	if err != nil {
-		fail(err)
-	}
-	reg := mixen.NewMetricsRegistry()
-	eng, err := mixen.New(g, mixen.Config{Threads: *threads, Collector: reg})
-	if err != nil {
-		fail(err)
+	if *partition != "" && (*preset != "" || *edgelist != "") {
+		fail(fmt.Errorf("specify only one of -partition, -preset, -edgelist"))
 	}
 
 	cfg := serverConfig{
@@ -76,7 +77,27 @@ func main() {
 		cfg.accessLog = os.Stdout
 	}
 	bcfg := mixen.BatcherConfig{MaxBatch: *batch, MaxWait: *batchWait}
-	s := newServer(g, eng, reg, cfg, bcfg)
+	reg := mixen.NewMetricsRegistry()
+
+	var s *server
+	if *partition != "" {
+		me, err := mixen.OpenPartition(*partition, mixen.Config{Threads: *threads, Collector: reg})
+		if err != nil {
+			fail(err)
+		}
+		defer me.Close()
+		s = newServerMapped(me, reg, cfg, bcfg)
+	} else {
+		g, err := loadGraph(*preset, *shrink, *edgelist)
+		if err != nil {
+			fail(err)
+		}
+		eng, err := mixen.New(g, mixen.Config{Threads: *threads, Collector: reg})
+		if err != nil {
+			fail(err)
+		}
+		s = newServer(g, eng, reg, cfg, bcfg)
+	}
 	mixen.PublishExpvar("mixen", reg)
 	// One poller goroutine keeps the runtime gauges (goroutines, heap, GC),
 	// the worker-pool gauges and the windowed SLO gauges current.
@@ -86,8 +107,13 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mixenserve: serving %d nodes / %d edges on %s (max-concurrent=%d max-queue=%d)",
-		g.NumNodes(), g.NumEdges(), *addr, cfg.maxConcurrent, cfg.maxQueue)
+	if s.part != nil {
+		log.Printf("mixenserve: serving %d nodes / %d edges on %s from mapped partition %s (epoch=%d reorder=%s side=%d max-concurrent=%d max-queue=%d)",
+			s.n, s.edges, *addr, s.part.File, s.part.Epoch, s.part.Reorder, s.part.Side, cfg.maxConcurrent, cfg.maxQueue)
+	} else {
+		log.Printf("mixenserve: serving %d nodes / %d edges on %s (max-concurrent=%d max-queue=%d)",
+			s.n, s.edges, *addr, cfg.maxConcurrent, cfg.maxQueue)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -103,12 +103,18 @@ var (
 // shared batcher, the admission state and the metrics registry. Safe for
 // concurrent requests; constructed once by newServer.
 type server struct {
-	g   *mixen.Graph
-	eng *mixen.MixenEngine
-	bat *mixen.Batcher
-	deg []float64 // out-degree snapshot shared by every pagerank/ppr program
-	reg *mixen.MetricsRegistry
-	cfg serverConfig
+	// g is the source graph, or nil when serving a mapped .mixp partition
+	// (partition mode needs only the node/edge scalars and the out-degree
+	// snapshot, all carried by the file).
+	g     *mixen.Graph
+	eng   *mixen.MixenEngine
+	bat   *mixen.Batcher
+	deg   []float64 // out-degree snapshot shared by every pagerank/ppr program
+	n     int       // node count (graph or partition metadata)
+	edges int64     // edge count (graph or partition metadata)
+	part  *partitionStatus
+	reg   *mixen.MetricsRegistry
+	cfg   serverConfig
 
 	// Admission: sem holds one token per executing query; queued counts
 	// requests waiting for a token (bounded by cfg.maxQueue).
@@ -156,18 +162,57 @@ type server struct {
 	winErrPermille *obs.Gauge
 }
 
+// partitionStatus describes the mapped .mixp file behind a partition-mode
+// server, surfaced through /healthz so operators can confirm which build
+// (file, epoch, baked layout) a process is actually serving.
+type partitionStatus struct {
+	File      string `json:"file"`
+	Epoch     int64  `json:"epoch"`
+	Reorder   string `json:"reorder"`
+	Side      int    `json:"side"`
+	AutoTuned bool   `json:"autotuned"`
+	Mapped    bool   `json:"mapped"`
+}
+
 // newServer preprocesses nothing itself — it wires an already-built
 // engine, graph and registry into a serving surface.
 func newServer(g *mixen.Graph, eng *mixen.MixenEngine, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
+	return newServerWith(g, eng, mixen.OutDegrees(g), g.NumNodes(), g.NumEdges(), nil, reg, cfg, bcfg)
+}
+
+// newServerMapped wires a zero-copy mapped partition into a serving
+// surface: no graph, no filter pass, no partitioning — the engine serves
+// straight off the page cache.
+func newServerMapped(me *mixen.MappedEngine, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
+	m := me.Meta()
+	reorder := m.Reorder
+	if reorder == "" {
+		reorder = "original"
+	}
+	part := &partitionStatus{
+		File:      me.PartitionPath(),
+		Epoch:     m.Epoch,
+		Reorder:   reorder,
+		Side:      m.Side,
+		AutoTuned: m.AutoTuned,
+		Mapped:    me.MappedFromFile(),
+	}
+	return newServerWith(nil, me.MixenEngine, me.OutDegrees(), m.N, m.GraphEdges, part, reg, cfg, bcfg)
+}
+
+func newServerWith(g *mixen.Graph, eng *mixen.MixenEngine, deg []float64, n int, edges int64, part *partitionStatus, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
-		g:   g,
-		eng: eng,
-		bat: mixen.NewBatcher(eng, bcfg),
-		deg: mixen.OutDegrees(g),
-		reg: reg,
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.maxConcurrent),
+		g:     g,
+		eng:   eng,
+		bat:   mixen.NewBatcher(eng, bcfg),
+		deg:   deg,
+		n:     n,
+		edges: edges,
+		part:  part,
+		reg:   reg,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.maxConcurrent),
 
 		tracer: obs.NewTracer(cfg.traceRing, cfg.traceSample),
 
@@ -508,7 +553,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	spec, err := parseQuery(r.Form, s.g.NumNodes(), s.cfg)
+	spec, err := parseQuery(r.Form, s.n, s.cfg)
 	if err != nil {
 		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
@@ -597,10 +642,10 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, error) {
 	resp := &queryResponse{
 		Algo:  q.algo,
-		Nodes: s.g.NumNodes(),
-		Edges: s.g.NumEdges(),
+		Nodes: s.n,
+		Edges: s.edges,
 	}
-	n := s.g.NumNodes()
+	n := s.n
 	switch q.algo {
 	case "indegree":
 		// InDegree's Scale (1) differs from the PageRank family's (1/deg),
@@ -630,8 +675,12 @@ func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, erro
 		for i, src := range q.sources {
 			if q.algo == "ppr" {
 				progs[i] = mixen.NewPersonalizedPageRankProgramShared(n, s.deg, src, q.damping, q.tol, q.iters)
-			} else {
+			} else if s.g != nil {
 				progs[i] = mixen.NewBFSProgram(s.g, src)
+			} else {
+				// Partition mode: BFS only needs the node count for its
+				// iteration bound.
+				progs[i] = mixen.NewBFSProgramForN(n, src)
 			}
 		}
 		results, sizes, err := s.runMany(ctx, progs)
@@ -755,9 +804,17 @@ func topK(values []float64, k int, ascending bool) []nodeValue {
 	return out
 }
 
+// healthzResponse is the /healthz body; partition is present only in
+// partition mode, telling operators which mapped build is serving.
+type healthzResponse struct {
+	Status    string           `json:"status"`
+	Partition *partitionStatus `json:"partition,omitempty"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	_ = json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Partition: s.part})
 }
 
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {

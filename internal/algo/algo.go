@@ -246,6 +246,13 @@ func NewBFS(g *graph.Graph, source uint32) *BFS {
 	return &BFS{Source: source, MaxIters: g.NumNodes() + 1}
 }
 
+// NewBFSN is NewBFS for serving paths that know only the node count (e.g.
+// a mapped partition without the original graph): the graph is used solely
+// for the iteration bound.
+func NewBFSN(n int, source uint32) *BFS {
+	return &BFS{Source: source, MaxIters: n + 1}
+}
+
 // Width implements vprog.Program.
 func (p *BFS) Width() int { return 1 }
 

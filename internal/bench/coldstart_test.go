@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColdstartStudyStructure(t *testing.T) {
+	rows, err := ColdstartStudy(Options{Shrink: 32, Graphs: []string{"wiki"}, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Graph != "wiki" || r.Nodes <= 0 || r.Edges <= 0 {
+		t.Fatalf("malformed row: %+v", r)
+	}
+	if !r.Identical {
+		t.Fatal("mapped answer not bit-identical to build-from-edges")
+	}
+	if r.BuildSec <= 0 || r.MapSec <= 0 {
+		t.Fatalf("non-positive timings: build %v map %v", r.BuildSec, r.MapSec)
+	}
+	if r.FileBytes <= 0 {
+		t.Fatalf("partition file size %d", r.FileBytes)
+	}
+	// The mapped path must never be slower than rebuilding the whole
+	// pipeline; the 10x acceptance threshold is asserted by the full-size
+	// study run (ColdstartInstant), not by this shrunken smoke test.
+	if r.Speedup() < 1 {
+		t.Errorf("mmap open-to-first-query slower than build-from-edges: %.2fx", r.Speedup())
+	}
+	out := FormatColdstartStudy(rows)
+	if !strings.Contains(out, "wiki") || !strings.Contains(out, "identical") {
+		t.Errorf("formatted study missing expected columns:\n%s", out)
+	}
+}

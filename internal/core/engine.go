@@ -193,6 +193,11 @@ type Engine struct {
 	// identical per-destination fold order to the single-partition build.
 	sh *block.Sharding
 
+	// prebuilt marks an engine assembled from an already-built partition
+	// (NewFromPrebuilt over a .mixp mapping): Prep is zero — the whole
+	// point — and F.G is typically nil.
+	prebuilt bool
+
 	// Tuned is the measured auto-tuner's trial table (one row per
 	// candidate side, in probing order) when Config.AutoTune selected the
 	// block side; nil when tuning did not run. tunedSide mirrors the
@@ -411,7 +416,8 @@ func PrepareFiltered(g *graph.Graph, cfg Config) (*filter.Filtered, error) {
 	return f, nil
 }
 
-// Graph returns the original graph.
+// Graph returns the original graph, or nil for an engine assembled from a
+// prebuilt partition (the .mixp file does not carry the raw graph).
 func (e *Engine) Graph() *graph.Graph { return e.F.G }
 
 // Name implements vprog.Engine.
@@ -853,6 +859,9 @@ func (e *Engine) EffectiveConfig() map[string]string {
 		// Requested but pre-empted by an explicit Side.
 		cfg["autotune"] = "off-explicit-side"
 	}
+	if e.prebuilt {
+		cfg["partition"] = "prebuilt"
+	}
 	return cfg
 }
 
@@ -861,15 +870,14 @@ func (e *Engine) EffectiveConfig() map[string]string {
 // per-iteration trace (when enabled), and a metrics snapshot when the
 // attached collector records one.
 func (e *Engine) BuildReport(algorithm, graphName string, res *vprog.Result, stats RunStats) *obs.RunReport {
-	g := e.F.G
+	gi := obs.GraphInfo{Name: graphName, Nodes: e.F.N()}
+	if g := e.F.G; g != nil {
+		gi.Edges = g.NumEdges()
+	}
 	r := &obs.RunReport{
-		Engine:    e.Name(),
-		Algorithm: algorithm,
-		Graph: obs.GraphInfo{
-			Name:  graphName,
-			Nodes: g.NumNodes(),
-			Edges: g.NumEdges(),
-		},
+		Engine:     e.Name(),
+		Algorithm:  algorithm,
+		Graph:      gi,
 		Config:     e.EffectiveConfig(),
 		Iterations: stats.MainIterations,
 		Trace:      stats.Trace,

@@ -62,6 +62,14 @@ type Filtered struct {
 
 	// Class keeps the per-original-node classification used during the scan.
 	Class []analyze.NodeClass
+
+	// Frozen marks a Filtered whose arrays are backed by a read-only source
+	// (an mmapped partition file): any in-place mutation such as
+	// PermuteRegular must be refused instead of faulting on the mapping.
+	// Loaded forms also have G nil and RegPtr/RegIdx nil — serving never
+	// reads them (the partition already encodes the regular submatrix) and
+	// omitting them keeps the file to what the SCGA phases touch.
+	Frozen bool
 }
 
 // N returns the total node count.
@@ -487,10 +495,14 @@ func (f *Filtered) Validate() error {
 		}
 	}
 	// Edge conservation: every original edge appears exactly once across
-	// the three extracted structures.
-	stored := int64(len(f.RegIdx)) + int64(len(f.SeedIdx)) + int64(len(f.SinkIdx))
-	if stored != f.G.NumEdges() {
-		return fmt.Errorf("filter: stored %d edges, original has %d", stored, f.G.NumEdges())
+	// the three extracted structures. A loaded (Frozen) form carries
+	// neither the original graph nor the regular CSR, so only the full
+	// form can be cross-checked.
+	if f.G != nil {
+		stored := int64(len(f.RegIdx)) + int64(len(f.SeedIdx)) + int64(len(f.SinkIdx))
+		if stored != f.G.NumEdges() {
+			return fmt.Errorf("filter: stored %d edges, original has %d", stored, f.G.NumEdges())
+		}
 	}
 	// Regular CSR indices must stay inside the regular range.
 	for _, v := range f.RegIdx {

@@ -25,6 +25,9 @@ import (
 // is shared (core.New calls it between filtering and partitioning, while
 // the engine is still private to the constructor).
 func (f *Filtered) PermuteRegular(perm []graph.Node) error {
+	if f.Frozen {
+		return fmt.Errorf("filter: cannot permute a frozen (mmap-backed) filtered form")
+	}
 	r := f.NumRegular
 	if len(perm) != r {
 		return fmt.Errorf("filter: permutation has %d entries, regular range has %d", len(perm), r)

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package partio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// mapFile on platforms without the unix mmap syscalls falls back to reading
+// the whole file into memory: same zero-deserialization open, without the
+// page-cache sharing.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, fmt.Errorf("empty file")
+	}
+	if size > math.MaxInt {
+		return nil, false, fmt.Errorf("file size %d exceeds address space", size)
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package partio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared: the kernel serves the
+// pages straight from the page cache, so every process mapping the same
+// .mixp file shares one physical copy.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, fmt.Errorf("empty file")
+	}
+	if size > math.MaxInt {
+		return nil, false, fmt.Errorf("file size %d exceeds address space", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

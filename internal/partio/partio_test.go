@@ -1,0 +1,391 @@
+package partio
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mixen/internal/block"
+	"mixen/internal/filter"
+	"mixen/internal/graph"
+	"mixen/internal/reorder"
+)
+
+// buildCase filters and partitions a deterministic pseudo-random graph.
+func buildCase(t testing.TB, n int, m int, seed int64, side int) (*filter.Filtered, *block.Partition, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		// Skewed destinations so the filter sees hubs and sinks.
+		dst := graph.Node(rng.Intn(1 + rng.Intn(n)))
+		edges = append(edges, graph.Edge{Src: graph.Node(rng.Intn(n)), Dst: dst})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	f := filter.Filter(g)
+	p, err := block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, block.Config{Side: side, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float64(g.OutDegree(graph.Node(v)))
+	}
+	return f, p, deg
+}
+
+func writeTemp(t testing.TB, f *filter.Filtered, p *block.Partition, deg []float64, lay Layout) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "case.mixp")
+	if err := Write(path, f, p, deg, lay); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path
+}
+
+func comparePartition(t testing.TB, want, got *block.Partition) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("loaded partition invalid: %v", err)
+	}
+	if want.R != got.R || want.Side != got.Side || want.B != got.B || want.Nnz != got.Nnz ||
+		want.CompressedEntries != got.CompressedEntries || want.Splits != got.Splits {
+		t.Fatalf("partition shape mismatch: want {r=%d side=%d b=%d nnz=%d ce=%d splits=%d}, got {r=%d side=%d b=%d nnz=%d ce=%d splits=%d}",
+			want.R, want.Side, want.B, want.Nnz, want.CompressedEntries, want.Splits,
+			got.R, got.Side, got.B, got.Nnz, got.CompressedEntries, got.Splits)
+	}
+	if len(want.Blocks) != len(got.Blocks) {
+		t.Fatalf("block count mismatch: want %d, got %d", len(want.Blocks), len(got.Blocks))
+	}
+	for i := range want.Blocks {
+		w, g := want.Blocks[i], got.Blocks[i]
+		if w.BlockRow != g.BlockRow || w.BlockCol != g.BlockCol || w.SrcLo != g.SrcLo || w.SrcHi != g.SrcHi || w.EntryOff != g.EntryOff {
+			t.Fatalf("block %d header mismatch: want %+v, got %+v", i, w, g)
+		}
+		if !reflect.DeepEqual(w.Srcs, g.Srcs) || !reflect.DeepEqual(w.DstStart, g.DstStart) || !reflect.DeepEqual(w.DstIdx, g.DstIdx) {
+			t.Fatalf("block %d payload mismatch", i)
+		}
+	}
+	if !reflect.DeepEqual(want.SrcEntryPtr, got.SrcEntryPtr) ||
+		!reflect.DeepEqual(want.SrcEntryIdx, got.SrcEntryIdx) ||
+		!reflect.DeepEqual(want.SrcEntryCol, got.SrcEntryCol) ||
+		!reflect.DeepEqual(want.RowEntries, got.RowEntries) ||
+		!reflect.DeepEqual(want.RowEdges, got.RowEdges) ||
+		!reflect.DeepEqual(want.ColEdges, got.ColEdges) {
+		t.Fatalf("source index / aggregates mismatch")
+	}
+}
+
+func compareFiltered(t testing.TB, want, got *filter.Filtered) {
+	t.Helper()
+	if !got.Frozen {
+		t.Fatalf("loaded form not marked Frozen")
+	}
+	if want.NumHub != got.NumHub || want.NumRegular != got.NumRegular || want.NumSeed != got.NumSeed ||
+		want.NumSink != got.NumSink || want.NumIsolated != got.NumIsolated {
+		t.Fatalf("class counts mismatch")
+	}
+	if !reflect.DeepEqual(want.NewID, got.NewID) || !reflect.DeepEqual(want.OldID, got.OldID) ||
+		!reflect.DeepEqual(want.Class, got.Class) {
+		t.Fatalf("relabeling tables mismatch")
+	}
+	if !reflect.DeepEqual(want.SeedPtr, got.SeedPtr) || !reflect.DeepEqual(want.SeedIdx, got.SeedIdx) ||
+		!reflect.DeepEqual(want.SinkPtr, got.SinkPtr) || !reflect.DeepEqual(want.SinkIdx, got.SinkIdx) {
+		t.Fatalf("seed/sink structures mismatch")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("loaded filtered form invalid: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, m    int
+		side    int
+		permute bool
+	}{
+		{name: "skewed", n: 500, m: 4000, side: 64},
+		{name: "small_side_splits", n: 300, m: 6000, side: 32},
+		{name: "permuted", n: 400, m: 3000, side: 64, permute: true},
+		{name: "tiny", n: 5, m: 6, side: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, p, deg := buildCase(t, tc.n, tc.m, 42, tc.side)
+			lay := Layout{Reorder: "", Epoch: 12345}
+			if tc.permute {
+				perm, err := reorder.PermutationFromDegrees(f.RegularInDegrees(), reorder.HubSort, 0)
+				if err != nil {
+					t.Fatalf("perm: %v", err)
+				}
+				if err := f.PermuteRegular(perm); err != nil {
+					t.Fatalf("PermuteRegular: %v", err)
+				}
+				var e error
+				p, e = block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, block.Config{Side: tc.side, MaxLoadFactor: 2})
+				if e != nil {
+					t.Fatalf("NewPartition: %v", e)
+				}
+				lay.Reorder = string(reorder.HubSort)
+				lay.AutoTuned = true
+			}
+			path := writeTemp(t, f, p, deg, lay)
+			pf, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer pf.Close()
+			comparePartition(t, p, pf.P)
+			compareFiltered(t, f, pf.F)
+			if !reflect.DeepEqual(deg, pf.OutDeg) {
+				t.Fatalf("out-degree snapshot mismatch")
+			}
+			m := pf.Meta
+			if m.N != f.N() || m.R != p.R || m.Side != p.Side || m.Epoch != 12345 ||
+				m.Reorder != lay.Reorder || m.AutoTuned != lay.AutoTuned {
+				t.Fatalf("meta mismatch: %+v", m)
+			}
+			if m.GraphEdges != f.G.NumEdges() {
+				t.Fatalf("meta graph edges %d, want %d", m.GraphEdges, f.G.NumEdges())
+			}
+		})
+	}
+}
+
+func TestRoundTripEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	f := filter.Filter(g)
+	p, err := block.NewPartition(f.RegPtr, f.RegIdx, f.NumRegular, block.Config{Side: 16})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	path := writeTemp(t, f, p, nil, Layout{Epoch: 1})
+	pf, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer pf.Close()
+	if pf.Meta.N != 0 || pf.P.R != 0 || len(pf.P.Blocks) != 0 {
+		t.Fatalf("empty graph round trip broken: %+v", pf.Meta)
+	}
+}
+
+func TestLoadedFormIsFrozen(t *testing.T) {
+	f, p, deg := buildCase(t, 200, 1500, 7, 32)
+	path := writeTemp(t, f, p, deg, Layout{Epoch: 1})
+	pf, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer pf.Close()
+	perm := make([]graph.Node, pf.F.NumRegular)
+	for i := range perm {
+		perm[i] = graph.Node(i)
+	}
+	if err := pf.F.PermuteRegular(perm); err == nil {
+		t.Fatalf("PermuteRegular on a frozen form must fail")
+	}
+}
+
+// TestCorruption walks the header/checksum failure table: every tampered
+// file must be rejected with a diagnostic mentioning the actual problem,
+// never a panic or a silently wrong partition.
+func TestCorruption(t *testing.T) {
+	f, p, deg := buildCase(t, 300, 2500, 11, 32)
+	path := writeTemp(t, f, p, deg, Layout{Epoch: 1})
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		opts    []Options
+		wantErr string
+	}{
+		{
+			name:    "truncated_below_header",
+			mutate:  func(b []byte) []byte { return b[:10] },
+			wantErr: "truncated",
+		},
+		{
+			name:    "truncated_mid_payload",
+			mutate:  func(b []byte) []byte { return b[:len(b)-100] },
+			wantErr: "header says",
+		},
+		{
+			name: "trailing_garbage",
+			mutate: func(b []byte) []byte {
+				return append(append([]byte{}, b...), 0xde, 0xad)
+			},
+			wantErr: "header says",
+		},
+		{
+			name: "bad_magic",
+			mutate: func(b []byte) []byte {
+				b[0] = 'X'
+				return b
+			},
+			wantErr: "bad magic",
+		},
+		{
+			name: "version_skew",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint32(b[4:], Version+1)
+				return b
+			},
+			wantErr: "version",
+		},
+		{
+			name: "bad_arch_word",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint32(b[8:], 99)
+				return b
+			},
+			wantErr: "architecture",
+		},
+		{
+			name: "flipped_payload_byte",
+			mutate: func(b []byte) []byte {
+				b[len(b)-5] ^= 0x40
+				return b
+			},
+			wantErr: "checksum mismatch",
+		},
+		{
+			name: "flipped_table_byte",
+			mutate: func(b []byte) []byte {
+				b[headerLen+3] ^= 0x01
+				return b
+			},
+			wantErr: "checksum mismatch",
+		},
+		{
+			name: "section_offset_out_of_range",
+			mutate: func(b []byte) []byte {
+				// Aim the second section's offset past EOF; skip the
+				// checksum so the bounds check itself must catch it.
+				binary.LittleEndian.PutUint64(b[headerLen+tableEntLen+8:], uint64(len(b))+sectionAlign)
+				return b
+			},
+			opts:    []Options{{SkipChecksum: true}},
+			wantErr: "exceeds file size",
+		},
+		{
+			name: "section_count_mismatch",
+			mutate: func(b []byte) []byte {
+				// Claim the NEWID section holds one fewer element.
+				off := headerLen + tableEntLen // second table entry (NEWID)
+				cnt := binary.LittleEndian.Uint64(b[off+24:])
+				binary.LittleEndian.PutUint64(b[off+24:], cnt-1)
+				return b
+			},
+			opts:    []Options{{SkipChecksum: true}},
+			wantErr: "elements",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte{}, orig...))
+			mp := filepath.Join(t.TempDir(), "corrupt.mixp")
+			if err := os.WriteFile(mp, mutated, 0o644); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			_, err := Open(mp, tc.opts...)
+			if err == nil {
+				t.Fatalf("Open accepted a corrupted file")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The pristine file still opens after all that.
+	pf, err := Open(path)
+	if err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	pf.Close()
+}
+
+func TestWriteRejectsBadInput(t *testing.T) {
+	f, p, deg := buildCase(t, 100, 500, 3, 32)
+	dir := t.TempDir()
+	if err := Write(filepath.Join(dir, "x.mixp"), nil, p, deg, Layout{}); err == nil {
+		t.Fatalf("nil filtered form accepted")
+	}
+	if err := Write(filepath.Join(dir, "x.mixp"), f, p, deg[:10], Layout{}); err == nil {
+		t.Fatalf("short out-degree snapshot accepted")
+	}
+	if err := Write(filepath.Join(dir, "x.mixp"), f, p, deg, Layout{Reorder: strings.Repeat("x", reorderLen+1)}); err == nil {
+		t.Fatalf("oversized reorder name accepted")
+	}
+	// A failed write must not leave the temp file behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed writes left files behind: %v", ents)
+	}
+}
+
+// FuzzPartitionRoundTrip derives a small graph from the fuzz input, writes
+// it and reads it back: the reopened partition and filtered form must pass
+// full validation and match the originals structurally.
+func FuzzPartitionRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0, 0, 1, 2, 200, 17})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%48
+		var edges []graph.Edge
+		for i := 1; i+1 < len(data) && len(edges) < 512; i += 2 {
+			edges = append(edges, graph.Edge{
+				Src: graph.Node(int(data[i]) % n),
+				Dst: graph.Node(int(data[i+1]) % n),
+			})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return
+		}
+		fd := filter.Filter(g)
+		side := 1 + int(data[0])%16
+		p, err := block.NewPartition(fd.RegPtr, fd.RegIdx, fd.NumRegular, block.Config{Side: side, MaxLoadFactor: 2})
+		if err != nil {
+			t.Fatalf("NewPartition: %v", err)
+		}
+		deg := make([]float64, n)
+		for v := 0; v < n; v++ {
+			deg[v] = float64(g.OutDegree(graph.Node(v)))
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.mixp")
+		if err := Write(path, fd, p, deg, Layout{Epoch: 1}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		pf, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open rejected its own writer's output: %v", err)
+		}
+		defer pf.Close()
+		comparePartition(t, p, pf.P)
+		compareFiltered(t, fd, pf.F)
+	})
+}

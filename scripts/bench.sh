@@ -4,15 +4,16 @@
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
 # entry), the engine-level BenchmarkPageRank, the serving hot-path and
 # load-shed microbenchmarks (cmd/mixenserve), the sparse-frontier study,
-# the shard-scaling experiment (S=1/2/4 on the skewed presets), and the
+# the shard-scaling experiment (S=1/2/4 on the skewed presets), the
 # skew-aware reordering + block auto-tuning study (mixenbench -experiment
-# reorder), then bundles everything into BENCH_PR8.json. When a committed
-# BENCH_PR7.bench.txt exists and benchstat is installed, it also emits a
-# benchstat comparison against that baseline.
+# reorder), and the mmap cold-start study (mixenbench -experiment
+# coldstart), then bundles everything into BENCH_PR9.json. When a
+# committed BENCH_PR8.bench.txt exists and benchstat is installed, it also
+# emits a benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR8.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR9.bench.txt  raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR8.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR9.json       parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
 set -euo pipefail
@@ -22,8 +23,8 @@ outdir="${1:-.}"
 mkdir -p "$outdir"
 
 count="${BENCH_COUNT:-7}"
-benchtxt="$outdir/BENCH_PR8.bench.txt"
-json="$outdir/BENCH_PR8.json"
+benchtxt="$outdir/BENCH_PR9.bench.txt"
+json="$outdir/BENCH_PR9.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -41,8 +42,9 @@ echo ">> sparse-frontier study (mixenbench -experiment frontier)" >&2
 fronttxt="$(mktemp)"
 shardtxt="$(mktemp)"
 reordertxt="$(mktemp)"
+coldtxt="$(mktemp)"
 benchstattxt="$(mktemp)"
-trap 'rm -f "$fronttxt" "$shardtxt" "$reordertxt" "$benchstattxt"' EXIT
+trap 'rm -f "$fronttxt" "$shardtxt" "$reordertxt" "$coldtxt" "$benchstattxt"' EXIT
 go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
 
@@ -54,24 +56,28 @@ echo ">> reordering + auto-tuning study (mixenbench -experiment reorder)" >&2
 go run ./cmd/mixenbench -experiment reorder -graphs "${BENCH_REORDER_GRAPHS:-weibo,wiki,road}" \
     -shrink "${BENCH_SHRINK:-8}" | tee "$reordertxt" >&2
 
-# benchstat vs the committed PR7 baseline (shared width-sweep, PageRank and
-# serving lines; all benchmark families exist in the PR7 baseline).
+echo ">> mmap cold-start study (mixenbench -experiment coldstart)" >&2
+go run ./cmd/mixenbench -experiment coldstart -graphs "${BENCH_COLDSTART_GRAPHS:-wiki,weibo,rmat}" \
+    -shrink "${BENCH_SHRINK:-8}" | tee "$coldtxt" >&2
+
+# benchstat vs the committed PR8 baseline (shared width-sweep, PageRank and
+# serving lines; all benchmark families exist in the PR8 baseline).
 # Informational — missing benchstat or a missing baseline must not fail
 # the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR7.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR7.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR8.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR8.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR7.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR8.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR7.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR8.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR8 skew-aware reordering and block-side auto-tuning",'
+  echo '  "bench": "PR9 zero-copy mmap-backed partitions",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
@@ -133,9 +139,22 @@ fi
   } END { print "" }' "$reordertxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR7 baseline, when available.
+  # Parsed coldstart-study rows:
+  # Graph nodes edges build_ms mmap_ms speedup file_MB build_heap mmap_heap identical.
+  echo '  "coldstart_study": ['
+  awk '$2 ~ /^[0-9]+$/ && $1 != "Graph" && NF == 10 {
+    sp = $6; sub(/x$/, "", sp)
+    bh = $8; sub(/M$/, "", bh)
+    mh = $9; sub(/M$/, "", mh)
+    printf "%s    {\"graph\": \"%s\", \"nodes\": %s, \"edges\": %s, \"build_ms\": %s, \"mmap_ms\": %s, \"speedup\": %s, \"file_mb\": %s, \"build_heap_mb\": %s, \"mmap_heap_mb\": %s, \"identical\": %s}", \
+      sep, $1, $2, $3, $4, $5, sp, $7, bh, mh, $10
+    sep = ",\n"
+  } END { print "" }' "$coldtxt"
+  echo '  ],'
+
+  # benchstat output vs the committed PR8 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr7": ['
+    echo '  "benchstat_vs_pr8": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0

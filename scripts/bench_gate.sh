@@ -15,7 +15,9 @@
 # BENCH_GATE_MIN_SAMPLES (default 7) repetitions of every gated benchmark,
 # so a single noisy run can never trip — or pass — the gate on its own.
 # When the gate does trip, it prints each side's sample spread (min..max)
-# so a noisy-runner false positive is recognizable at a glance.
+# and the full list of benchmark names it compared, so a noisy-runner
+# false positive — or a benchmark that silently fell out of the gated set —
+# is recognizable at a glance.
 #
 # Override: maintainers apply the `bench-regression-ok` label to a PR to
 # skip the gate for intentional tradeoffs (see CONTRIBUTING.md).
@@ -59,8 +61,10 @@ stats_ns() {
 
 fail=0
 missing=0
+compared=""
 for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]'; do
   name=$(echo "$bench" | sed 's/(.*//')
+  compared="${compared:+$compared, }$name"
   read -r b bn bmin bmax <<EOF
 $(stats_ns "$bench" "$base")
 EOF
@@ -91,9 +95,11 @@ EOF
 done
 
 if [ "$missing" != 0 ]; then
+  echo "bench_gate: benchmarks compared: ${compared}" >&2
   echo "bench_gate: a gated benchmark did not run — fix the bench invocation;" >&2
   echo "bench_gate: the 'bench-regression-ok' label does not cover missing data." >&2
 elif [ "$fail" != 0 ]; then
+  echo "bench_gate: benchmarks compared: ${compared}" >&2
   echo "bench_gate: main-phase regression detected. If intentional, apply the" >&2
   echo "bench_gate: 'bench-regression-ok' label to the PR (see CONTRIBUTING.md)." >&2
 fi
