@@ -180,6 +180,21 @@ func main() {
 			}
 			return out, nil
 		},
+		"serve": func(o bench.Options) (string, error) {
+			rows, approx, err := bench.ServeStudy(o)
+			if err != nil {
+				return "", err
+			}
+			out := bench.FormatServeStudy(rows, approx)
+			// Hard gate: cached answers bit-identical, approx within bound.
+			if err := bench.ServeIdentity(rows, approx); err != nil {
+				return "", err
+			}
+			if err := bench.ServeCacheWins(rows); err != nil {
+				out += "WARNING: " + err.Error() + "\n"
+			}
+			return out, nil
+		},
 		"coldstart": func(o bench.Options) (string, error) {
 			rows, err := bench.ColdstartStudy(o)
 			if err != nil {
@@ -193,7 +208,7 @@ func main() {
 		},
 	}
 
-	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier", "shard", "coldstart"}
+	order := []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "ablation", "threads", "reorder", "model", "phases", "concurrent", "batch", "frontier", "shard", "coldstart", "serve"}
 	var selected []string
 	if *experiment == "all" {
 		selected = order

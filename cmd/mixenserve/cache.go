@@ -1,0 +1,332 @@
+// Serving-layer result cache and swappable engine state for mixenserve.
+//
+// Three layers compose here:
+//
+//   - engineState: everything that changes together when a new .mixp
+//     partition is swapped in (engine, batcher, degree snapshot, epoch).
+//     The server holds it behind an atomic pointer; every request loads
+//     one consistent snapshot, and a swap retires the old state without
+//     interrupting requests already running against it.
+//   - result cache: an LRU (internal/servecache) keyed on
+//     (algo, params, source set, epoch) holding full per-source result
+//     vectors. Exact-mode entries are engine runs cached verbatim, so a
+//     hit is bit-identical to recomputing. Concurrent identical queries
+//     collapse onto one engine run (singleflight).
+//   - warm/approx path: mode=approx serves a coarse-tolerance PPR
+//     vector (kept warm per hot source in its own cache); mode=refine
+//     resumes the NodeTol frontier machinery from that warm vector to
+//     full tolerance inside a reusable workspace (core.RunToCtx).
+//     Resumed results converge to the same fixed point but are NOT
+//     bit-identical to from-scratch runs, so they are always labelled
+//     mode=refined, never served as exact.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mixen"
+	"mixen/internal/obs"
+	"mixen/internal/servecache"
+)
+
+// engineState is one consistent serving snapshot: swap-on-publish
+// replaces it wholesale (SIGHUP partition reload), so a request that
+// loaded it mid-swap keeps a coherent (engine, batcher, epoch) triple.
+type engineState struct {
+	eng   *mixen.MixenEngine
+	bat   *mixen.Batcher
+	deg   []float64 // out-degree snapshot shared by every pagerank/ppr program
+	n     int       // node count (graph or partition metadata)
+	edges int64     // edge count (graph or partition metadata)
+	part  *partitionStatus
+	// epoch versions every cache key minted against this state: the
+	// .mixp build epoch in partition mode, 0 in graph mode. A swap
+	// changes the epoch, making entries from the old mapping
+	// unreachable before the purge even runs.
+	epoch int64
+	me    *mixen.MappedEngine // non-nil in partition mode; closed on retire
+
+	// refineWS recycles width-1 workspaces across refinement runs
+	// (mode=refine computes outside the batcher via RunToCtx, writing
+	// into a fresh out vector the cache then owns).
+	refineWS chan *mixen.Workspace
+}
+
+func newEngineState(eng *mixen.MixenEngine, me *mixen.MappedEngine, deg []float64, n int, edges int64, part *partitionStatus, epoch int64, bcfg mixen.BatcherConfig, maxConcurrent int) *engineState {
+	return &engineState{
+		eng:      eng,
+		bat:      mixen.NewBatcher(eng, bcfg),
+		deg:      deg,
+		n:        n,
+		edges:    edges,
+		part:     part,
+		epoch:    epoch,
+		me:       me,
+		refineWS: make(chan *mixen.Workspace, maxConcurrent),
+	}
+}
+
+// close flushes the batcher and releases the mapping (idempotent).
+func (st *engineState) close() error {
+	err := st.bat.Close()
+	if st.me != nil {
+		if cerr := st.me.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// acquireWS pops a pooled refinement workspace or builds one.
+func (st *engineState) acquireWS() (*mixen.Workspace, error) {
+	select {
+	case ws := <-st.refineWS:
+		return ws, nil
+	default:
+		return st.eng.NewWorkspace(1)
+	}
+}
+
+// releaseWS returns a workspace to the pool, dropping it when full.
+func (st *engineState) releaseWS(ws *mixen.Workspace) {
+	select {
+	case st.refineWS <- ws:
+	default:
+	}
+}
+
+// state returns the current serving snapshot. Handlers load it once per
+// request and thread it through, so a concurrent swap never mixes two
+// engines inside one request.
+func (s *server) state() *engineState { return s.st.Load() }
+
+// swapMapped publishes a new mapped partition as the serving state and
+// bumps both caches to its epoch — cached entries from the old epoch
+// can never be served again (their keys embed the old epoch AND the
+// purge reclaims them). The old state is retired, not closed: requests
+// that loaded it before the swap are still running on it; Shutdown
+// closes retired states after the drain.
+func (s *server) swapMapped(me *mixen.MappedEngine) *engineState {
+	st := mappedState(me, s.cfg, s.bcfg)
+	old := s.st.Swap(st)
+	if s.cache != nil {
+		s.cache.SetEpoch(st.epoch)
+	}
+	if s.warm != nil {
+		s.warm.SetEpoch(st.epoch)
+	}
+	s.retireMu.Lock()
+	s.retired = append(s.retired, old)
+	s.retireMu.Unlock()
+	return old
+}
+
+// mappedState builds the serving snapshot for a mapped partition.
+func mappedState(me *mixen.MappedEngine, cfg serverConfig, bcfg mixen.BatcherConfig) *engineState {
+	m := me.Meta()
+	reorder := m.Reorder
+	if reorder == "" {
+		reorder = "original"
+	}
+	part := &partitionStatus{
+		File:      me.PartitionPath(),
+		Epoch:     m.Epoch,
+		Reorder:   reorder,
+		Side:      m.Side,
+		AutoTuned: m.AutoTuned,
+		Mapped:    me.MappedFromFile(),
+	}
+	return newEngineState(me.MixenEngine, me, me.OutDegrees(), m.N, m.GraphEdges, part, m.Epoch, bcfg, cfg.maxConcurrent)
+}
+
+// resultSize accounts one cached *mixen.Result: the vector plus struct
+// and map-entry overhead.
+func resultSize(res *mixen.Result) int64 {
+	return int64(len(res.Values))*8 + 128
+}
+
+// cachedOne answers one width-1 run through the result cache: a fresh
+// entry is served as-is (bit-identical — it IS a previous engine run's
+// vector), a miss computes through run and populates the cache, and
+// concurrent identical misses collapse onto one run. With the cache
+// disabled it degrades to run directly. Returns the result, the fused
+// batch size (0 on hits), and whether the answer came from cache or a
+// collapsed flight.
+func (s *server) cachedOne(ctx context.Context, cache *servecache.Cache, key string, run func(context.Context) (*mixen.Result, int, error)) (*mixen.Result, int, bool, error) {
+	if cache == nil {
+		res, size, err := run(ctx)
+		return res, size, false, err
+	}
+	tr := obs.TraceFromContext(ctx)
+	lookupStart := time.Now()
+	type runOut struct {
+		res  *mixen.Result
+		size int
+	}
+	v, outcome, err := cache.GetOrCompute(ctx, key, func(ctx context.Context) (any, int64, error) {
+		res, size, err := run(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		return runOut{res, size}, resultSize(res), nil
+	})
+	tr.AddSpan(obs.SpanCache, lookupStart)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	ro := v.(runOut)
+	if outcome == servecache.Miss {
+		return ro.res, ro.size, false, nil
+	}
+	return ro.res, 0, true, nil
+}
+
+// exactParams builds the canonical key for one exact-mode run.
+func exactParams(algo string, q querySpec, sources []uint32, epoch int64) servecache.Params {
+	p := servecache.Params{Algo: algo, Mode: "exact", Epoch: epoch, Sources: sources}
+	switch algo {
+	case "pagerank", "ppr":
+		p.Damping, p.Tol, p.Iters = q.damping, q.tol, q.iters
+	case "indegree":
+		p.Iters = q.iters
+	case "bfs":
+		// BFS has no damping/tol and runs to fixpoint within the
+		// iteration bound; the bound itself is not part of the answer.
+	}
+	return p
+}
+
+// warmOne returns the coarse-tolerance PPR vector for src, computing
+// and caching it on first use — the per-hot-source warm pass behind
+// mode=approx and the starting point for mode=refine.
+func (s *server) warmOne(ctx context.Context, st *engineState, q querySpec, src uint32) (*mixen.Result, int, bool, error) {
+	key := servecache.Params{
+		Algo: "ppr", Mode: "warm", Epoch: st.epoch,
+		Damping: q.damping, Tol: s.cfg.approxTol, Iters: q.iters,
+		Sources: []uint32{src},
+	}.Key()
+	return s.cachedOne(ctx, s.warm, key, func(ctx context.Context) (*mixen.Result, int, error) {
+		prog := mixen.NewPersonalizedPageRankProgramShared(st.n, st.deg, src, q.damping, s.cfg.approxTol, q.iters)
+		return s.runOne(ctx, st, prog)
+	})
+}
+
+// refineOne resumes the warm vector for src at the request's full
+// tolerance: the NodeTol clamp retires nodes the coarse pass already
+// settled, so refinement touches only the unsettled tail. Runs outside
+// the batcher in a pooled workspace, writing into a fresh vector the
+// result cache then owns (core.RunToCtx). The refined entry is cached
+// under mode=refined — never under exact, because a resumed run is not
+// bit-identical to a from-scratch one.
+func (s *server) refineOne(ctx context.Context, st *engineState, q querySpec, src uint32) (*mixen.Result, int, bool, error) {
+	warmRes, _, _, err := s.warmOne(ctx, st, q, src)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	key := servecache.Params{
+		Algo: "ppr", Mode: "refined", Epoch: st.epoch,
+		Damping: q.damping, Tol: q.tol, Iters: q.iters,
+		Sources: []uint32{src},
+	}.Key()
+	return s.cachedOne(ctx, s.cache, key, func(ctx context.Context) (*mixen.Result, int, error) {
+		tr := obs.TraceFromContext(ctx)
+		refineStart := time.Now()
+		ws, err := st.acquireWS()
+		if err != nil {
+			return nil, 0, err
+		}
+		defer st.releaseWS(ws)
+		out := make([]float64, st.n)
+		prog := mixen.NewPersonalizedPageRankResumeProgramShared(st.n, st.deg, src, q.damping, q.tol, q.iters, warmRes.Values)
+		res, _, err := st.eng.RunToCtx(ctx, prog, ws, out)
+		tr.AddSpan(obs.SpanRefine, refineStart)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, 0, nil
+	})
+}
+
+// sourceRun is one per-source outcome plus its serving metadata.
+type sourceRun struct {
+	res    *mixen.Result
+	size   int
+	cached bool
+}
+
+// runSources answers one query's source fan-out, one cachedOne per
+// source, concurrently — so the sources that miss are submitted to the
+// batcher inside one MaxWait window and fuse into a wide pass exactly
+// as the uncached path does, while hits return immediately.
+func (s *server) runSources(ctx context.Context, sources []uint32, one func(ctx context.Context, src uint32) (*mixen.Result, int, bool, error)) ([]sourceRun, error) {
+	runs := make([]sourceRun, len(sources))
+	if len(sources) == 1 {
+		res, size, cached, err := one(ctx, sources[0])
+		if err != nil {
+			return nil, err
+		}
+		runs[0] = sourceRun{res, size, cached}
+		return runs, nil
+	}
+	errs := make(chan error, len(sources))
+	for i, src := range sources {
+		go func(i int, src uint32) {
+			res, size, cached, err := one(ctx, src)
+			if err == nil {
+				runs[i] = sourceRun{res, size, cached}
+			}
+			errs <- err
+		}(i, src)
+	}
+	var firstErr error
+	for range sources {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return runs, nil
+}
+
+// executeModed dispatches the ppr fast-path modes. mode=approx serves
+// the coarse warm vector directly (labelled approx, tolerance
+// cfg.approxTol); mode=refine resumes it to the request's tolerance
+// (labelled refined). parseQuery guarantees algo == "ppr" here.
+func (s *server) executeModed(ctx context.Context, st *engineState, q querySpec) (*queryResponse, error) {
+	resp := &queryResponse{Algo: q.algo, Mode: q.mode, Nodes: st.n, Edges: st.edges}
+	if q.mode == "refine" {
+		resp.Mode = "refined"
+	}
+	one := s.warmOne
+	if q.mode == "refine" {
+		one = s.refineOne
+	}
+	runs, err := s.runSources(ctx, q.sources, func(ctx context.Context, src uint32) (*mixen.Result, int, bool, error) {
+		return one(ctx, st, q, src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Results = make([]sourceResult, len(runs))
+	for i, run := range runs {
+		src := q.sources[i]
+		resp.Results[i] = shape(&src, run.res, run.size, q, false)
+		resp.Results[i].Cached = run.cached
+	}
+	return resp, nil
+}
+
+// reloadPartition opens path and swaps it in (SIGHUP handler in main;
+// tests drive swapMapped directly). Returns the new state's status.
+func (s *server) reloadPartition(path string, engCfg mixen.Config) (*partitionStatus, error) {
+	me, err := mixen.OpenPartition(path, engCfg)
+	if err != nil {
+		return nil, fmt.Errorf("reload %s: %w", path, err)
+	}
+	s.swapMapped(me)
+	return s.state().part, nil
+}

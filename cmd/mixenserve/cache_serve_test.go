@@ -1,0 +1,364 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mixen"
+)
+
+// cachedTestServer builds a graph-backed server with the result cache on
+// (and optionally the approx fast path).
+func cachedTestServer(t testing.TB, approx bool) *server {
+	t.Helper()
+	cfg := serverConfig{cacheBytes: 1 << 22, approx: approx}
+	return newTestServer(t, cfg)
+}
+
+// valuesOf projects a response's per-node values into a map for
+// comparison.
+func valuesOf(t *testing.T, resp queryResponse) map[uint32]float64 {
+	t.Helper()
+	if len(resp.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(resp.Results))
+	}
+	out := map[uint32]float64{}
+	for _, nv := range resp.Results[0].Values {
+		out[nv.Node] = nv.Value
+	}
+	return out
+}
+
+// probeNodes is the node set the bit-identity tests pin down. JSON float
+// encoding in Go is shortest-round-trip, so decoded values compare
+// bit-exactly.
+const probeNodes = "0,1,2,3,5,8,13,21,34,55,89,144,233,377,610,987,1499"
+
+// TestCacheHitBitIdentity: for every algorithm, the second identical
+// query is served from cache (cached=true) and its values are
+// bit-identical to the first run AND to an uncached server's answer.
+func TestCacheHitBitIdentity(t *testing.T) {
+	cached := cachedTestServer(t, false)
+	plain := newTestServer(t, serverConfig{})
+	queries := []string{
+		"/v1/query?algo=pagerank&iters=30&tol=0&top=0&nodes=" + probeNodes,
+		"/v1/query?algo=ppr&source=3&iters=20&tol=0&top=0&nodes=" + probeNodes,
+		"/v1/query?algo=bfs&source=5&top=0&nodes=" + probeNodes,
+		"/v1/query?algo=indegree&top=0&nodes=" + probeNodes,
+	}
+	for _, q := range queries {
+		first := decodeResponse(t, get(cached, q))
+		if first.Results[0].Cached {
+			t.Errorf("%s: first run claims cached", q)
+		}
+		second := decodeResponse(t, get(cached, q))
+		if !second.Results[0].Cached {
+			t.Errorf("%s: second run not served from cache", q)
+		}
+		want := valuesOf(t, decodeResponse(t, get(plain, q)))
+		got1, got2 := valuesOf(t, first), valuesOf(t, second)
+		for node, w := range want {
+			if b1, b2 := math.Float64bits(got1[node]), math.Float64bits(got2[node]); b1 != b2 {
+				t.Errorf("%s node %d: cache hit not bit-identical (%x vs %x)", q, node, b1, b2)
+			}
+			if bw, b1 := math.Float64bits(w), math.Float64bits(got1[node]); bw != b1 {
+				t.Errorf("%s node %d: cached server differs from uncached (%x vs %x)", q, node, bw, b1)
+			}
+		}
+	}
+	st := cached.cache.Stats()
+	if st.Hits < int64(len(queries)) {
+		t.Errorf("cache hits = %d, want >= %d", st.Hits, len(queries))
+	}
+}
+
+// TestCacheSharedAcrossSourceSets: ppr caches per source, so {1,2} then
+// {2,3} reuses source 2's vector.
+func TestCacheSharedAcrossSourceSets(t *testing.T) {
+	s := cachedTestServer(t, false)
+	decodeResponse(t, get(s, "/v1/query?algo=ppr&sources=1,2&iters=15&tol=0"))
+	resp := decodeResponse(t, get(s, "/v1/query?algo=ppr&sources=2,3&iters=15&tol=0"))
+	bySource := map[uint32]bool{}
+	for _, r := range resp.Results {
+		bySource[*r.Source] = r.Cached
+	}
+	if !bySource[2] {
+		t.Error("source 2 not served from cache on the overlapping request")
+	}
+	if bySource[3] {
+		t.Error("source 3 claims cached on its first appearance")
+	}
+}
+
+// TestCacheSingleflightCollapse: concurrent identical queries collapse
+// onto one engine run; every response carries the same values.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	s := newTestServer(t, serverConfig{cacheBytes: 1 << 22, maxConcurrent: 8, maxQueue: 64})
+	const callers = 8
+	var wg sync.WaitGroup
+	responses := make([]queryResponse, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+				"/v1/query?algo=pagerank&iters=40&tol=0&top=0&nodes="+probeNodes, nil))
+			if rec.Code == http.StatusOK {
+				responses[i] = decodeResponse(t, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := valuesOf(t, responses[0])
+	for i := 1; i < callers; i++ {
+		got := valuesOf(t, responses[i])
+		for node, w := range want {
+			if math.Float64bits(w) != math.Float64bits(got[node]) {
+				t.Fatalf("caller %d node %d differs", i, node)
+			}
+		}
+	}
+	st := s.cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 (singleflight)", st.Misses)
+	}
+	if st.Hits+st.Collapsed != callers-1 {
+		t.Errorf("hits+collapsed = %d, want %d", st.Hits+st.Collapsed, callers-1)
+	}
+}
+
+// TestApproxAndRefineModes: mode=approx serves the coarse vector
+// (labelled approx), mode=refine resumes it to the requested tolerance
+// and lands within the geometric tail bound of the exact answer —
+// close, but never claimed exact.
+func TestApproxAndRefineModes(t *testing.T) {
+	s := cachedTestServer(t, true)
+	const (
+		base    = "/v1/query?algo=ppr&source=3&damping=0.85&iters=100&top=0&nodes=" + probeNodes
+		tol     = 1e-10
+		damping = 0.85
+	)
+	exact := decodeResponse(t, get(s, base+fmt.Sprintf("&tol=%g", tol)))
+	if exact.Mode != "" {
+		t.Errorf("exact response carries mode %q", exact.Mode)
+	}
+	approx := decodeResponse(t, get(s, base+fmt.Sprintf("&tol=%g&mode=approx", tol)))
+	if approx.Mode != "approx" {
+		t.Errorf("approx response mode = %q", approx.Mode)
+	}
+	refined := decodeResponse(t, get(s, base+fmt.Sprintf("&tol=%g&mode=refine", tol)))
+	if refined.Mode != "refined" {
+		t.Errorf("refine response mode = %q", refined.Mode)
+	}
+	// Tail bound: after converging at per-node tolerance tol the residual
+	// L1 error is <= n*tol*d/(1-d); the probe subset is far below that.
+	wantVals, gotVals := valuesOf(t, exact), valuesOf(t, refined)
+	bound := 1500 * tol * damping / (1 - damping)
+	var l1 float64
+	for node, w := range wantVals {
+		l1 += math.Abs(w - gotVals[node])
+	}
+	if l1 > bound {
+		t.Errorf("refined L1 distance %g exceeds bound %g", l1, bound)
+	}
+	// The coarse vector is a real approximation: close to exact at its
+	// own (much looser) tolerance.
+	approxVals := valuesOf(t, approx)
+	var l1Coarse float64
+	for node, w := range wantVals {
+		l1Coarse += math.Abs(w - approxVals[node])
+	}
+	if coarseBound := 1500 * 1e-4 * damping / (1 - damping); l1Coarse > coarseBound {
+		t.Errorf("approx L1 distance %g exceeds coarse bound %g", l1Coarse, coarseBound)
+	}
+	// Second refine is a cache hit.
+	again := decodeResponse(t, get(s, base+fmt.Sprintf("&tol=%g&mode=refine", tol)))
+	if !again.Results[0].Cached {
+		t.Error("second refine not served from cache")
+	}
+}
+
+// TestModeValidation: fast-path modes are rejected for non-ppr algos and
+// on servers running without -approx.
+func TestModeValidation(t *testing.T) {
+	noApprox := cachedTestServer(t, false)
+	if rec := get(noApprox, "/v1/query?algo=ppr&source=3&mode=approx"); rec.Code != http.StatusBadRequest {
+		t.Errorf("mode=approx without -approx: status %d, want 400", rec.Code)
+	}
+	s := cachedTestServer(t, true)
+	if rec := get(s, "/v1/query?algo=pagerank&mode=approx"); rec.Code != http.StatusBadRequest {
+		t.Errorf("mode=approx for pagerank: status %d, want 400", rec.Code)
+	}
+	if rec := get(s, "/v1/query?algo=ppr&source=3&mode=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown mode: status %d, want 400", rec.Code)
+	}
+}
+
+// writeTestPartition builds g's engine and writes it as a .mixp file.
+func writeTestPartition(t *testing.T, g *mixen.Graph, path string) {
+	t.Helper()
+	eng, err := mixen.New(g, mixen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixen.WritePartition(path, eng); err != nil {
+		t.Fatalf("WritePartition: %v", err)
+	}
+}
+
+// TestEpochSwapInvalidatesCache is the partition-swap safety property:
+// entries cached against epoch N must never be served once a new .mixp
+// mapping is opened. Partition A and B hold different graphs; after the
+// swap the same query must return B's values, and /healthz must show the
+// new epoch.
+func TestEpochSwapInvalidatesCache(t *testing.T) {
+	gA := testGraph(t)
+	gB, err := mixen.GenerateSkewed(mixen.SkewedConfig{
+		N: 1500, M: 12000,
+		RegularFrac: 0.4, SeedFrac: 0.3, SinkFrac: 0.2,
+		ZipfS: 1.3, ZipfV: 1, Seed: 1234, // different graph, same shape
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pathA, pathB := filepath.Join(dir, "a.mixp"), filepath.Join(dir, "b.mixp")
+	writeTestPartition(t, gA, pathA)
+	writeTestPartition(t, gB, pathB)
+
+	me, err := mixen.OpenPartition(pathA, mixen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := (serverConfig{cacheBytes: 1 << 22}).withDefaults()
+	bcfg := mixen.BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond}
+	s := newServerMapped(me, mixen.NewMetricsRegistry(), cfg, bcfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	const q = "/v1/query?algo=ppr&source=3&iters=20&tol=0&top=0&nodes=" + probeNodes
+	fromA := decodeResponse(t, get(s, q))
+	if hit := decodeResponse(t, get(s, q)); !hit.Results[0].Cached {
+		t.Fatal("warm-up query not cached before the swap")
+	}
+	epochA := s.state().epoch
+
+	// Swap in partition B (what the SIGHUP handler does).
+	if _, err := s.reloadPartition(pathB, mixen.Config{}); err != nil {
+		t.Fatalf("reloadPartition: %v", err)
+	}
+	epochB := s.state().epoch
+	if epochB == epochA {
+		t.Fatalf("swap kept epoch %d", epochA)
+	}
+
+	fromB := decodeResponse(t, get(s, q))
+	if fromB.Results[0].Cached {
+		t.Error("first query after the swap claims cached — epoch N entry served at epoch N+1")
+	}
+	// B is a genuinely different graph, so the answer must change.
+	valsA, valsB := valuesOf(t, fromA), valuesOf(t, fromB)
+	same := true
+	for node, a := range valsA {
+		if math.Float64bits(a) != math.Float64bits(valsB[node]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("post-swap answer identical to pre-swap cache — stale epoch served")
+	}
+	// The authoritative answer: a fresh server on B bit-matches.
+	meB, err := mixen.OpenPartition(pathB, mixen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := newServerMapped(meB, mixen.NewMetricsRegistry(), cfg, bcfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sB.Shutdown(ctx)
+	})
+	want := valuesOf(t, decodeResponse(t, get(sB, q)))
+	for node, w := range want {
+		if math.Float64bits(w) != math.Float64bits(valsB[node]) {
+			t.Errorf("node %d: post-swap value differs from fresh partition-B server", node)
+		}
+	}
+	// /healthz surfaces the new epoch and the invalidation counters.
+	rec := get(s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var hz healthzResponse
+	if err := jsonDecode(rec, &hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.Epoch != epochB {
+		t.Errorf("/healthz epoch = %d, want %d", hz.Epoch, epochB)
+	}
+	if hz.Partition == nil || hz.Partition.File != pathB {
+		t.Errorf("/healthz partition = %+v, want file %s", hz.Partition, pathB)
+	}
+	if hz.Cache == nil || hz.Cache.EpochInvalidations == 0 {
+		t.Errorf("/healthz cache stats missing epoch invalidations: %+v", hz.Cache)
+	}
+}
+
+// TestCacheTTLExpiresEntries: with a tiny TTL the second query recomputes.
+func TestCacheTTLExpiresEntries(t *testing.T) {
+	s := newTestServer(t, serverConfig{cacheBytes: 1 << 22, cacheTTL: time.Millisecond})
+	const q = "/v1/query?algo=pagerank&iters=10&tol=0"
+	decodeResponse(t, get(s, q))
+	time.Sleep(5 * time.Millisecond)
+	if resp := decodeResponse(t, get(s, q)); resp.Results[0].Cached {
+		t.Error("entry served after TTL expiry")
+	}
+}
+
+// jsonDecode unmarshals a recorder body.
+func jsonDecode(rec *httptest.ResponseRecorder, v any) error {
+	return json.Unmarshal(rec.Body.Bytes(), v)
+}
+
+// BenchmarkServeCachedQuery measures the cached serving path end to end
+// and reports the p99 latency (the serve-study gate metric).
+func BenchmarkServeCachedQuery(b *testing.B) {
+	s := newTestServer(b, serverConfig{cacheBytes: 1 << 22, maxConcurrent: 8, maxQueue: 64})
+	const q = "/v1/query?algo=ppr&source=3&iters=20&tol=0&top=10"
+	// Prime the cache.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, q, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("prime: status %d", rec.Code)
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, q, nil))
+		lat = append(lat, time.Since(start))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+	}
+}

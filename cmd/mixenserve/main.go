@@ -54,6 +54,11 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 256, "completed traces kept for /debug/traces")
 		accessLog   = flag.Bool("access-log", false, "log one structured line per request to stdout")
 
+		cacheSize = flag.Int64("cache-size", 0, "result cache budget in bytes (0 disables caching; exact-mode hits are bit-identical to recomputing)")
+		cacheTTL  = flag.Duration("cache-ttl", 0, "cached entry lifetime (0 = 5m default when the cache is on, negative = never expire)")
+		approx    = flag.Bool("approx", false, "enable mode=approx/refine: serve coarse-tolerance PPR vectors kept warm per hot source, refined on demand")
+		approxTol = flag.Float64("approx-tol", 1e-4, "tolerance of the warm coarse PPR pass behind -approx")
+
 		grace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget for in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -72,6 +77,10 @@ func main() {
 		useBatcher:     *batch > 0,
 		traceSample:    *traceSample,
 		traceRing:      *traceRing,
+		cacheBytes:     *cacheSize,
+		cacheTTL:       *cacheTTL,
+		approx:         *approx,
+		approxTol:      *approxTol,
 	}
 	if *accessLog {
 		cfg.accessLog = os.Stdout
@@ -80,19 +89,20 @@ func main() {
 	reg := mixen.NewMetricsRegistry()
 
 	var s *server
+	engCfg := mixen.Config{Threads: *threads, Collector: reg}
 	if *partition != "" {
-		me, err := mixen.OpenPartition(*partition, mixen.Config{Threads: *threads, Collector: reg})
+		me, err := mixen.OpenPartition(*partition, engCfg)
 		if err != nil {
 			fail(err)
 		}
-		defer me.Close()
+		defer me.Close() // idempotent; the server also closes it on drain
 		s = newServerMapped(me, reg, cfg, bcfg)
 	} else {
 		g, err := loadGraph(*preset, *shrink, *edgelist)
 		if err != nil {
 			fail(err)
 		}
-		eng, err := mixen.New(g, mixen.Config{Threads: *threads, Collector: reg})
+		eng, err := mixen.New(g, engCfg)
 		if err != nil {
 			fail(err)
 		}
@@ -107,12 +117,31 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	if s.part != nil {
-		log.Printf("mixenserve: serving %d nodes / %d edges on %s from mapped partition %s (epoch=%d reorder=%s side=%d max-concurrent=%d max-queue=%d)",
-			s.n, s.edges, *addr, s.part.File, s.part.Epoch, s.part.Reorder, s.part.Side, cfg.maxConcurrent, cfg.maxQueue)
+	st := s.state()
+	if st.part != nil {
+		log.Printf("mixenserve: serving %d nodes / %d edges on %s from mapped partition %s (epoch=%d reorder=%s side=%d max-concurrent=%d max-queue=%d cache=%dB)",
+			st.n, st.edges, *addr, st.part.File, st.part.Epoch, st.part.Reorder, st.part.Side, cfg.maxConcurrent, cfg.maxQueue, *cacheSize)
 	} else {
-		log.Printf("mixenserve: serving %d nodes / %d edges on %s (max-concurrent=%d max-queue=%d)",
-			s.n, s.edges, *addr, cfg.maxConcurrent, cfg.maxQueue)
+		log.Printf("mixenserve: serving %d nodes / %d edges on %s (max-concurrent=%d max-queue=%d cache=%dB)",
+			st.n, st.edges, *addr, cfg.maxConcurrent, cfg.maxQueue, *cacheSize)
+	}
+
+	// SIGHUP re-opens the .mixp partition in place: the new mapping is
+	// swapped in atomically and its build epoch invalidates both caches.
+	// Requests already running keep their old snapshot until they finish.
+	if *partition != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				part, err := s.reloadPartition(*partition, engCfg)
+				if err != nil {
+					log.Printf("mixenserve: SIGHUP reload failed, keeping current mapping: %v", err)
+					continue
+				}
+				log.Printf("mixenserve: SIGHUP reloaded %s (epoch=%d)", part.File, part.Epoch)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 
 	"mixen"
 	"mixen/internal/obs"
+	"mixen/internal/servecache"
 )
 
 // serverConfig bounds what a single request may ask for and how much
@@ -56,6 +57,18 @@ type serverConfig struct {
 	// accessLog, when non-nil, receives one structured line per request
 	// (id, algo, batch, queue wait, total latency, outcome).
 	accessLog io.Writer
+	// cacheBytes bounds the result cache (0 disables caching; queries
+	// then always run). Exact-mode hits are previous engine runs served
+	// verbatim, so they are bit-identical to recomputing.
+	cacheBytes int64
+	// cacheTTL bounds a cached entry's lifetime. 0 picks the 5-minute
+	// default when the cache is on; negative disables expiry.
+	cacheTTL time.Duration
+	// approx enables the mode=approx/refine fast path: coarse-tolerance
+	// PPR vectors kept warm per hot source (at approxTol, default 1e-4),
+	// refined to the request's tolerance on demand.
+	approx    bool
+	approxTol float64
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -89,6 +102,18 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.traceRing <= 0 {
 		c.traceRing = 256
 	}
+	if c.cacheBytes < 0 {
+		c.cacheBytes = 0
+	}
+	if c.cacheTTL == 0 && c.cacheBytes > 0 {
+		c.cacheTTL = 5 * time.Minute
+	}
+	if c.cacheTTL < 0 {
+		c.cacheTTL = 0 // no expiry
+	}
+	if c.approxTol <= 0 {
+		c.approxTol = 1e-4
+	}
 	return c
 }
 
@@ -99,22 +124,33 @@ var (
 	errDraining = errors.New("mixenserve: draining, not accepting queries")
 )
 
-// server is one serving process: an immutable preprocessed engine, the
-// shared batcher, the admission state and the metrics registry. Safe for
+// server is one serving process: the swappable engine state, the result
+// cache, the admission state and the metrics registry. Safe for
 // concurrent requests; constructed once by newServer.
 type server struct {
 	// g is the source graph, or nil when serving a mapped .mixp partition
 	// (partition mode needs only the node/edge scalars and the out-degree
-	// snapshot, all carried by the file).
-	g     *mixen.Graph
-	eng   *mixen.MixenEngine
-	bat   *mixen.Batcher
-	deg   []float64 // out-degree snapshot shared by every pagerank/ppr program
-	n     int       // node count (graph or partition metadata)
-	edges int64     // edge count (graph or partition metadata)
-	part  *partitionStatus
-	reg   *mixen.MetricsRegistry
-	cfg   serverConfig
+	// snapshot, all carried by the file). Graph-mode servers are never
+	// swapped, so g stays valid for the server's lifetime.
+	g *mixen.Graph
+	// st is the current serving snapshot (engine, batcher, degree
+	// snapshot, epoch). Requests load it once; a partition swap
+	// (swapMapped) publishes a replacement atomically.
+	st   atomic.Pointer[engineState]
+	bcfg mixen.BatcherConfig
+	reg  *mixen.MetricsRegistry
+	cfg  serverConfig
+
+	// cache holds full per-source result vectors keyed on (algo, params,
+	// source, epoch); warm holds the coarse-tolerance PPR vectors behind
+	// mode=approx/refine. Both nil when disabled.
+	cache *servecache.Cache
+	warm  *servecache.Cache
+
+	// retired collects engine states replaced by swaps; Shutdown closes
+	// them after the drain (requests loaded them before the swap).
+	retireMu sync.Mutex
+	retired  []*engineState
 
 	// Admission: sem holds one token per executing query; queued counts
 	// requests waiting for a token (bounded by cfg.maxQueue).
@@ -182,37 +218,28 @@ func newServer(g *mixen.Graph, eng *mixen.MixenEngine, reg *mixen.MetricsRegistr
 
 // newServerMapped wires a zero-copy mapped partition into a serving
 // surface: no graph, no filter pass, no partitioning — the engine serves
-// straight off the page cache.
+// straight off the page cache. The partition's build epoch versions the
+// result cache.
 func newServerMapped(me *mixen.MappedEngine, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
-	m := me.Meta()
-	reorder := m.Reorder
-	if reorder == "" {
-		reorder = "original"
-	}
-	part := &partitionStatus{
-		File:      me.PartitionPath(),
-		Epoch:     m.Epoch,
-		Reorder:   reorder,
-		Side:      m.Side,
-		AutoTuned: m.AutoTuned,
-		Mapped:    me.MappedFromFile(),
-	}
-	return newServerWith(nil, me.MixenEngine, me.OutDegrees(), m.N, m.GraphEdges, part, reg, cfg, bcfg)
+	cfg = cfg.withDefaults()
+	return newServerState(nil, mappedState(me, cfg, bcfg), reg, cfg, bcfg)
 }
 
 func newServerWith(g *mixen.Graph, eng *mixen.MixenEngine, deg []float64, n int, edges int64, part *partitionStatus, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
 	cfg = cfg.withDefaults()
+	// Graph-built engines have no build epoch; 0 versions their cache
+	// (graph-mode servers never swap, so the epoch never changes).
+	st := newEngineState(eng, nil, deg, n, edges, part, 0, bcfg, cfg.maxConcurrent)
+	return newServerState(g, st, reg, cfg, bcfg)
+}
+
+func newServerState(g *mixen.Graph, st *engineState, reg *mixen.MetricsRegistry, cfg serverConfig, bcfg mixen.BatcherConfig) *server {
 	s := &server{
-		g:     g,
-		eng:   eng,
-		bat:   mixen.NewBatcher(eng, bcfg),
-		deg:   deg,
-		n:     n,
-		edges: edges,
-		part:  part,
-		reg:   reg,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.maxConcurrent),
+		g:    g,
+		bcfg: bcfg,
+		reg:  reg,
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.maxConcurrent),
 
 		tracer: obs.NewTracer(cfg.traceRing, cfg.traceSample),
 
@@ -232,6 +259,19 @@ func newServerWith(g *mixen.Graph, eng *mixen.MixenEngine, deg []float64, n int,
 		winRequests:    reg.Gauge("server.window_requests"),
 		winErrors:      reg.Gauge("server.window_errors"),
 		winErrPermille: reg.Gauge("server.window_error_permille"),
+	}
+	s.st.Store(st)
+	if cfg.cacheBytes > 0 {
+		s.cache = servecache.New("server.cache", cfg.cacheBytes, cfg.cacheTTL, reg)
+		s.cache.SetEpoch(st.epoch)
+	}
+	if cfg.approx {
+		// The warm store rides on a quarter of the cache budget (coarse
+		// vectors are few — one per hot source — and small payoff-per-byte
+		// losers evict first). With caching off it still collapses
+		// concurrent coarse passes (singleflight-only mode).
+		s.warm = servecache.New("server.warmcache", cfg.cacheBytes/4, cfg.cacheTTL, reg)
+		s.warm.SetEpoch(st.epoch)
 	}
 	if cfg.accessLog != nil {
 		s.access = log.New(cfg.accessLog, "", 0)
@@ -298,8 +338,9 @@ func (s *server) Handler() http.Handler { return s.mux }
 
 // Shutdown begins the drain: readiness flips to 503, queries already past
 // admission run to completion (bounded by ctx), then the batcher flushes
-// its pending queue and closes. The HTTP listener itself is main's to
-// stop; tests drive Shutdown directly.
+// its pending queue and closes, along with every state retired by
+// partition swaps. The HTTP listener itself is main's to stop; tests
+// drive Shutdown directly.
 func (s *server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining.Store(true)
@@ -312,10 +353,25 @@ func (s *server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		_ = s.bat.Close()
+		_ = s.closeStates()
 		return ctx.Err()
 	}
-	return s.bat.Close()
+	return s.closeStates()
+}
+
+// closeStates closes the current engine state and every retired one.
+func (s *server) closeStates() error {
+	err := s.state().close()
+	s.retireMu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.retireMu.Unlock()
+	for _, st := range retired {
+		if cerr := st.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // querySpec is one decoded /v1/query request.
@@ -332,6 +388,10 @@ type querySpec struct {
 	top      int
 	nodes    []uint32
 	timeout  time.Duration
+	// mode selects the serving flavour for ppr: "" / "exact" (full
+	// tolerance, cacheable bit-identically), "approx" (coarse warm
+	// vector) or "refine" (warm vector resumed to full tolerance).
+	mode string
 }
 
 // algoNeedsSource lists the supported algorithms and whether they take
@@ -397,6 +457,18 @@ func parseQuery(v url.Values, n int, cfg serverConfig) (querySpec, error) {
 	}
 	if q.nodes, err = parseNodeList(v, "nodes", "", n, cfg.maxTop); err != nil {
 		return querySpec{}, err
+	}
+	switch q.mode = v.Get("mode"); q.mode {
+	case "", "exact":
+	case "approx", "refine":
+		if q.algo != "ppr" {
+			return querySpec{}, fmt.Errorf("mode=%s is only supported for algo=ppr", q.mode)
+		}
+		if !cfg.approx {
+			return querySpec{}, fmt.Errorf("mode=%s requires the server to run with -approx", q.mode)
+		}
+	default:
+		return querySpec{}, fmt.Errorf("mode must be exact, approx or refine, got %q", q.mode)
 	}
 	if raw := v.Get("timeout"); raw != "" {
 		q.timeout, err = time.ParseDuration(raw)
@@ -484,17 +556,26 @@ type nodeValue struct {
 
 // sourceResult is one query's outcome (one per source for ppr/bfs).
 type sourceResult struct {
-	Source     *uint32     `json:"source,omitempty"`
-	Iterations int         `json:"iterations"`
-	Delta      float64     `json:"delta"`
-	BatchSize  int         `json:"batch_size,omitempty"`
-	Top        []nodeValue `json:"top,omitempty"`
-	Values     []nodeValue `json:"values,omitempty"`
+	Source     *uint32 `json:"source,omitempty"`
+	Iterations int     `json:"iterations"`
+	Delta      float64 `json:"delta"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	// Cached marks an answer served from the result cache (or a
+	// collapsed concurrent flight) instead of a fresh engine run.
+	// Exact-mode cached answers are bit-identical to recomputing.
+	Cached bool        `json:"cached,omitempty"`
+	Top    []nodeValue `json:"top,omitempty"`
+	Values []nodeValue `json:"values,omitempty"`
 }
 
 // queryResponse is the /v1/query response body.
 type queryResponse struct {
-	Algo      string         `json:"algo"`
+	Algo string `json:"algo"`
+	// Mode is the serving flavour: "exact" (default, omitted), "approx"
+	// (coarse-tolerance warm vector) or "refined" (warm vector resumed
+	// to the requested tolerance; within tolerance of exact but not
+	// bit-identical to it).
+	Mode      string         `json:"mode,omitempty"`
 	Nodes     int            `json:"graph_nodes"`
 	Edges     int64          `json:"graph_edges"`
 	ElapsedMs float64        `json:"elapsed_ms"`
@@ -553,7 +634,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	spec, err := parseQuery(r.Form, s.n, s.cfg)
+	// One state snapshot serves the whole request: a concurrent
+	// partition swap must never mix two engines (or epochs) inside it.
+	st := s.state()
+	spec, err := parseQuery(r.Form, st.n, s.cfg)
 	if err != nil {
 		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
@@ -585,7 +669,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr.AddSpan(obs.SpanAdmission, admitStart)
 	ctx = obs.WithTrace(ctx, tr) // no-op (and no alloc) when tr is nil
 
-	resp, err := s.execute(ctx, spec)
+	resp, err := s.execute(ctx, st, spec)
 	s.latencyNs.ObserveDuration(time.Since(start))
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -638,14 +722,20 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, RetryAfter: retryAfter})
 }
 
-// execute runs one decoded query under ctx and shapes the response.
-func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, error) {
+// execute runs one decoded query against the st snapshot and shapes the
+// response. Exact answers flow through the result cache (bit-identical
+// on hits, singleflight-collapsed on concurrent misses); mode=approx
+// and mode=refine divert to the warm-vector fast path (executeModed).
+func (s *server) execute(ctx context.Context, st *engineState, q querySpec) (*queryResponse, error) {
+	if q.mode == "approx" || q.mode == "refine" {
+		return s.executeModed(ctx, st, q)
+	}
 	resp := &queryResponse{
 		Algo:  q.algo,
-		Nodes: s.n,
-		Edges: s.edges,
+		Nodes: st.n,
+		Edges: st.edges,
 	}
-	n := s.n
+	n := st.n
 	switch q.algo {
 	case "indegree":
 		// InDegree's Scale (1) differs from the PageRank family's (1/deg),
@@ -656,41 +746,61 @@ func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, erro
 		if q.itersSet {
 			iters = q.iters
 		}
-		res, err := s.eng.RunCtx(ctx, mixen.NewInDegreeProgram(iters))
+		qi := q
+		qi.iters = iters
+		key := exactParams("indegree", qi, nil, st.epoch).Key()
+		res, _, cached, err := s.cachedOne(ctx, s.cache, key, func(ctx context.Context) (*mixen.Result, int, error) {
+			res, err := st.eng.RunCtx(ctx, mixen.NewInDegreeProgram(iters))
+			return res, 0, err
+		})
 		if err != nil {
 			return nil, err
 		}
-		resp.Results = []sourceResult{s.shape(nil, res, 0, q, false)}
+		r := shape(nil, res, 0, q, false)
+		r.Cached = cached
+		resp.Results = []sourceResult{r}
 		return resp, nil
 	case "pagerank":
-		prog := mixen.NewPageRankProgramShared(n, s.deg, q.damping, q.tol, q.iters)
-		res, size, err := s.runOne(ctx, prog)
+		key := exactParams("pagerank", q, nil, st.epoch).Key()
+		res, size, cached, err := s.cachedOne(ctx, s.cache, key, func(ctx context.Context) (*mixen.Result, int, error) {
+			return s.runOne(ctx, st, mixen.NewPageRankProgramShared(n, st.deg, q.damping, q.tol, q.iters))
+		})
 		if err != nil {
 			return nil, err
 		}
-		resp.Results = []sourceResult{s.shape(nil, res, size, q, false)}
+		r := shape(nil, res, size, q, false)
+		r.Cached = cached
+		resp.Results = []sourceResult{r}
 		return resp, nil
 	case "ppr", "bfs":
-		progs := make([]mixen.Program, len(q.sources))
-		for i, src := range q.sources {
-			if q.algo == "ppr" {
-				progs[i] = mixen.NewPersonalizedPageRankProgramShared(n, s.deg, src, q.damping, q.tol, q.iters)
-			} else if s.g != nil {
-				progs[i] = mixen.NewBFSProgram(s.g, src)
-			} else {
-				// Partition mode: BFS only needs the node count for its
-				// iteration bound.
-				progs[i] = mixen.NewBFSProgramForN(n, src)
-			}
-		}
-		results, sizes, err := s.runMany(ctx, progs)
+		// One cache entry per source: a request for sources {a,b} and a
+		// later one for {b,c} share b's vector. Sources run concurrently
+		// so cache misses land in the batcher's window together and fuse
+		// into one wide pass, exactly like the uncached path.
+		runs, err := s.runSources(ctx, q.sources, func(ctx context.Context, src uint32) (*mixen.Result, int, bool, error) {
+			key := exactParams(q.algo, q, []uint32{src}, st.epoch).Key()
+			return s.cachedOne(ctx, s.cache, key, func(ctx context.Context) (*mixen.Result, int, error) {
+				var prog mixen.Program
+				if q.algo == "ppr" {
+					prog = mixen.NewPersonalizedPageRankProgramShared(n, st.deg, src, q.damping, q.tol, q.iters)
+				} else if s.g != nil {
+					prog = mixen.NewBFSProgram(s.g, src)
+				} else {
+					// Partition mode: BFS only needs the node count for
+					// its iteration bound.
+					prog = mixen.NewBFSProgramForN(n, src)
+				}
+				return s.runOne(ctx, st, prog)
+			})
+		})
 		if err != nil {
 			return nil, err
 		}
-		resp.Results = make([]sourceResult, len(results))
-		for i := range results {
+		resp.Results = make([]sourceResult, len(runs))
+		for i, run := range runs {
 			src := q.sources[i]
-			resp.Results[i] = s.shape(&src, results[i], sizes[i], q, q.algo == "bfs")
+			resp.Results[i] = shape(&src, run.res, run.size, q, q.algo == "bfs")
+			resp.Results[i].Cached = run.cached
 		}
 		return resp, nil
 	}
@@ -699,12 +809,12 @@ func (s *server) execute(ctx context.Context, q querySpec) (*queryResponse, erro
 
 // runOne executes a single width-1 program, through the batcher when
 // enabled (returning the fused batch size) or directly.
-func (s *server) runOne(ctx context.Context, prog mixen.Program) (*mixen.Result, int, error) {
+func (s *server) runOne(ctx context.Context, st *engineState, prog mixen.Program) (*mixen.Result, int, error) {
 	if !s.cfg.useBatcher {
-		res, err := s.eng.RunCtx(ctx, prog)
+		res, err := st.eng.RunCtx(ctx, prog)
 		return res, 0, err
 	}
-	fut, err := s.bat.SubmitCtx(ctx, prog)
+	fut, err := st.bat.SubmitCtx(ctx, prog)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -715,43 +825,11 @@ func (s *server) runOne(ctx context.Context, prog mixen.Program) (*mixen.Result,
 	return res, fut.BatchSize(), nil
 }
 
-// runMany executes K same-ring programs: submitted together they normally
-// fuse into one width-K pass through the batcher.
-func (s *server) runMany(ctx context.Context, progs []mixen.Program) ([]*mixen.Result, []int, error) {
-	results := make([]*mixen.Result, len(progs))
-	sizes := make([]int, len(progs))
-	if !s.cfg.useBatcher {
-		for i, p := range progs {
-			res, err := s.eng.RunCtx(ctx, p)
-			if err != nil {
-				return nil, nil, err
-			}
-			results[i] = res
-		}
-		return results, sizes, nil
-	}
-	futs := make([]*mixen.Future, len(progs))
-	for i, p := range progs {
-		fut, err := s.bat.SubmitCtx(ctx, p)
-		if err != nil {
-			return nil, nil, err
-		}
-		futs[i] = fut
-	}
-	for i, fut := range futs {
-		res, err := fut.WaitCtx(ctx)
-		if err != nil {
-			return nil, nil, err
-		}
-		results[i] = res
-		sizes[i] = fut.BatchSize()
-	}
-	return results, sizes, nil
-}
-
 // shape projects one run result into the response: requested nodes, then
 // the top-K (highest value for link analysis, closest for BFS hops).
-func (s *server) shape(src *uint32, res *mixen.Result, batchSize int, q querySpec, ascending bool) sourceResult {
+// Nodes BFS never reached carry +Inf, which JSON cannot encode; they are
+// omitted from Values the same way topK skips them.
+func shape(src *uint32, res *mixen.Result, batchSize int, q querySpec, ascending bool) sourceResult {
 	out := sourceResult{
 		Source:     src,
 		Iterations: res.Iterations,
@@ -759,7 +837,9 @@ func (s *server) shape(src *uint32, res *mixen.Result, batchSize int, q querySpe
 		BatchSize:  batchSize,
 	}
 	for _, id := range q.nodes {
-		out.Values = append(out.Values, nodeValue{Node: id, Value: res.Values[id]})
+		if v := res.Values[id]; !math.IsInf(v, 0) {
+			out.Values = append(out.Values, nodeValue{Node: id, Value: v})
+		}
 	}
 	if q.top > 0 {
 		out.Top = topK(res.Values, q.top, ascending)
@@ -806,15 +886,31 @@ func topK(values []float64, k int, ascending bool) []nodeValue {
 
 // healthzResponse is the /healthz body; partition is present only in
 // partition mode, telling operators which mapped build is serving.
+// Epoch versions the result cache (cache/warm stats present only when
+// the corresponding layer is enabled): after a partition swap, operators
+// can confirm here that the serving epoch moved and the caches purged.
 type healthzResponse struct {
-	Status    string           `json:"status"`
-	Partition *partitionStatus `json:"partition,omitempty"`
+	Status    string            `json:"status"`
+	Epoch     int64             `json:"epoch"`
+	Partition *partitionStatus  `json:"partition,omitempty"`
+	Cache     *servecache.Stats `json:"cache,omitempty"`
+	WarmCache *servecache.Stats `json:"warm_cache,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.state()
+	resp := healthzResponse{Status: "ok", Epoch: st.epoch, Partition: st.part}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &cs
+	}
+	if s.warm != nil {
+		ws := s.warm.Stats()
+		resp.WarmCache = &ws
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Partition: s.part})
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,39 @@
+package algo
+
+// Resume-at-tighter-tolerance entry points.
+//
+// The power iteration is a contraction: from ANY starting vector it
+// converges to the same fixed point, and starting closer finishes
+// sooner. The serving layer exploits this by keeping a coarse-tolerance
+// PPR vector warm per hot source and, when a client asks for the full
+// answer, resuming from that vector at the tight tolerance — the
+// NodeTol frontier machinery (PR4) then retires already-converged nodes
+// immediately, so the resumed run touches only the nodes the coarse
+// pass left unsettled.
+//
+// Resumed results are APPROXIMATE relative to a from-scratch run: both
+// land within tol of the fixed point, but the iterates differ
+// bit-for-bit (different starting points, different quiescence
+// clamping). Serving layers must therefore never present a resumed
+// result as byte-identical to an exact one; mixenserve labels them
+// mode=refined.
+
+// NewPersonalizedPageRankResumeShared builds a PPR program that resumes
+// from warm (a previously computed vector for the same source/damping,
+// len n, original id order) and iterates until delta < tol. The warm
+// slice is shared and only read; deg is the shared out-degree snapshot
+// (see OutDegrees).
+func NewPersonalizedPageRankResumeShared(n int, deg []float64, source uint32, damping, tol float64, iters int, warm []float64) *PersonalizedPageRank {
+	p := NewPersonalizedPageRankShared(n, deg, source, damping, tol, iters)
+	p.Warm = warm
+	return p
+}
+
+// NewPageRankResumeShared builds a PageRank program that resumes from
+// warm instead of the uniform vector (see
+// NewPersonalizedPageRankResumeShared).
+func NewPageRankResumeShared(n int, deg []float64, damping, tol float64, iters int, warm []float64) *PageRank {
+	p := NewPageRankShared(n, deg, damping, tol, iters)
+	p.Warm = warm
+	return p
+}

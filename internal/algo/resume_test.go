@@ -1,0 +1,120 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"mixen/internal/core"
+	"mixen/internal/gen"
+)
+
+// TestResumeFromWarmConverges pins the warm-start contract: resuming a
+// coarse-tolerance PPR run at the tight tolerance lands within the same
+// tolerance band as a from-scratch tight run, in no more iterations
+// than starting over, and the warm vector itself is never mutated.
+func TestResumeFromWarmConverges(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 1200, M: 9000,
+		RegularFrac: 0.35, SeedFrac: 0.25, SinkFrac: 0.3,
+		ZipfS: 1.3, ZipfV: 1, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	deg := OutDegrees(g)
+	// Personalize at the highest-out-degree node so mass actually
+	// propagates (a sink source converges in one iteration).
+	var source uint32
+	for v := range deg {
+		if deg[v] > deg[source] {
+			source = uint32(v)
+		}
+	}
+	const (
+		damping   = 0.85
+		coarseTol = 1e-4
+		fullTol   = 1e-10
+		iters     = 200
+	)
+
+	coarse, err := e.Run(NewPersonalizedPageRankShared(n, deg, source, damping, coarseTol, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.Run(NewPersonalizedPageRankShared(n, deg, source, damping, fullTol, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := make([]float64, n)
+	copy(warm, coarse.Values)
+	snapshot := make([]float64, n)
+	copy(snapshot, warm)
+
+	refined, err := e.Run(NewPersonalizedPageRankResumeShared(n, deg, source, damping, fullTol, iters, warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i] != snapshot[i] {
+			t.Fatalf("resume mutated the warm vector at %d", i)
+		}
+	}
+
+	// Both tight runs stop when the L1 step delta is below fullTol; the
+	// geometric tail then bounds each run's distance to the fixed point
+	// by delta·d/(1-d), so the two results are within 2·fullTol·d/(1-d)
+	// of each other. Use a loose 4x headroom on top.
+	bound := 4 * 2 * fullTol * damping / (1 - damping)
+	var dist float64
+	for i := range refined.Values {
+		dist += math.Abs(refined.Values[i] - exact.Values[i])
+	}
+	if dist > bound {
+		t.Fatalf("refined result %.3e away from exact in L1, want <= %.3e", dist, bound)
+	}
+	if refined.Iterations > exact.Iterations {
+		t.Errorf("resume took %d iterations, from-scratch took %d — warm start should not be slower",
+			refined.Iterations, exact.Iterations)
+	}
+	t.Logf("coarse=%d iters, exact=%d iters, resumed=%d iters, L1(refined,exact)=%.3e",
+		coarse.Iterations, exact.Iterations, refined.Iterations, dist)
+}
+
+// TestResumePageRankFromOwnResult: resuming PageRank from its own
+// converged vector quiesces immediately (the NodeTol clamp retires every
+// node on the first pass), pinning that Warm reaches Init unmodified.
+func TestResumePageRankFromOwnResult(t *testing.T) {
+	g, err := gen.RMAT(gen.GAPRMATConfig(8, 8, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	deg := OutDegrees(g)
+	const tol = 1e-9
+	exact, err := e.Run(NewPageRankShared(n, deg, 0.85, tol, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := e.Run(NewPageRankResumeShared(n, deg, 0.85, tol, 200, exact.Values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iterations > 2 {
+		t.Errorf("resume from converged vector ran %d iterations, want <= 2", resumed.Iterations)
+	}
+	for i := range resumed.Values {
+		if math.Abs(resumed.Values[i]-exact.Values[i]) > tol {
+			t.Fatalf("node %d drifted: resumed %g vs exact %g", i, resumed.Values[i], exact.Values[i])
+		}
+	}
+}

@@ -550,6 +550,27 @@ func (e *Engine) RunInWorkspaceCtx(ctx context.Context, prog vprog.Program, ws *
 	return e.runInWorkspace(ctx, prog, ws, ws.out)
 }
 
+// RunToCtx executes prog inside a caller-owned workspace like
+// RunInWorkspaceCtx, but writes the final values into the caller's out
+// slice (len n·width, original id order) instead of the workspace's
+// internal buffer. Result.Values aliases out, which survives subsequent
+// runs on the same workspace — the zero-copy path for serving layers
+// that keep the computed vector (e.g. a result cache) while reusing one
+// workspace across refinement runs.
+func (e *Engine) RunToCtx(ctx context.Context, prog vprog.Program, ws *Workspace, out []float64) (*vprog.Result, RunStats, error) {
+	if ws == nil || ws.eng != e {
+		return nil, RunStats{}, fmt.Errorf("core: workspace does not belong to this engine")
+	}
+	w := prog.Width()
+	if w != ws.width {
+		return nil, RunStats{}, fmt.Errorf("core: program width %d does not match workspace width %d", w, ws.width)
+	}
+	if want := e.F.N() * w; len(out) != want {
+		return nil, RunStats{}, fmt.Errorf("core: out length %d, want n*width = %d", len(out), want)
+	}
+	return e.runInWorkspace(ctx, prog, ws, out)
+}
+
 // ctxDone reports whether a ctx.Done() channel is closed, without
 // blocking. cancel closes the channel synchronously in the cancelling
 // goroutine, so this is the deterministic signal at iteration boundaries;

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mixen/internal/algo"
+	"mixen/internal/gen"
+)
+
+// TestRunToCtx pins the caller-out-buffer run path: results are
+// bit-identical to the pooled Run path, Values aliases the caller's
+// slice, the slice survives subsequent runs on the same workspace, and
+// mismatched buffers or foreign workspaces are refused.
+func TestRunToCtx(t *testing.T) {
+	g, err := gen.Skewed(gen.SkewedConfig{
+		N: 900, M: 7000,
+		RegularFrac: 0.4, SeedFrac: 0.2, SinkFrac: 0.25,
+		ZipfS: 1.2, ZipfV: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	deg := algo.OutDegrees(g)
+	prog := func(src uint32) *algo.PersonalizedPageRank {
+		return algo.NewPersonalizedPageRankShared(n, deg, src, 0.85, 1e-8, 100)
+	}
+
+	want, err := e.Run(prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws, err := e.NewWorkspace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	res, _, err := e.RunToCtx(context.Background(), prog(3), ws, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &res.Values[0] != &out[0] {
+		t.Fatal("Result.Values does not alias the caller's out slice")
+	}
+	for i := range want.Values {
+		if out[i] != want.Values[i] {
+			t.Fatalf("node %d: RunToCtx %g != Run %g", i, out[i], want.Values[i])
+		}
+	}
+
+	// A second run on the same workspace must not disturb the first out.
+	keep := make([]float64, n)
+	copy(keep, out)
+	out2 := make([]float64, n)
+	if _, _, err := e.RunToCtx(context.Background(), prog(7), ws, out2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keep {
+		if out[i] != keep[i] {
+			t.Fatalf("node %d: first out buffer changed after workspace reuse", i)
+		}
+	}
+
+	// Validation: wrong out length, foreign workspace, width mismatch.
+	if _, _, err := e.RunToCtx(context.Background(), prog(3), ws, make([]float64, n-1)); err == nil {
+		t.Error("short out slice accepted")
+	}
+	e2, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e2.RunToCtx(context.Background(), prog(3), ws, out); err == nil {
+		t.Error("foreign workspace accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package servecache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"mixen/internal/obs"
+)
+
+// Outcome reports how GetOrCompute satisfied a request.
+type Outcome int
+
+const (
+	// Hit: the value came straight from a fresh cache entry.
+	Hit Outcome = iota
+	// Miss: this caller ran the compute function itself.
+	Miss
+	// Collapsed: the caller waited on another goroutine's in-flight
+	// computation of the same key (singleflight).
+	Collapsed
+)
+
+// String implements fmt.Stringer for log/trace labels.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Collapsed:
+		return "collapsed"
+	}
+	return "unknown"
+}
+
+// entry is one cached value plus its accounting state.
+type entry struct {
+	key     string
+	val     any
+	size    int64
+	expires time.Time // zero = no expiry
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Stats is a point-in-time snapshot of the cache, surfaced through
+// /healthz by the server.
+type Stats struct {
+	Entries            int   `json:"entries"`
+	SizeBytes          int64 `json:"size_bytes"`
+	MaxBytes           int64 `json:"max_bytes"`
+	Epoch              int64 `json:"epoch"`
+	Hits               int64 `json:"hits"`
+	Misses             int64 `json:"misses"`
+	Collapsed          int64 `json:"collapsed"`
+	Expired            int64 `json:"expired"`
+	Evictions          int64 `json:"evictions"`
+	EpochInvalidations int64 `json:"epoch_invalidations"`
+}
+
+// Cache is a size-bounded LRU with TTL expiry, epoch invalidation and
+// singleflight computation collapsing. Safe for concurrent use.
+//
+// maxBytes bounds the sum of entry sizes (as reported by the caller's
+// compute/Put size argument). With maxBytes <= 0 nothing is ever
+// stored, but GetOrCompute still collapses concurrent identical
+// computations — a singleflight-only degenerate mode.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // -> *entry
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+
+	maxBytes int64
+	size     int64
+	ttl      time.Duration // <= 0: entries never expire
+	epoch    int64
+	now      func() time.Time // injectable for TTL tests
+
+	// Local tallies (mu-guarded) back Stats; the obs instruments mirror
+	// them into /metrics and are nil-safe no-ops without a registry.
+	nHits, nMisses, nCollapsed    int64
+	nExpired, nEvicted, nEpochInv int64
+
+	hits, misses, collapsed *obs.Counter
+	expired, evicted        *obs.Counter
+	epochInv                *obs.Counter
+	entriesGauge, sizeGauge *obs.Gauge
+	epochGauge              *obs.Gauge
+}
+
+// New builds a Cache bounded to maxBytes with per-entry lifetime ttl
+// (ttl <= 0 disables expiry). Instruments register under "<name>." on c
+// (pass nil or obs.Nop{} to discard); name defaults to "servecache",
+// letting one process run several caches (results, warm vectors) with
+// separate metrics.
+func New(name string, maxBytes int64, ttl time.Duration, c obs.Collector) *Cache {
+	if name == "" {
+		name = "servecache"
+	}
+	col := obs.Default(c)
+	return &Cache{
+		entries:      map[string]*list.Element{},
+		lru:          list.New(),
+		flights:      map[string]*flight{},
+		maxBytes:     maxBytes,
+		ttl:          ttl,
+		now:          time.Now,
+		hits:         col.Counter(name + ".hits"),
+		misses:       col.Counter(name + ".misses"),
+		collapsed:    col.Counter(name + ".collapsed"),
+		expired:      col.Counter(name + ".expired"),
+		evicted:      col.Counter(name + ".evictions"),
+		epochInv:     col.Counter(name + ".epoch_invalidations"),
+		entriesGauge: col.Gauge(name + ".entries"),
+		sizeGauge:    col.Gauge(name + ".size_bytes"),
+		epochGauge:   col.Gauge(name + ".epoch"),
+	}
+}
+
+// GetOrCompute returns the cached value for key, or runs compute to
+// produce it. Concurrent calls for the same key collapse onto one
+// compute invocation: exactly one caller runs compute, the rest block
+// until it finishes (or their ctx is done) and share its result.
+// compute returns the value, its size in bytes for LRU accounting, and
+// an error; errors are propagated to every collapsed waiter and nothing
+// is cached.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (any, int64, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if v, ok := c.getLocked(key); ok {
+		c.nHits++
+		c.mu.Unlock()
+		c.hits.Inc()
+		return v, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.nCollapsed++
+		c.mu.Unlock()
+		c.collapsed.Inc()
+		select {
+		case <-f.done:
+			return f.val, Collapsed, f.err
+		case <-ctx.Done():
+			return nil, Collapsed, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.nMisses++
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	val, size, err := compute(ctx)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	f.val, f.err = val, err
+	if err == nil {
+		c.putLocked(key, val, size)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, Miss, err
+	}
+	return val, Miss, nil
+}
+
+// Get returns the cached value for key if present and fresh.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.getLocked(key)
+	if ok {
+		c.nHits++
+		c.hits.Inc()
+	}
+	return v, ok
+}
+
+// Put inserts (or replaces) key with val of the given byte size.
+func (c *Cache) Put(key string, val any, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, val, size)
+}
+
+// Invalidate drops key if present.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+}
+
+// SetEpoch advances the cache to a new graph epoch, dropping every
+// entry. Keys embed the epoch (Params.Epoch) so stale entries were
+// already unreachable; the purge reclaims their memory immediately and
+// counts them as epoch invalidations. A no-op when the epoch is
+// unchanged.
+func (c *Cache) SetEpoch(epoch int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch == c.epoch {
+		return
+	}
+	c.epoch = epoch
+	c.epochGauge.Set(epoch)
+	n := int64(len(c.entries))
+	c.nEpochInv += n
+	c.epochInv.Add(n)
+	c.entries = map[string]*list.Element{}
+	c.lru.Init()
+	c.size = 0
+	c.entriesGauge.Set(0)
+	c.sizeGauge.Set(0)
+}
+
+// Epoch returns the cache's current graph epoch.
+func (c *Cache) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// SizeBytes returns the accounted size of all live entries.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Stats snapshots the cache counters for /healthz.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:            len(c.entries),
+		SizeBytes:          c.size,
+		MaxBytes:           c.maxBytes,
+		Epoch:              c.epoch,
+		Hits:               c.nHits,
+		Misses:             c.nMisses,
+		Collapsed:          c.nCollapsed,
+		Expired:            c.nExpired,
+		Evictions:          c.nEvicted,
+		EpochInvalidations: c.nEpochInv,
+	}
+}
+
+// setNow swaps the clock (TTL tests).
+func (c *Cache) setNow(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// getLocked returns key's value if present and fresh, expiring it
+// lazily otherwise. Caller holds mu.
+func (c *Cache) getLocked(key string) (any, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.nExpired++
+		c.expired.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return e.val, true
+}
+
+// putLocked inserts or replaces key, then evicts LRU entries until the
+// size bound holds. Values larger than the whole cache are not stored.
+// Caller holds mu.
+func (c *Cache) putLocked(key string, val any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	if c.maxBytes <= 0 || size > c.maxBytes {
+		return
+	}
+	e := &entry{key: key, val: val, size: size}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	c.size += size
+	for c.size > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.nEvicted++
+		c.evicted.Inc()
+	}
+	c.entriesGauge.Set(int64(len(c.entries)))
+	c.sizeGauge.Set(c.size)
+}
+
+// removeLocked unlinks el from the LRU and the index. Caller holds mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.size -= e.size
+	c.entriesGauge.Set(int64(len(c.entries)))
+	c.sizeGauge.Set(c.size)
+}

@@ -1,0 +1,278 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixen/internal/obs"
+)
+
+func compute(v any, size int64) func(context.Context) (any, int64, error) {
+	return func(context.Context) (any, int64, error) { return v, size, nil }
+}
+
+func TestGetOrComputeHitMiss(t *testing.T) {
+	c := New("", 1<<20, 0, nil)
+	v, out, err := c.GetOrCompute(context.Background(), "k", compute("a", 8))
+	if err != nil || v != "a" || out != Miss {
+		t.Fatalf("first call: got (%v,%v,%v), want (a,Miss,nil)", v, out, err)
+	}
+	v, out, err = c.GetOrCompute(context.Background(), "k", func(context.Context) (any, int64, error) {
+		t.Fatal("compute ran on a hit")
+		return nil, 0, nil
+	})
+	if err != nil || v != "a" || out != Hit {
+		t.Fatalf("second call: got (%v,%v,%v), want (a,Hit,nil)", v, out, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.SizeBytes != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c := New("", 1<<20, 0, nil)
+	boom := errors.New("boom")
+	_, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (any, int64, error) {
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) || out != Miss {
+		t.Fatalf("got (%v,%v), want (Miss, boom)", out, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// The key is retryable after a failure.
+	v, out, err := c.GetOrCompute(context.Background(), "k", compute("ok", 2))
+	if err != nil || v != "ok" || out != Miss {
+		t.Fatalf("retry: got (%v,%v,%v)", v, out, err)
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New("", 1<<20, 0, nil)
+	const waiters = 8
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]Outcome, waiters+1)
+	errs := make([]error, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (any, int64, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return "v", 1, nil
+		})
+		results[0], errs[0] = out, err
+	}()
+	<-started
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (any, int64, error) {
+				computes.Add(1)
+				return "v", 1, nil
+			})
+			if err == nil && v != "v" {
+				errs[i] = fmt.Errorf("wrong value %v", v)
+				return
+			}
+			results[i], errs[i] = out, err
+		}(i)
+	}
+	// Give the waiters a moment to pile up on the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	if results[0] != Miss {
+		t.Fatalf("origin caller outcome %v, want Miss", results[0])
+	}
+	st := c.Stats()
+	if st.Collapsed == 0 {
+		t.Fatal("no collapses recorded")
+	}
+}
+
+func TestSingleflightWaiterRespectsContext(t *testing.T) {
+	c := New("", 1<<20, 0, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.GetOrCompute(context.Background(), "k", func(context.Context) (any, int64, error) {
+		close(started)
+		<-release
+		return "v", 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.GetOrCompute(ctx, "k", compute("v", 1))
+	if !errors.Is(err, context.Canceled) || out != Collapsed {
+		t.Fatalf("got (%v,%v), want (Collapsed, context.Canceled)", out, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("", 100, 0, nil)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10)
+	}
+	if c.Len() != 10 || c.SizeBytes() != 100 {
+		t.Fatalf("len=%d size=%d, want 10/100", c.Len(), c.SizeBytes())
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k10", 10, 10)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("recently-used k0 was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+	// An entry larger than the whole cache is not stored.
+	c.Put("huge", 0, 1000)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry was stored")
+	}
+}
+
+func TestReplaceAccounting(t *testing.T) {
+	c := New("", 100, 0, nil)
+	c.Put("k", "a", 40)
+	c.Put("k", "b", 10)
+	if c.Len() != 1 || c.SizeBytes() != 10 {
+		t.Fatalf("len=%d size=%d after replace, want 1/10", c.Len(), c.SizeBytes())
+	}
+	v, ok := c.Get("k")
+	if !ok || v != "b" {
+		t.Fatalf("got (%v,%v), want (b,true)", v, ok)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New("", 1<<20, time.Minute, nil)
+	now := time.Unix(1000, 0)
+	c.setNow(func() time.Time { return now })
+	c.Put("k", "v", 1)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New("", 1<<20, 0, nil)
+	k1 := Params{Algo: "ppr", Sources: []uint32{1}, Epoch: 1}.Key()
+	c.Put(k1, "old", 8)
+	c.SetEpoch(2)
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("entry survived epoch change")
+	}
+	st := c.Stats()
+	if st.EpochInvalidations != 1 || st.Entries != 0 || st.SizeBytes != 0 || st.Epoch != 2 {
+		t.Fatalf("stats after epoch change: %+v", st)
+	}
+	// Same-epoch SetEpoch is a no-op.
+	c.Put("k", "v", 1)
+	c.SetEpoch(2)
+	if c.Len() != 1 {
+		t.Fatal("no-op SetEpoch dropped entries")
+	}
+}
+
+func TestSingleflightOnlyMode(t *testing.T) {
+	c := New("", 0, 0, nil) // maxBytes<=0: never store, still collapse
+	v, out, err := c.GetOrCompute(context.Background(), "k", compute("a", 8))
+	if err != nil || v != "a" || out != Miss {
+		t.Fatalf("got (%v,%v,%v)", v, out, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("storage-disabled cache stored an entry")
+	}
+	_, out, _ = c.GetOrCompute(context.Background(), "k", compute("a", 8))
+	if out != Miss {
+		t.Fatalf("second call outcome %v, want Miss (nothing stored)", out)
+	}
+}
+
+// TestCacheConcurrentGetPutInvalidate is the cache's -race exercise:
+// readers, writers, singleflight computers, invalidators and epoch
+// bumps all hammer one cache. Run in CI's race job.
+func TestCacheConcurrentGetPutInvalidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New("", 4096, time.Millisecond, reg)
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := Params{Algo: "ppr", Sources: []uint32{uint32((w + r) % keys)}, Epoch: c.Epoch()}.Key()
+				switch r % 5 {
+				case 0:
+					c.Put(key, r, 64)
+				case 1:
+					c.Get(key)
+				case 2:
+					_, _, err := c.GetOrCompute(context.Background(), key, compute(r, 64))
+					if err != nil {
+						t.Errorf("GetOrCompute: %v", err)
+						return
+					}
+				case 3:
+					c.Invalidate(key)
+				case 4:
+					if r%50 == 4 {
+						c.SetEpoch(int64(w*rounds + r))
+					} else {
+						c.Stats()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.SizeBytes(); got < 0 || got > 4096 {
+		t.Fatalf("size accounting out of bounds: %d", got)
+	}
+	if c.Len()*64 != int(c.SizeBytes()) {
+		t.Fatalf("entries (%d) inconsistent with size (%d)", c.Len(), c.SizeBytes())
+	}
+}

@@ -319,6 +319,24 @@ func NewPersonalizedPageRankProgramShared(n int, deg []float64, source uint32, d
 	return algo.NewPersonalizedPageRankShared(n, deg, source, damping, tol, maxIter)
 }
 
+// NewPersonalizedPageRankResumeProgramShared builds a PPR program that
+// resumes iteration from warm — a previously computed vector for the
+// same (source, damping), len n in original id order — instead of the
+// teleport distribution, converging at tol in fewer iterations the
+// closer warm already is. The power iteration contracts to the same
+// fixed point from any start, but resumed results are NOT bit-identical
+// to from-scratch runs; serving layers must label them approximate.
+// warm and deg are shared, never written.
+func NewPersonalizedPageRankResumeProgramShared(n int, deg []float64, source uint32, damping, tol float64, maxIter int, warm []float64) Program {
+	return algo.NewPersonalizedPageRankResumeShared(n, deg, source, damping, tol, maxIter, warm)
+}
+
+// NewPageRankResumeProgramShared is the PageRank warm-start analogue of
+// NewPersonalizedPageRankResumeProgramShared.
+func NewPageRankResumeProgramShared(n int, deg []float64, damping, tol float64, maxIter int, warm []float64) Program {
+	return algo.NewPageRankResumeShared(n, deg, damping, tol, maxIter, warm)
+}
+
 // BatchProgram fuses K independent same-ring programs into one width-ΣWᵢ
 // program with per-lane convergence tracking; Split demuxes the fused
 // result. See NewBatchProgram.

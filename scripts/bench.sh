@@ -2,29 +2,48 @@
 # bench.sh — PR-level benchmark snapshot.
 #
 # Runs the width-sweep microbenchmarks (including the width-1 zero-alloc
-# entry), the engine-level BenchmarkPageRank, the serving hot-path and
-# load-shed microbenchmarks (cmd/mixenserve), the sparse-frontier study,
-# the shard-scaling experiment (S=1/2/4 on the skewed presets), the
-# skew-aware reordering + block auto-tuning study (mixenbench -experiment
-# reorder), and the mmap cold-start study (mixenbench -experiment
-# coldstart), then bundles everything into BENCH_PR9.json. When a
-# committed BENCH_PR8.bench.txt exists and benchstat is installed, it also
-# emits a benchstat comparison against that baseline.
+# entry), the engine-level BenchmarkPageRank, the serving hot-path,
+# load-shed and cached-query microbenchmarks (cmd/mixenserve), the
+# sparse-frontier study, the shard-scaling experiment (S=1/2/4 on the
+# skewed presets), the skew-aware reordering + block auto-tuning study
+# (mixenbench -experiment reorder), the mmap cold-start study (mixenbench
+# -experiment coldstart), and the serving-cache zipf replay study
+# (mixenbench -experiment serve — cache-on/off p50/p99/QPS/hit-rate with
+# a bit-identity hard gate), then bundles everything into BENCH_PR10.json.
+# When a committed BENCH_PR9.bench.txt exists and benchstat is installed,
+# it also emits a benchstat comparison against that baseline.
 # Artifacts:
-#   BENCH_PR9.bench.txt  raw `go test -bench` lines; feed two of these to
+#   BENCH_PR10.bench.txt raw `go test -bench` lines; feed two of these to
 #                        benchstat to compare commits
-#   BENCH_PR9.json       parsed numbers + the raw lines, for dashboards
+#   BENCH_PR10.json      parsed numbers + the raw lines, for dashboards
 #
 # Usage: scripts/bench.sh [outdir]   (default: repo root)
+#
+# BENCH_SMOKE=1 shrinks everything (count=3, shrink=32, fewer graphs) for
+# a CI smoke pass that still exercises every study and gate end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 outdir="${1:-.}"
 mkdir -p "$outdir"
 
-count="${BENCH_COUNT:-7}"
-benchtxt="$outdir/BENCH_PR9.bench.txt"
-json="$outdir/BENCH_PR9.json"
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+  count="${BENCH_COUNT:-3}"
+  shrink="${BENCH_SHRINK:-32}"
+  graphs="${BENCH_GRAPHS:-wiki}"
+  shard_graphs="${BENCH_SHARD_GRAPHS:-wiki}"
+  reorder_graphs="${BENCH_REORDER_GRAPHS:-wiki}"
+  coldstart_graphs="${BENCH_COLDSTART_GRAPHS:-wiki}"
+else
+  count="${BENCH_COUNT:-7}"
+  shrink="${BENCH_SHRINK:-8}"
+  graphs="${BENCH_GRAPHS:-weibo,wiki,rmat}"
+  shard_graphs="${BENCH_SHARD_GRAPHS:-weibo,wiki}"
+  reorder_graphs="${BENCH_REORDER_GRAPHS:-weibo,wiki,road}"
+  coldstart_graphs="${BENCH_COLDSTART_GRAPHS:-wiki,weibo,rmat}"
+fi
+benchtxt="$outdir/BENCH_PR10.bench.txt"
+json="$outdir/BENCH_PR10.json"
 
 echo ">> microbenchmarks: main-phase width sweep (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkMainPhaseWidth' -benchmem -count="$count" \
@@ -34,7 +53,7 @@ echo ">> microbenchmarks: engine-level PageRank (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkPageRank' -benchmem -count="$count" \
     . | tee -a "$benchtxt" >&2
 
-echo ">> microbenchmarks: serving hot path + load shed (count=$count)" >&2
+echo ">> microbenchmarks: serving hot path + load shed + cached query (count=$count)" >&2
 go test -run=NONE -bench 'BenchmarkServe' -benchmem -count="$count" \
     ./cmd/mixenserve/ | tee -a "$benchtxt" >&2
 
@@ -43,45 +62,50 @@ fronttxt="$(mktemp)"
 shardtxt="$(mktemp)"
 reordertxt="$(mktemp)"
 coldtxt="$(mktemp)"
+servetxt="$(mktemp)"
 benchstattxt="$(mktemp)"
-trap 'rm -f "$fronttxt" "$shardtxt" "$reordertxt" "$coldtxt" "$benchstattxt"' EXIT
-go run ./cmd/mixenbench -experiment frontier -graphs "${BENCH_GRAPHS:-weibo,wiki,rmat}" \
-    -shrink "${BENCH_SHRINK:-8}" | tee "$fronttxt" >&2
+trap 'rm -f "$fronttxt" "$shardtxt" "$reordertxt" "$coldtxt" "$servetxt" "$benchstattxt"' EXIT
+go run ./cmd/mixenbench -experiment frontier -graphs "$graphs" \
+    -shrink "$shrink" | tee "$fronttxt" >&2
 
 echo ">> shard-scaling study (mixenbench -experiment shard, S=1/2/4)" >&2
-go run ./cmd/mixenbench -experiment shard -graphs "${BENCH_SHARD_GRAPHS:-weibo,wiki}" \
-    -shrink "${BENCH_SHRINK:-8}" | tee "$shardtxt" >&2
+go run ./cmd/mixenbench -experiment shard -graphs "$shard_graphs" \
+    -shrink "$shrink" | tee "$shardtxt" >&2
 
 echo ">> reordering + auto-tuning study (mixenbench -experiment reorder)" >&2
-go run ./cmd/mixenbench -experiment reorder -graphs "${BENCH_REORDER_GRAPHS:-weibo,wiki,road}" \
-    -shrink "${BENCH_SHRINK:-8}" | tee "$reordertxt" >&2
+go run ./cmd/mixenbench -experiment reorder -graphs "$reorder_graphs" \
+    -shrink "$shrink" | tee "$reordertxt" >&2
 
 echo ">> mmap cold-start study (mixenbench -experiment coldstart)" >&2
-go run ./cmd/mixenbench -experiment coldstart -graphs "${BENCH_COLDSTART_GRAPHS:-wiki,weibo,rmat}" \
-    -shrink "${BENCH_SHRINK:-8}" | tee "$coldtxt" >&2
+go run ./cmd/mixenbench -experiment coldstart -graphs "$coldstart_graphs" \
+    -shrink "$shrink" | tee "$coldtxt" >&2
 
-# benchstat vs the committed PR8 baseline (shared width-sweep, PageRank and
-# serving lines; all benchmark families exist in the PR8 baseline).
-# Informational — missing benchstat or a missing baseline must not fail
-# the snapshot.
+echo ">> serving-cache zipf replay study (mixenbench -experiment serve)" >&2
+go run ./cmd/mixenbench -experiment serve -shrink "$shrink" | tee "$servetxt" >&2
+
+# benchstat vs the committed PR9 baseline (shared width-sweep, PageRank and
+# serving lines; BenchmarkServeCachedQuery is new in PR10 and simply has no
+# baseline column). Informational — missing benchstat or a missing baseline
+# must not fail the snapshot.
 benchstat_ok=false
-if [ -f BENCH_PR8.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
-  if benchstat BENCH_PR8.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
+if [ -f BENCH_PR9.bench.txt ] && command -v benchstat >/dev/null 2>&1; then
+  if benchstat BENCH_PR9.bench.txt "$benchtxt" > "$benchstattxt" 2>&1; then
     benchstat_ok=true
-    echo ">> benchstat vs BENCH_PR8.bench.txt" >&2
+    echo ">> benchstat vs BENCH_PR9.bench.txt" >&2
     cat "$benchstattxt" >&2
   fi
 else
-  echo ">> benchstat or BENCH_PR8.bench.txt unavailable; skipping comparison" >&2
+  echo ">> benchstat or BENCH_PR9.bench.txt unavailable; skipping comparison" >&2
 fi
 
 {
   echo '{'
-  echo '  "bench": "PR9 zero-copy mmap-backed partitions",'
+  echo '  "bench": "PR10 serving-layer result cache + approx fast path",'
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
 
-  # Parsed go-bench lines: name, ns/op, B/op, allocs/op.
+  # Parsed go-bench lines: name, ns/op, B/op, allocs/op, plus custom
+  # metrics (p99-ns from BenchmarkServeCachedQuery).
   echo '  "microbench": ['
   awk '/^Benchmark/ {
     line = $0
@@ -89,6 +113,7 @@ fi
     for (i = 4; i < NF; i++) {
       if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
       if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+      if ($(i+1) == "p99-ns")    printf ", \"p99_ns\": %s", $i
     }
     printf "}"
     sep = ",\n"
@@ -152,9 +177,28 @@ fi
   } END { print "" }' "$coldtxt"
   echo '  ],'
 
-  # benchstat output vs the committed PR8 baseline, when available.
+  # Parsed serve-study rows:
+  # Skew cache queries hotset warm-hit% hit% p50_ms p99_ms qps identical.
+  echo '  "serve_study": ['
+  awk '$2 ~ /^(on|off)$/ && NF == 10 {
+    printf "%s    {\"skew\": %s, \"cache\": \"%s\", \"queries\": %s, \"hot_set\": %s, \"warm_hit_pct\": %s, \"hit_pct\": %s, \"p50_ms\": %s, \"p99_ms\": %s, \"qps\": %s, \"identical\": %s}", \
+      sep, $1, $2, $3, $4, $5, $6, $7, $8, $9, $10
+    sep = ",\n"
+  } END { print "" }' "$servetxt"
+  echo '  ],'
+
+  # The serve study's approx fast-path check line, verbatim.
+  echo '  "serve_approx": ['
+  awk '/^approx:/ {
+    gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
+    printf "%s    \"%s\"", sep, $0
+    sep = ",\n"
+  } END { print "" }' "$servetxt"
+  echo '  ],'
+
+  # benchstat output vs the committed PR9 baseline, when available.
   if $benchstat_ok; then
-    echo '  "benchstat_vs_pr8": ['
+    echo '  "benchstat_vs_pr9": ['
     awk 'NF {
       gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, " ")
       printf "%s    \"%s\"", sep, $0

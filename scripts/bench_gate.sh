@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# bench_gate.sh — main-phase benchmark regression gate.
+# bench_gate.sh — benchmark regression gate.
 #
-# Compares the median ns/op of the width-1 and width-8 main-phase
-# benchmarks between two `go test -bench` output files and FAILS (exit 1)
-# when either regresses by more than the threshold. CI runs both files on
-# the same runner (base commit, then head), so the comparison is
-# machine-independent; the committed BENCH_PR*.bench.txt snapshots remain
-# the human-readable history.
+# Compares the median of each gated benchmark metric between two
+# `go test -bench` output files and FAILS (exit 1) when any regresses by
+# more than its threshold. CI runs both files on the same runner (base
+# commit, then head), so the comparison is machine-independent; the
+# committed BENCH_PR*.bench.txt snapshots remain the human-readable
+# history.
+#
+# Gated set:
+#   BenchmarkMainPhaseWidth1/8   ns/op    default threshold (10%)
+#   BenchmarkServeCachedQuery    p99-ns   15% (serving tail latency)
 #
 # Usage: scripts/bench_gate.sh BASE.txt HEAD.txt [threshold-pct]
-#   threshold-pct defaults to 10.
+#   threshold-pct defaults to 10 and applies to the ns/op benchmarks;
+#   the serve p99 gate always uses 15.
+#
+# Missing data is diagnosed, not lumped in with regressions:
+#   - missing from HEAD: the benchmark stopped running — always a
+#     failure; fix the bench invocation.
+#   - missing from BASE: the baseline predates this benchmark (it was
+#     added in the PR under test). This fails by default so a typo'd new
+#     benchmark name cannot silently skip the gate, but CI sets
+#     BENCH_GATE_ALLOW_NEW=1 when comparing against the PR base commit,
+#     where "new in head" is expected and is skipped with a note.
 #
 # The gate refuses to judge on thin data: each side must carry at least
 # BENCH_GATE_MIN_SAMPLES (default 7) repetitions of every gated benchmark,
@@ -31,6 +45,7 @@ base="$1"
 head="$2"
 threshold="${3:-10}"
 min_samples="${BENCH_GATE_MIN_SAMPLES:-7}"
+allow_new="${BENCH_GATE_ALLOW_NEW:-0}"
 
 # A benchmark file that does not exist (a skipped or crashed bench run)
 # must be its own clear failure, not an awk "cannot open" mid-comparison.
@@ -41,12 +56,13 @@ for f in "$base" "$head"; do
   fi
 done
 
-# stats_ns BENCH_REGEX FILE — "median count min max" of ns/op across
-# -count repetitions, or "NA 0 NA NA" when the benchmark never ran.
-stats_ns() {
-  awk -v re="$1" '
+# stats BENCH_REGEX UNIT FILE — "median count min max" of the metric
+# whose unit label follows its value (ns/op, p99-ns, ...), across -count
+# repetitions; "NA 0 NA NA" when the benchmark never ran.
+stats() {
+  awk -v re="$1" -v unit="$2" '
     $0 ~ re {
-      for (i = 2; i <= NF; i++) if ($i == "ns/op") { v[n++] = $(i-1); break }
+      for (i = 2; i <= NF; i++) if ($i == unit) { v[n++] = $(i-1); break }
     }
     END {
       if (n == 0) { print "NA 0 NA NA"; exit }
@@ -56,51 +72,74 @@ stats_ns() {
       if (n % 2) m = v[int(n/2)]
       else m = (v[n/2-1] + v[n/2]) / 2
       print m, n, v[0], v[n-1]
-    }' "$2"
+    }' "$3"
 }
 
 fail=0
 missing=0
 compared=""
-for bench in 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]'; do
-  name=$(echo "$bench" | sed 's/(.*//')
-  compared="${compared:+$compared, }$name"
+
+# gate_one NAME REGEX UNIT THRESHOLD-PCT
+gate_one() {
+  local name="$1" bench="$2" unit="$3" thr="$4"
+  compared="${compared:+$compared, }$name($unit)"
+  local b bn bmin bmax h hn hmin hmax
   read -r b bn bmin bmax <<EOF
-$(stats_ns "$bench" "$base")
+$(stats "$bench" "$unit" "$base")
 EOF
   read -r h hn hmin hmax <<EOF
-$(stats_ns "$bench" "$head")
+$(stats "$bench" "$unit" "$head")
 EOF
-  if [ "$b" = "NA" ] || [ "$h" = "NA" ]; then
-    echo "bench_gate: FAIL $name missing from base or head output (base=$b head=$h)" >&2
+  if [ "$h" = "NA" ]; then
+    echo "bench_gate: FAIL $name ran in the baseline but not in head — the benchmark stopped running; fix the bench invocation" >&2
     fail=1
     missing=1
-    continue
+    return
+  fi
+  if [ "$b" = "NA" ]; then
+    if [ "$allow_new" = "1" ]; then
+      echo "bench_gate: skip $name is new in head (baseline predates it); no regression to judge" >&2
+    else
+      echo "bench_gate: FAIL $name missing from baseline $base — the baseline predates this benchmark." >&2
+      echo "bench_gate:      If the benchmark is genuinely new in this PR, rerun with BENCH_GATE_ALLOW_NEW=1" >&2
+      echo "bench_gate:      (or regenerate the baseline); this is NOT a performance regression." >&2
+      fail=1
+      missing=1
+    fi
+    return
   fi
   if [ "$bn" -lt "$min_samples" ] || [ "$hn" -lt "$min_samples" ]; then
     echo "bench_gate: FAIL $name has too few samples to judge (base=$bn head=$hn, need >= $min_samples); rerun with -count=$min_samples or higher" >&2
     fail=1
     missing=1
-    continue
+    return
   fi
+  local delta over
   delta=$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) * 100 / b }')
-  over=$(awk -v b="$b" -v h="$h" -v t="$threshold" 'BEGIN { print (h > b * (1 + t/100)) ? 1 : 0 }')
+  over=$(awk -v b="$b" -v h="$h" -v t="$thr" 'BEGIN { print (h > b * (1 + t/100)) ? 1 : 0 }')
   if [ "$over" = "1" ]; then
-    echo "bench_gate: FAIL $name regressed ${delta}% (base median ${b} ns/op -> head ${h} ns/op, threshold ${threshold}%)" >&2
-    echo "bench_gate:      base spread ${bmin}..${bmax} ns/op over ${bn} samples; head spread ${hmin}..${hmax} ns/op over ${hn} samples" >&2
+    echo "bench_gate: FAIL $name regressed ${delta}% (base median ${b} ${unit} -> head ${h} ${unit}, threshold ${thr}%)" >&2
+    echo "bench_gate:      base spread ${bmin}..${bmax} ${unit} over ${bn} samples; head spread ${hmin}..${hmax} ${unit} over ${hn} samples" >&2
     fail=1
   else
-    echo "bench_gate: ok   $name ${delta}% (base median ${b} ns/op -> head ${h} ns/op, n=${hn})" >&2
+    echo "bench_gate: ok   $name ${delta}% (base median ${b} ${unit} -> head ${h} ${unit}, n=${hn})" >&2
   fi
-done
+}
+
+gate_one BenchmarkMainPhaseWidth1 'BenchmarkMainPhaseWidth1(-[0-9]+)?[[:space:]]' ns/op "$threshold"
+gate_one BenchmarkMainPhaseWidth8 'BenchmarkMainPhaseWidth8(-[0-9]+)?[[:space:]]' ns/op "$threshold"
+# Serving tail latency: the cached-query p99 (custom p99-ns metric from
+# BenchmarkServeCachedQuery). Tail percentiles are noisier than medians
+# of means, hence the wider 15% threshold.
+gate_one BenchmarkServeCachedQuery 'BenchmarkServeCachedQuery(-[0-9]+)?[[:space:]]' p99-ns 15
 
 if [ "$missing" != 0 ]; then
   echo "bench_gate: benchmarks compared: ${compared}" >&2
-  echo "bench_gate: a gated benchmark did not run — fix the bench invocation;" >&2
-  echo "bench_gate: the 'bench-regression-ok' label does not cover missing data." >&2
+  echo "bench_gate: a gated benchmark is missing on one side — see the per-benchmark" >&2
+  echo "bench_gate: diagnosis above; the 'bench-regression-ok' label does not cover missing data." >&2
 elif [ "$fail" != 0 ]; then
   echo "bench_gate: benchmarks compared: ${compared}" >&2
-  echo "bench_gate: main-phase regression detected. If intentional, apply the" >&2
+  echo "bench_gate: regression detected. If intentional, apply the" >&2
   echo "bench_gate: 'bench-regression-ok' label to the PR (see CONTRIBUTING.md)." >&2
 fi
 exit "$fail"
